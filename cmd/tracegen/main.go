@@ -1,0 +1,100 @@
+// Command tracegen inspects the synthetic workload profiles: it generates
+// a reference stream and summarizes its character (per-structure shares,
+// page and line working sets, write fraction, dependence fraction) or dumps
+// raw references for external tools.
+//
+// Usage:
+//
+//	tracegen -workload mcf -n 1000000
+//	tracegen -workload milc -n 1000 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vbi/internal/trace"
+	"vbi/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "benchmark name")
+		n        = flag.Int("n", 1_000_000, "references to generate")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		dump     = flag.Bool("dump", false, "dump raw references (struct, offset, W/R, dep) instead of a summary")
+	)
+	flag.Parse()
+
+	prof, err := workloads.Get(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	g := trace.NewGenerator(prof, *seed)
+
+	if *dump {
+		for i := 0; i < *n; i++ {
+			r := g.Next()
+			rw := "R"
+			if r.Op.Write {
+				rw = "W"
+			}
+			dep := ""
+			if r.Op.Dep {
+				dep = " dep"
+			}
+			fmt.Printf("%s %#x %s gap=%d%s\n",
+				prof.Structs[r.StructIdx].Name, r.Offset, rw, r.Op.Gap, dep)
+		}
+		return
+	}
+
+	type sstat struct {
+		refs   int
+		writes int
+		deps   int
+		pages  map[uint64]bool
+		lines  map[uint64]bool
+	}
+	perStruct := make([]sstat, len(prof.Structs))
+	for i := range perStruct {
+		perStruct[i].pages = make(map[uint64]bool)
+		perStruct[i].lines = make(map[uint64]bool)
+	}
+	var gapTotal uint64
+	for i := 0; i < *n; i++ {
+		r := g.Next()
+		st := &perStruct[r.StructIdx]
+		st.refs++
+		if r.Op.Write {
+			st.writes++
+		}
+		if r.Op.Dep {
+			st.deps++
+		}
+		st.pages[r.Offset>>12] = true
+		st.lines[r.Offset>>6] = true
+		gapTotal += uint64(r.Op.Gap)
+	}
+
+	fmt.Printf("workload:  %s (%d MB footprint, %d structures)\n",
+		prof.Name, prof.Footprint()>>20, len(prof.Structs))
+	fmt.Printf("refs:      %d  (%.0f per 1000 instrs)\n", *n,
+		float64(*n)*1000/float64(uint64(*n)+gapTotal))
+	fmt.Printf("%-16s %8s %7s %7s %10s %10s %9s\n",
+		"structure", "share", "writes", "deps", "pages", "lines", "size")
+	for i, s := range prof.Structs {
+		st := perStruct[i]
+		if st.refs == 0 {
+			continue
+		}
+		fmt.Printf("%-16s %7.1f%% %6.1f%% %6.1f%% %10d %10d %6d MB\n",
+			s.Name,
+			100*float64(st.refs)/float64(*n),
+			100*float64(st.writes)/float64(st.refs),
+			100*float64(st.deps)/float64(st.refs),
+			len(st.pages), len(st.lines), s.Size>>20)
+	}
+}

@@ -1,0 +1,87 @@
+// Command vbibench regenerates the paper's evaluation: every table and
+// figure of §7, printed as the same rows and series the paper reports.
+//
+// Usage:
+//
+//	vbibench -exp fig6 -refs 400000
+//	vbibench -exp all -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vbi/internal/exp"
+	"vbi/internal/stats"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, fig10, dram, ablation, cvt or all")
+		refs    = flag.Int("refs", 400_000, "measured references per run")
+		seed    = flag.Uint64("seed", 1, "trace seed")
+		out     = flag.String("out", "", "also write results to this file")
+		verbose = flag.Bool("v", false, "log every run")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	o := exp.Options{Refs: *refs, Seed: *seed}
+	if *verbose {
+		o.Progress = os.Stderr
+	}
+
+	figures := map[string]func(exp.Options) (*stats.Table, error){
+		"fig6": exp.Fig6, "fig7": exp.Fig7, "fig8": exp.Fig8,
+		"fig9": exp.Fig9, "fig10": exp.Fig10, "dram": exp.DRAMTable,
+		"ablation": exp.AblationFlexible, "cvt": exp.CVTTable,
+	}
+	order := []string{"table1", "table2", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "dram", "ablation", "cvt"}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Fprintln(w, exp.Table1())
+		case "table2":
+			fmt.Fprintln(w, exp.Table2())
+		default:
+			fn, ok := figures[name]
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", name))
+			}
+			t, err := fn(o)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(w, t.Render())
+			fmt.Fprintf(w, "(%s completed in %v)\n\n", name, time.Since(start).Round(time.Second))
+		}
+	}
+
+	if *which == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*which)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command vbisim runs one simulated system on one workload and reports
+// IPC, DRAM traffic and the system-specific event counters.
+//
+// Usage:
+//
+//	vbisim -system VBI-Full -workload mcf -refs 1000000
+//	vbisim -list
+//	vbisim -hetero PCM-DRAM -policy VBI -workload sphinx3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vbi/internal/system"
+	"vbi/internal/workloads"
+)
+
+var systems = map[string]system.Kind{}
+
+func init() {
+	for k := system.Kind(0); k.String() != fmt.Sprintf("Kind(%d)", int(k)); k++ {
+		systems[strings.ToLower(k.String())] = k
+	}
+}
+
+func main() {
+	var (
+		sysName  = flag.String("system", "Native", "system to simulate (see -list)")
+		workload = flag.String("workload", "mcf", "benchmark name (see -list)")
+		refs     = flag.Int("refs", 400_000, "measured memory references")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		list     = flag.Bool("list", false, "list systems and workloads")
+		hetero   = flag.String("hetero", "", "heterogeneous memory: PCM-DRAM or TL-DRAM")
+		policy   = flag.String("policy", "VBI", "placement policy: Unaware, VBI or IDEAL")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("systems:")
+		for k := system.Kind(0); int(k) < 10; k++ {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("workloads:")
+		for _, n := range workloads.Names() {
+			p := workloads.MustGet(n)
+			fmt.Printf("  %-14s %4d MB, %d structures\n", n, p.Footprint()>>20, len(p.Structs))
+		}
+		return
+	}
+
+	prof, err := workloads.Get(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res system.RunResult
+	if *hetero != "" {
+		mem := system.HeteroPCMDRAM
+		if strings.EqualFold(*hetero, "TL-DRAM") {
+			mem = system.HeteroTLDRAM
+		}
+		pol := system.PolicyVBI
+		switch strings.ToLower(*policy) {
+		case "unaware":
+			pol = system.PolicyUnaware
+		case "ideal":
+			pol = system.PolicyIdeal
+		}
+		m, err := system.NewHetero(system.HeteroConfig{
+			Mem: mem, Policy: pol, Refs: *refs, Seed: *seed}, prof)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = m.Run(); err != nil {
+			fatal(err)
+		}
+	} else {
+		kind, ok := systems[strings.ToLower(*sysName)]
+		if !ok {
+			fatal(fmt.Errorf("unknown system %q (try -list)", *sysName))
+		}
+		m, err := system.New(system.Config{Kind: kind, Refs: *refs, Seed: *seed}, prof)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = m.Run(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("system:    %s\n", res.System)
+	fmt.Printf("workload:  %s\n", res.Workload)
+	fmt.Printf("refs:      %d\n", res.MemRefs)
+	fmt.Printf("instrs:    %d\n", res.Instrs)
+	fmt.Printf("cycles:    %d\n", res.Cycles)
+	fmt.Printf("IPC:       %.4f\n", res.IPC)
+	fmt.Printf("DRAM:      %d accesses\n", res.DRAMAccesses)
+	if len(res.Extra) > 0 {
+		fmt.Println("counters:")
+		fmt.Print(res.Extra.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbisim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,215 @@
+// kvstore: a small persistent key–value store built on the VBI public API,
+// the way a downstream system would adopt it.
+//
+//   - the hash index lives in its own VB, requested with the latency-
+//     sensitive hint (the MTL's heterogeneous-memory policies would keep it
+//     in fast memory, §7.3);
+//   - the append-only value log lives in a VB requested with the bandwidth-
+//     sensitive hint and grows through promote_vb when it fills (§4.4) —
+//     no pointer in the index ever changes, because program addresses are
+//     {CVT index, offset} pairs;
+//   - snapshots persist through a memory-mapped-file VB (§3.4).
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"vbi/internal/addr"
+	"vbi/internal/core"
+	"vbi/internal/mtl"
+	"vbi/internal/osmodel"
+	"vbi/internal/prop"
+)
+
+// store is the key–value store: an open-addressed index of fixed-size
+// slots plus an append-only log of length-prefixed values.
+type store struct {
+	cpu      *core.Core
+	os       *osmodel.VBIOS
+	proc     *osmodel.VBIProcess
+	indexIdx int // CVT index of the hash-index VB
+	logIdx   int // CVT index of the value-log VB
+	logSize  uint64
+	logHead  uint64
+	slots    uint64
+}
+
+const slotBytes = 16 // 8-byte key hash + 8-byte log offset
+
+func newStore(cpu *core.Core, os *osmodel.VBIOS, proc *osmodel.VBIProcess) (*store, error) {
+	indexIdx, _, err := os.RequestVB(proc, 1<<20, prop.LatencySensitive|prop.AccessRandom)
+	if err != nil {
+		return nil, err
+	}
+	logIdx, logVB, err := os.RequestVB(proc, 64<<10, prop.BandwidthSensitive|prop.AccessSequential)
+	if err != nil {
+		return nil, err
+	}
+	return &store{
+		cpu: cpu, os: os, proc: proc,
+		indexIdx: indexIdx, logIdx: logIdx,
+		logSize: logVB.Size(), logHead: 8,
+		slots: (1 << 20) / slotBytes,
+	}, nil
+}
+
+func hashKey(key string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// put appends the value to the log and installs the slot, growing the log
+// VB via promote_vb when it would overflow.
+func (s *store) put(key, value string) error {
+	need := s.logHead + 8 + uint64(len(value))
+	if need > s.logSize {
+		// The data structure outgrew its VB: promote to the next class
+		// (§4.2.1). The CVT index — and so every stored offset — is
+		// untouched.
+		grown, err := s.os.PromoteVB(s.proc, s.logIdx, s.logSize*2)
+		if err != nil {
+			return err
+		}
+		s.logSize = grown.Size()
+		fmt.Printf("  [log promoted to %s (%d KB)]\n", grown.Class(), s.logSize>>10)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(value)))
+	if err := s.cpu.Store(core.VAddr{Index: s.logIdx, Offset: s.logHead}, hdr[:]); err != nil {
+		return err
+	}
+	if err := s.cpu.Store(core.VAddr{Index: s.logIdx, Offset: s.logHead + 8}, []byte(value)); err != nil {
+		return err
+	}
+	h := hashKey(key)
+	var slot [slotBytes]byte
+	binary.LittleEndian.PutUint64(slot[:8], h)
+	binary.LittleEndian.PutUint64(slot[8:], s.logHead)
+	for probe := uint64(0); probe < s.slots; probe++ {
+		off := ((h + probe) % s.slots) * slotBytes
+		var cur [slotBytes]byte
+		if err := s.cpu.Load(core.VAddr{Index: s.indexIdx, Offset: off}, cur[:]); err != nil {
+			return err
+		}
+		existing := binary.LittleEndian.Uint64(cur[:8])
+		if existing == 0 || existing == h {
+			if err := s.cpu.Store(core.VAddr{Index: s.indexIdx, Offset: off}, slot[:]); err != nil {
+				return err
+			}
+			s.logHead = need
+			return nil
+		}
+	}
+	return fmt.Errorf("index full")
+}
+
+// get probes the index and reads the value out of the log.
+func (s *store) get(key string) (string, bool, error) {
+	h := hashKey(key)
+	for probe := uint64(0); probe < s.slots; probe++ {
+		off := ((h + probe) % s.slots) * slotBytes
+		var cur [slotBytes]byte
+		if err := s.cpu.Load(core.VAddr{Index: s.indexIdx, Offset: off}, cur[:]); err != nil {
+			return "", false, err
+		}
+		existing := binary.LittleEndian.Uint64(cur[:8])
+		if existing == 0 {
+			return "", false, nil
+		}
+		if existing != h {
+			continue
+		}
+		logOff := binary.LittleEndian.Uint64(cur[8:])
+		var hdr [8]byte
+		if err := s.cpu.Load(core.VAddr{Index: s.logIdx, Offset: logOff}, hdr[:]); err != nil {
+			return "", false, err
+		}
+		val := make([]byte, binary.LittleEndian.Uint64(hdr[:]))
+		if err := s.cpu.Load(core.VAddr{Index: s.logIdx, Offset: logOff + 8}, val); err != nil {
+			return "", false, err
+		}
+		return string(val), true, nil
+	}
+	return "", false, nil
+}
+
+func main() {
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true, EarlyReservation: true}, 1<<30)
+	sys := core.NewSystem(m)
+	os := osmodel.NewVBIOS(sys)
+	cpu := core.NewCore(sys)
+	proc := os.CreateProcess()
+	cpu.SwitchClient(proc.Client)
+
+	kv, err := newStore(cpu, os, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("writing 5000 entries (the log VB will outgrow its size class)...")
+	for i := 0; i < 5000; i++ {
+		if err := kv.put(fmt.Sprintf("key-%04d", i),
+			fmt.Sprintf("value payload for entry %04d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, key := range []string{"key-0000", "key-0999", "key-4999"} {
+		val, ok, err := kv.get(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  get(%s) = %q (found=%v)\n", key, val, ok)
+	}
+	if _, ok, _ := kv.get("missing"); ok {
+		log.Fatal("phantom key")
+	}
+
+	// Snapshot the index into a memory-mapped-file VB (§3.4).
+	snapVB := addr.MakeVBUID(addr.Size4MB, 5000)
+	if err := sys.EnableVB(snapVB, prop.MappedFile|prop.Persistent); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.AttachFile(snapVB, nil); err != nil {
+		log.Fatal(err)
+	}
+	snapIdx, err := os.AttachShared(proc, snapVB, core.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	if err := cpu.Load(core.VAddr{Index: kv.indexIdx, Offset: 0}, buf); err != nil {
+		log.Fatal(err)
+	}
+	if err := cpu.Store(core.VAddr{Index: snapIdx, Offset: 0}, buf); err != nil {
+		log.Fatal(err)
+	}
+	img, err := m.SyncFile(snapVB, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonZero := 0
+	for _, b := range img {
+		if b != 0 {
+			nonZero++
+		}
+	}
+	fmt.Printf("index snapshot persisted: %d KB image, %d KB live slot data\n",
+		len(img)>>10, nonZero>>10)
+
+	if err := os.DestroyProcess(proc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("store shut down; all physical memory reclaimed:",
+		m.FreeBytes() == m.Zones()[0].Buddy.Capacity())
+}

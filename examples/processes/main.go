@@ -1,0 +1,102 @@
+// Processes: the OS functionalities of §3.4 and §4.4 end to end — fork
+// with copy-on-write cloning, shared libraries with CVT-relative static
+// data, memory-mapped files, and swapping under memory pressure.
+//
+// Run with: go run ./examples/processes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbi/internal/addr"
+	"vbi/internal/core"
+	"vbi/internal/mtl"
+	"vbi/internal/osmodel"
+	"vbi/internal/prop"
+)
+
+func main() {
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true}, 512<<20)
+	sys := core.NewSystem(m)
+	os := osmodel.NewVBIOS(sys)
+
+	// --- fork + copy-on-write (§4.4) ---
+	parent := os.CreateProcess()
+	cpuP := core.NewCore(sys)
+	cpuP.SwitchClient(parent.Client)
+	idx, _, err := os.RequestVB(parent, 64<<10, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(cpuP.Store(core.VAddr{Index: idx, Offset: 0}, []byte("inherited state")))
+
+	child, err := os.Fork(parent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuC := core.NewCore(sys)
+	cpuC.SwitchClient(child.Client)
+	buf := make([]byte, 15)
+	must(cpuC.Load(core.VAddr{Index: idx, Offset: 0}, buf))
+	fmt.Printf("child sees parent data at the same CVT index: %q\n", buf)
+	fmt.Printf("copy-on-write copies so far: %d (sharing, not copying)\n", m.Stats.COWCopies)
+
+	must(cpuC.Store(core.VAddr{Index: idx, Offset: 0}, []byte("child's own data")))
+	must(cpuP.Load(core.VAddr{Index: idx, Offset: 0}, buf))
+	fmt.Printf("after the child writes, parent still reads: %q (COW copies: %d)\n\n",
+		buf, m.Stats.COWCopies)
+
+	// --- shared library with +1 CVT-relative static data (§4.4) ---
+	lib := addr.MakeVBUID(addr.Size128KB, 4000)
+	must(sys.EnableVB(lib, prop.Code|prop.ReadOnly))
+	codeIdx, err := os.LoadLibrary(parent, lib, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := core.VAddr{Index: codeIdx, Offset: 0}
+	must(cpuP.Store(ref.Rel(1), []byte("per-process statics")))
+	fmt.Printf("library code at CVT[%d] (shared), statics at CVT[%d] (private)\n",
+		codeIdx, codeIdx+1)
+	fmt.Printf("library refcount: %d process(es) attached\n\n", m.RefCount(lib))
+
+	// --- memory-mapped file (§3.4) ---
+	fileVB := addr.MakeVBUID(addr.Size128KB, 4001)
+	must(sys.EnableVB(fileVB, prop.MappedFile))
+	must(m.AttachFile(fileVB, []byte("config_version=1\nthreads=8\n")))
+	fIdx, err := os.AttachShared(parent, fileVB, core.PermRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line := make([]byte, 16)
+	must(cpuP.Load(core.VAddr{Index: fIdx, Offset: 0}, line))
+	fmt.Printf("mapped file reads through: %q\n", line)
+	must(cpuP.Store(core.VAddr{Index: fIdx, Offset: 15}, []byte("2")))
+	out, err := m.SyncFile(fileVB, 27)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after store + msync, file image: %q\n\n", out[:17])
+
+	// --- swapping under memory pressure (§3.4) ---
+	dataVB := addr.MakeVBUID(addr.Size128KB, 4002)
+	must(sys.EnableVB(dataVB, 0))
+	must(m.Prefill(dataVB, 128<<10))
+	free0 := m.FreeBytes()
+	n, err := m.SwapOutVB(dataVB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swapped out %d regions, reclaimed %d KB\n", n, (m.FreeBytes()-free0)>>10)
+	ev, err := m.TranslateRead(addr.Make(dataVB, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next access faults the data back in (OS fault: %v)\n", ev.OSFault)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

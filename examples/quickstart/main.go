@@ -1,0 +1,101 @@
+// Quickstart: the life cycle of VBI memory (§4.2) on a functional VBI
+// system — enable a virtual block, attach with permissions, store and load
+// real data through the CVT check and the Memory Translation Layer, watch
+// delayed allocation serve zero lines, and tear everything down.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbi/internal/core"
+	"vbi/internal/mtl"
+	"vbi/internal/osmodel"
+	"vbi/internal/prop"
+)
+
+func main() {
+	// A VBI machine: the MTL (with delayed allocation and early
+	// reservation, i.e. the VBI-Full configuration) over 1 GB of physical
+	// memory, the architectural layer, one CPU core, and the OS.
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true, EarlyReservation: true}, 1<<30)
+	sys := core.NewSystem(m)
+	os := osmodel.NewVBIOS(sys)
+	cpu := core.NewCore(sys)
+
+	// Process creation assigns a memory-client ID (§4.1.2).
+	proc := os.CreateProcess()
+	cpu.SwitchClient(proc.Client)
+	fmt.Printf("process created: client %d\n", proc.Client)
+
+	// request_vb: ask the OS for a VB big enough for a 1 MB data
+	// structure; the OS picks the smallest size class (4 MB), enables the
+	// VB and attaches us. The returned CVT index is our pointer.
+	idx, vb, err := os.RequestVB(proc, 1<<20, prop.LatencySensitive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("request_vb(1MB) -> CVT index %d, %v (%s)\n", idx, vb, vb.Class())
+
+	// Program addresses are {CVT index, offset} pairs (§4.2.2).
+	addr := core.VAddr{Index: idx, Offset: 4096}
+	if err := cpu.Store(addr, []byte("hello, virtual block interface")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 30)
+	if err := cpu.Load(addr, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded back: %q\n", buf)
+
+	// Delayed allocation (§5.1): reading a never-written region returns
+	// zeros without allocating physical memory.
+	before := m.FreeBytes()
+	far := core.VAddr{Index: idx, Offset: 2 << 20}
+	if err := cpu.Load(far, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold read at +2MB: %v... (free bytes unchanged: %v)\n",
+		buf[:4], m.FreeBytes() == before)
+
+	// Protection is the OS's job (§3.2): another process cannot touch our
+	// VB without an attach.
+	thief := os.CreateProcess()
+	cpu2 := core.NewCore(sys)
+	cpu2.SwitchClient(thief.Client)
+	if err := cpu2.Load(addr, buf); err != nil {
+		fmt.Printf("other process denied: %v\n", err)
+	}
+
+	// True sharing (§3.4): granting read access makes the data visible.
+	sharedIdx, err := os.AttachShared(thief, vb, core.PermR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cpu2.Load(core.VAddr{Index: sharedIdx, Offset: 4096}, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after attach, shared read: %q\n", buf)
+	if err := os.DestroyProcess(thief); err != nil {
+		log.Fatal(err)
+	}
+
+	// Growing a data structure: promote_vb moves our data into a larger
+	// VB while the CVT index (and so every pointer) stays valid (§4.4).
+	large, err := os.PromoteVB(proc, idx, 32<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cpu.Load(addr, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after promotion to %v (%s): %q\n", large, large.Class(), buf)
+
+	// Teardown frees every frame.
+	if err := os.DestroyProcess(proc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all memory freed: %v\n", m.FreeBytes() == m.Zones()[0].Buddy.Capacity())
+}

@@ -1,0 +1,80 @@
+// Virtual machines: the paper's first headline use case (§6.1, §7.2).
+//
+// Part 1 partitions the global VBI address space among virtual machines
+// (Figure 5): each VM owns a slice of every size class's VBID space, so a
+// guest allocates VBs without coordinating with the host, and a VB's owner
+// is recoverable from its VBUID alone.
+//
+// Part 2 measures why this matters: it runs a pointer-chasing workload on
+// the conventional virtualized stack (two-dimensional page walks, up to 24
+// memory accesses per TLB miss) and on VBI, where translation inside a VM
+// is no different from native translation.
+//
+// Run with: go run ./examples/virtualmachines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbi/internal/addr"
+	"vbi/internal/system"
+	"vbi/internal/trace"
+)
+
+func main() {
+	// --- Part 1: address-space isolation between VMs (Figure 5) ---
+	var part addr.VMPartition
+	fmt.Println("VBI address-space partitioning (4 GB size class):")
+	for _, vm := range []uint32{0, 1, 31} {
+		lo, hi, _ := part.VBIDRange(addr.Size4GB, vm)
+		who := fmt.Sprintf("VM %d", vm)
+		if vm == 0 {
+			who = "host"
+		}
+		fmt.Printf("  %-6s owns VBIDs [%d, %d] (%d VBs)\n", who, lo, hi, hi-lo+1)
+	}
+	u := part.MakeVMVBUID(addr.Size4GB, 7, 42)
+	fmt.Printf("  %v belongs to VM %d\n\n", u, part.VMOf(u))
+
+	// --- Part 2: translation overhead inside a VM ---
+	prof := trace.Profile{
+		Name: "vm-demo", MemRefsPer1000: 350,
+		Structs: []trace.Struct{
+			{Name: "index", Size: 256 << 20, Pattern: trace.Chase, Weight: 3,
+				WriteFrac: 0.1, HotFrac: 0.2, HotBias: 0.85, SparseHot: true},
+			{Name: "log", Size: 64 << 20, Pattern: trace.Seq, Weight: 1, WriteFrac: 0.6},
+		},
+	}
+	const refs = 150_000
+	fmt.Printf("workload: %d MB pointer-chasing, %d measured references\n\n",
+		prof.Footprint()>>20, refs)
+
+	run := func(kind system.Kind) system.RunResult {
+		m, err := system.New(system.Config{Kind: kind, Refs: refs}, prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	native := run(system.Native)
+	virt := run(system.Virtual)
+	vbi := run(system.VBIFull)
+
+	fmt.Printf("%-22s %8s %14s %16s\n", "system", "IPC", "walk accesses", "vs native")
+	for _, r := range []system.RunResult{native, virt, vbi} {
+		walks := r.Extra["walk.accesses"] + r.Extra["mtl.walk.accesses"]
+		fmt.Printf("%-22s %8.4f %14d %15.2fx\n", r.System, r.IPC, walks, r.IPC/native.IPC)
+	}
+	fmt.Println()
+	fmt.Printf("virtualization tax (Native/Virtual):    %.2fx slowdown\n", native.IPC/virt.IPC)
+	fmt.Printf("VBI inside a VM runs at native speed:   %.2fx over Virtual\n", vbi.IPC/virt.IPC)
+	fmt.Println("\n(Under VBI the guest attaches to VBs once and every access uses the")
+	fmt.Println(" global VBI address; the MTL translates at the memory controller, so")
+	fmt.Println(" there is no second dimension of page walks — §3.5.)")
+}

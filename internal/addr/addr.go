@@ -1,0 +1,175 @@
+// Package addr implements the VBI address space: a single, globally-visible
+// 64-bit address space partitioned into virtual blocks (VBs) of eight
+// pre-determined size classes (4 KB, 128 KB, 4 MB, 128 MB, 4 GB, 128 GB,
+// 4 TB, 128 TB).
+//
+// A VBI address is laid out as
+//
+//	| SizeID (3 bits) | VBID (61 - offsetBits) | offset (offsetBits) |
+//
+// where offsetBits depends on the size class (12 bits for 4 KB up to 47 bits
+// for 128 TB). Every VB is identified system-wide by its VBI unique ID
+// (VBUID), the concatenation of SizeID and VBID.
+package addr
+
+import "fmt"
+
+// SizeClass identifies one of the eight VB size classes.
+type SizeClass uint8
+
+// The eight size classes of the reference implementation (§4.1.1).
+const (
+	Size4KB SizeClass = iota
+	Size128KB
+	Size4MB
+	Size128MB
+	Size4GB
+	Size128GB
+	Size4TB
+	Size128TB
+
+	// NumSizeClasses is the number of VB size classes.
+	NumSizeClasses = 8
+)
+
+// AddressBits is the width of the processor's address bus.
+const AddressBits = 64
+
+// sizeIDBits is the width of the SizeID field at the top of every VBI
+// address (3 bits encode the 8 size classes).
+const sizeIDBits = 3
+
+// classShift is the number of non-SizeID bits in a VBI address.
+const classShift = AddressBits - sizeIDBits // 61
+
+func (c SizeClass) String() string {
+	switch c {
+	case Size4KB:
+		return "4KB"
+	case Size128KB:
+		return "128KB"
+	case Size4MB:
+		return "4MB"
+	case Size128MB:
+		return "128MB"
+	case Size4GB:
+		return "4GB"
+	case Size128GB:
+		return "128GB"
+	case Size4TB:
+		return "4TB"
+	case Size128TB:
+		return "128TB"
+	}
+	return fmt.Sprintf("SizeClass(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the eight defined size classes.
+func (c SizeClass) Valid() bool { return c < NumSizeClasses }
+
+// OffsetBits returns the number of offset bits for the class: 12 for 4 KB,
+// growing by 5 bits per class (each class is 32x the previous one).
+func (c SizeClass) OffsetBits() uint { return 12 + 5*uint(c) }
+
+// Bytes returns the size in bytes of a VB of this class.
+func (c SizeClass) Bytes() uint64 { return 1 << c.OffsetBits() }
+
+// VBIDBits returns the number of VBID bits available within the class:
+// 49 bits for the 4 KB class down to 14 bits for the 128 TB class.
+func (c SizeClass) VBIDBits() uint { return classShift - c.OffsetBits() }
+
+// MaxVBID returns the largest valid VBID within the class.
+func (c SizeClass) MaxVBID() uint64 { return (1 << c.VBIDBits()) - 1 }
+
+// ClassFor returns the smallest size class whose VBs can hold size bytes.
+// It returns ok=false when size exceeds the largest class (128 TB).
+func ClassFor(size uint64) (SizeClass, bool) {
+	for c := Size4KB; c < NumSizeClasses; c++ {
+		if size <= c.Bytes() {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// VBUID is the system-wide unique ID of a virtual block: the concatenation
+// of the 3-bit SizeID (in the top bits) and the VBID (in the low bits).
+type VBUID uint64
+
+// NilVBUID is the zero VBUID. By convention VBID 0 of the 4 KB class is
+// never handed out, so NilVBUID never names a live VB.
+const NilVBUID VBUID = 0
+
+// MakeVBUID builds a VBUID from a size class and a VBID within the class.
+func MakeVBUID(c SizeClass, vbid uint64) VBUID {
+	return VBUID(uint64(c)<<classShift | vbid)
+}
+
+// Class returns the size class encoded in the VBUID.
+func (u VBUID) Class() SizeClass { return SizeClass(uint64(u) >> classShift) }
+
+// VBID returns the within-class block ID encoded in the VBUID.
+func (u VBUID) VBID() uint64 { return uint64(u) & (1<<classShift - 1) }
+
+// Valid reports whether the VBUID encodes a legal (class, VBID) pair.
+func (u VBUID) Valid() bool {
+	c := u.Class()
+	return c.Valid() && u.VBID() <= c.MaxVBID()
+}
+
+// Size returns the size in bytes of the VB named by the VBUID.
+func (u VBUID) Size() uint64 { return u.Class().Bytes() }
+
+// Base returns the first VBI address of the VB named by the VBUID.
+func (u VBUID) Base() Addr {
+	c := u.Class()
+	return Addr(uint64(c)<<classShift | u.VBID()<<c.OffsetBits())
+}
+
+func (u VBUID) String() string {
+	return fmt.Sprintf("VB{%s #%d}", u.Class(), u.VBID())
+}
+
+// Addr is a VBI address: a byte address in the single global VBI address
+// space. Because the VBI address space is globally visible, an Addr points
+// to a unique piece of data system-wide, so it can be used directly to index
+// on-chip caches without translation (no homonyms or synonyms, §3.5).
+type Addr uint64
+
+// Make builds the VBI address of the byte at offset within the VB u.
+// It panics if offset lies outside the VB; callers are expected to have
+// bounds-checked the offset during the CVT permission check.
+func Make(u VBUID, offset uint64) Addr {
+	c := u.Class()
+	if offset >= c.Bytes() {
+		panic(fmt.Sprintf("addr.Make: offset %#x outside %v", offset, u))
+	}
+	return Addr(uint64(u.Base()) | offset)
+}
+
+// Split decomposes a VBI address into the VBUID of the containing VB and the
+// offset within it.
+func (a Addr) Split() (VBUID, uint64) {
+	c := SizeClass(uint64(a) >> classShift)
+	ob := c.OffsetBits()
+	vbid := (uint64(a) & (1<<classShift - 1)) >> ob
+	off := uint64(a) & (1<<ob - 1)
+	return MakeVBUID(c, vbid), off
+}
+
+// VB returns the VBUID of the VB containing the address.
+func (a Addr) VB() VBUID { v, _ := a.Split(); return v }
+
+// Offset returns the offset of the address within its VB.
+func (a Addr) Offset() uint64 { _, o := a.Split(); return o }
+
+// Line returns the 64-byte cache-line address containing a.
+func (a Addr) Line() Addr { return a &^ 63 }
+
+// Page returns the 4 KB page-aligned address containing a.
+func (a Addr) Page() Addr { return a &^ 4095 }
+
+func (a Addr) String() string {
+	v, o := a.Split()
+	return fmt.Sprintf("%v+%#x", v, o)
+}

@@ -1,0 +1,165 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeClassBytes(t *testing.T) {
+	want := map[SizeClass]uint64{
+		Size4KB:   4 << 10,
+		Size128KB: 128 << 10,
+		Size4MB:   4 << 20,
+		Size128MB: 128 << 20,
+		Size4GB:   4 << 30,
+		Size128GB: 128 << 30,
+		Size4TB:   4 << 40,
+		Size128TB: 128 << 40,
+	}
+	for c, w := range want {
+		if got := c.Bytes(); got != w {
+			t.Errorf("%v.Bytes() = %d, want %d", c, got, w)
+		}
+	}
+}
+
+func TestSizeClassGeometry(t *testing.T) {
+	// §4.1.1: the 4 KB class uses 12 offset bits leaving 49 VBID bits; the
+	// 128 TB class uses 47 offset bits leaving 14 VBID bits.
+	if got := Size4KB.OffsetBits(); got != 12 {
+		t.Errorf("4KB offset bits = %d, want 12", got)
+	}
+	if got := Size4KB.VBIDBits(); got != 49 {
+		t.Errorf("4KB VBID bits = %d, want 49", got)
+	}
+	if got := Size128TB.OffsetBits(); got != 47 {
+		t.Errorf("128TB offset bits = %d, want 47", got)
+	}
+	if got := Size128TB.VBIDBits(); got != 14 {
+		t.Errorf("128TB VBID bits = %d, want 14", got)
+	}
+	for c := Size4KB; c < NumSizeClasses; c++ {
+		if got := sizeIDBits + c.VBIDBits() + c.OffsetBits(); got != AddressBits {
+			t.Errorf("%v: field widths sum to %d, want %d", c, got, AddressBits)
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want SizeClass
+		ok   bool
+	}{
+		{1, Size4KB, true},
+		{4096, Size4KB, true},
+		{4097, Size128KB, true},
+		{128 << 10, Size128KB, true},
+		{1 << 30, Size4GB, true},
+		{128 << 40, Size128TB, true},
+		{128<<40 + 1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ClassFor(c.size)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ClassFor(%d) = %v,%v want %v,%v", c.size, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestVBUIDRoundTrip(t *testing.T) {
+	f := func(classRaw uint8, vbidRaw uint64) bool {
+		c := SizeClass(classRaw % NumSizeClasses)
+		vbid := vbidRaw & c.MaxVBID()
+		u := MakeVBUID(c, vbid)
+		return u.Class() == c && u.VBID() == vbid && u.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(classRaw uint8, vbidRaw, offRaw uint64) bool {
+		c := SizeClass(classRaw % NumSizeClasses)
+		vbid := vbidRaw & c.MaxVBID()
+		off := offRaw % c.Bytes()
+		u := MakeVBUID(c, vbid)
+		a := Make(u, off)
+		gu, goff := a.Split()
+		return gu == u && goff == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrNoOverlapAcrossVBs(t *testing.T) {
+	// Distinct VBs must never share a VBI address (the no-synonym property
+	// of §3.5). Sample random pairs.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		c1 := SizeClass(rng.Intn(NumSizeClasses))
+		c2 := SizeClass(rng.Intn(NumSizeClasses))
+		u1 := MakeVBUID(c1, rng.Uint64()&c1.MaxVBID())
+		u2 := MakeVBUID(c2, rng.Uint64()&c2.MaxVBID())
+		if u1 == u2 {
+			continue
+		}
+		a1 := Make(u1, rng.Uint64()%c1.Bytes())
+		a2 := Make(u2, rng.Uint64()%c2.Bytes())
+		if a1 == a2 {
+			t.Fatalf("address collision: %v and %v both map to %#x", u1, u2, uint64(a1))
+		}
+	}
+}
+
+func TestAddrBaseAndHelpers(t *testing.T) {
+	u := MakeVBUID(Size4MB, 7)
+	a := Make(u, 0x1234)
+	if a.VB() != u {
+		t.Errorf("VB() = %v, want %v", a.VB(), u)
+	}
+	if a.Offset() != 0x1234 {
+		t.Errorf("Offset() = %#x, want 0x1234", a.Offset())
+	}
+	if got := a.Line().Offset(); got != 0x1200 {
+		t.Errorf("Line() offset = %#x, want 0x1200", got)
+	}
+	if got := a.Page().Offset(); got != 0x1000 {
+		t.Errorf("Page() offset = %#x, want 0x1000", got)
+	}
+	if u.Base() != Make(u, 0) {
+		t.Errorf("Base() = %v, want %v", u.Base(), Make(u, 0))
+	}
+}
+
+func TestMakePanicsOnOversizedOffset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Make did not panic on out-of-range offset")
+		}
+	}()
+	Make(MakeVBUID(Size4KB, 1), 4096)
+}
+
+func TestInvalidVBUID(t *testing.T) {
+	u := MakeVBUID(Size128TB, 0) + VBUID(1)<<40 // VBID beyond 14 bits
+	if u.Valid() {
+		t.Errorf("expected %#x to be invalid", uint64(u))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	u := MakeVBUID(Size128KB, 3)
+	if got, want := u.String(), "VB{128KB #3}"; got != want {
+		t.Errorf("VBUID.String() = %q, want %q", got, want)
+	}
+	if got := Make(u, 16).String(); got != "VB{128KB #3}+0x10" {
+		t.Errorf("Addr.String() = %q", got)
+	}
+	if got := SizeClass(9).String(); got != "SizeClass(9)" {
+		t.Errorf("bad class String() = %q", got)
+	}
+}

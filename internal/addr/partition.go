@@ -1,0 +1,99 @@
+package addr
+
+import "fmt"
+
+// This file implements the two VBID-partitioning schemes of §6:
+// virtual-machine isolation (§6.1) and multi-node home-MTL routing (§6.2).
+// Both carve the high-order bits of the VBID, leaving the VBI address format
+// itself unchanged, so guests and remote nodes use ordinary VBI addresses.
+
+// VMIDBits is the number of VBID bits reserved for the virtual-machine ID in
+// systems that support virtualization (§6.1): 5 bits support 31 VMs plus the
+// host (VM ID 0 is reserved for the host OS).
+const VMIDBits = 5
+
+// MaxVMID is the largest virtual-machine ID (host is 0).
+const MaxVMID = 1<<VMIDBits - 1
+
+// VMPartition assigns each virtual machine a disjoint slice of every size
+// class's VBID space by pinning the top VMIDBits of the VBID.
+type VMPartition struct{}
+
+// VBIDRange returns the [lo, hi] inclusive VBID range owned by vm within
+// size class c. It returns ok=false if the class has too few VBID bits to
+// partition (never happens for the eight standard classes: the smallest VBID
+// width is 14 bits).
+func (VMPartition) VBIDRange(c SizeClass, vm uint32) (lo, hi uint64, ok bool) {
+	bits := c.VBIDBits()
+	if bits <= VMIDBits || vm > MaxVMID {
+		return 0, 0, false
+	}
+	span := uint64(1) << (bits - VMIDBits)
+	lo = uint64(vm) * span
+	return lo, lo + span - 1, true
+}
+
+// VMOf returns the virtual-machine ID that owns the VB.
+func (VMPartition) VMOf(u VBUID) uint32 {
+	c := u.Class()
+	return uint32(u.VBID() >> (c.VBIDBits() - VMIDBits))
+}
+
+// MakeVMVBUID builds the VBUID of the idx-th VB of class c owned by vm.
+// It panics when idx overflows the VM's slice of the class.
+func (p VMPartition) MakeVMVBUID(c SizeClass, vm uint32, idx uint64) VBUID {
+	lo, hi, ok := p.VBIDRange(c, vm)
+	if !ok || lo+idx > hi {
+		panic(fmt.Sprintf("addr: VM %d index %d overflows class %v", vm, idx, c))
+	}
+	return MakeVBUID(c, lo+idx)
+}
+
+// NodePartition routes each VB to its home MTL in a multi-node system
+// (§6.2): the high-order bits of the VBID name the home node.
+type NodePartition struct {
+	// Nodes is the node count; must be a power of two between 1 and 256.
+	Nodes int
+}
+
+// nodeBits returns log2(Nodes).
+func (p NodePartition) nodeBits() uint {
+	b := uint(0)
+	for 1<<b < p.Nodes {
+		b++
+	}
+	return b
+}
+
+// Valid reports whether the partition is well formed.
+func (p NodePartition) Valid() bool {
+	return p.Nodes >= 1 && p.Nodes <= 256 && p.Nodes&(p.Nodes-1) == 0
+}
+
+// HomeOf returns the home MTL node of the VB.
+func (p NodePartition) HomeOf(u VBUID) int {
+	if p.Nodes <= 1 {
+		return 0
+	}
+	c := u.Class()
+	return int(u.VBID() >> (c.VBIDBits() - p.nodeBits()))
+}
+
+// VBIDRange returns the [lo, hi] inclusive VBID range homed at node within
+// size class c.
+func (p NodePartition) VBIDRange(c SizeClass, node int) (lo, hi uint64, ok bool) {
+	if !p.Valid() || node < 0 || node >= p.Nodes {
+		return 0, 0, false
+	}
+	if p.Nodes == 1 {
+		return 0, c.MaxVBID(), true
+	}
+	bits := c.VBIDBits()
+	nb := p.nodeBits()
+	if bits <= nb {
+		return 0, 0, false
+	}
+	span := uint64(1) << (bits - nb)
+	lo = uint64(node) * span
+	return lo, lo + span - 1, true
+}

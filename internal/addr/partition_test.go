@@ -1,0 +1,122 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVMPartitionDisjointAndCovering(t *testing.T) {
+	var p VMPartition
+	for c := Size4KB; c < NumSizeClasses; c++ {
+		var prevHi uint64
+		for vm := uint32(0); vm <= MaxVMID; vm++ {
+			lo, hi, ok := p.VBIDRange(c, vm)
+			if !ok {
+				t.Fatalf("class %v vm %d: no range", c, vm)
+			}
+			if vm == 0 && lo != 0 {
+				t.Errorf("class %v: vm 0 range starts at %d, want 0", c, lo)
+			}
+			if vm > 0 && lo != prevHi+1 {
+				t.Errorf("class %v vm %d: range [%d,%d] not contiguous after %d", c, vm, lo, hi, prevHi)
+			}
+			prevHi = hi
+		}
+		if prevHi != c.MaxVBID() {
+			t.Errorf("class %v: partition ends at %d, want %d", c, prevHi, c.MaxVBID())
+		}
+	}
+}
+
+func TestVMPartitionOwnership(t *testing.T) {
+	var p VMPartition
+	f := func(classRaw uint8, vmRaw uint32, idx uint64) bool {
+		c := SizeClass(classRaw % NumSizeClasses)
+		vm := vmRaw % (MaxVMID + 1)
+		lo, hi, _ := p.VBIDRange(c, vm)
+		u := MakeVBUID(c, lo+idx%(hi-lo+1))
+		return p.VMOf(u) == vm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVMPartitionFigure5Example(t *testing.T) {
+	// Figure 5: for the 4 GB size class the VBID is 24 bits wide, 5 of which
+	// name the VM, leaving 24 bits of VBID and a 32-bit offset.
+	if got := Size4GB.VBIDBits(); got != 29 {
+		// Note: the paper's Figure 5 drawing shows 24 VBID bits *after* the
+		// VM ID, i.e. 29 total VBID bits for the class. Check that.
+		t.Fatalf("4GB VBID bits = %d, want 29 (24 + 5-bit VM ID)", got)
+	}
+	var p VMPartition
+	u := p.MakeVMVBUID(Size4GB, 3, 17)
+	if p.VMOf(u) != 3 {
+		t.Errorf("VMOf = %d, want 3", p.VMOf(u))
+	}
+	lo, hi, _ := p.VBIDRange(Size4GB, 3)
+	if hi-lo+1 != 1<<24 {
+		t.Errorf("per-VM span = %d, want 2^24", hi-lo+1)
+	}
+}
+
+func TestMakeVMVBUIDPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var p VMPartition
+	lo, hi, _ := p.VBIDRange(Size4GB, 1)
+	p.MakeVMVBUID(Size4GB, 1, hi-lo+1)
+}
+
+func TestNodePartition(t *testing.T) {
+	p := NodePartition{Nodes: 4}
+	if !p.Valid() {
+		t.Fatal("4-node partition should be valid")
+	}
+	for c := Size4KB; c < NumSizeClasses; c++ {
+		seen := map[int]bool{}
+		for n := 0; n < p.Nodes; n++ {
+			lo, hi, ok := p.VBIDRange(c, n)
+			if !ok {
+				t.Fatalf("class %v node %d: no range", c, n)
+			}
+			u := MakeVBUID(c, (lo+hi)/2)
+			if got := p.HomeOf(u); got != n {
+				t.Errorf("class %v: HomeOf(mid of node %d range) = %d", c, n, got)
+			}
+			seen[n] = true
+		}
+		if len(seen) != p.Nodes {
+			t.Errorf("class %v: only %d nodes covered", c, len(seen))
+		}
+	}
+}
+
+func TestNodePartitionSingleNode(t *testing.T) {
+	p := NodePartition{Nodes: 1}
+	if !p.Valid() {
+		t.Fatal("single-node partition should be valid")
+	}
+	if got := p.HomeOf(MakeVBUID(Size128TB, 12345)); got != 0 {
+		t.Errorf("HomeOf = %d, want 0", got)
+	}
+	lo, hi, ok := p.VBIDRange(Size4KB, 0)
+	if !ok || lo != 0 || hi != Size4KB.MaxVBID() {
+		t.Errorf("single-node range = [%d,%d],%v", lo, hi, ok)
+	}
+}
+
+func TestNodePartitionInvalid(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 512, -1} {
+		if (NodePartition{Nodes: n}).Valid() {
+			t.Errorf("Nodes=%d should be invalid", n)
+		}
+	}
+	if _, _, ok := (NodePartition{Nodes: 3}).VBIDRange(Size4KB, 0); ok {
+		t.Error("invalid partition returned a range")
+	}
+}

@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New("L1", 32<<10, 8)
+	c.Insert(0, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0, false)
+	}
+}
+
+func BenchmarkHierarchyL1Hit(b *testing.B) {
+	h := NewHierarchy(New("L1", 32<<10, 8), New("L2", 256<<10, 8), New("LLC", 8<<20, 16), DefaultLatencies)
+	h.Fill(0, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, false)
+	}
+}
+
+func BenchmarkHierarchyMissFill(b *testing.B) {
+	h := NewHierarchy(New("L1", 32<<10, 8), New("L2", 256<<10, 8), New("LLC", 8<<20, 16), DefaultLatencies)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i) * 64
+		h.Access(line, false)
+		h.Fill(line, false)
+	}
+}

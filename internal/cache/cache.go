@@ -1,0 +1,187 @@
+// Package cache models set-associative write-back, write-allocate caches and
+// the three-level on-chip hierarchy of Table 1. The caches are address-type
+// agnostic: they index by 64-byte line address, which may be a virtual,
+// VBI, intermediate or physical address depending on the system being
+// simulated (conventional systems index by physical address after
+// translation, while VBI/VIVT/Enigma systems index caches purely virtually,
+// §3.5).
+package cache
+
+import "fmt"
+
+// LineShift is log2 of the cache line size (64 B).
+const LineShift = 6
+
+// LineSize is the cache line size in bytes.
+const LineSize = 1 << LineShift
+
+// LineOf returns the line address (low 6 bits cleared) containing a.
+func LineOf(a uint64) uint64 { return a &^ (LineSize - 1) }
+
+type way struct {
+	tag   uint64 // full line address
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Stats holds per-cache event counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// Cache is one set-associative write-back cache level.
+type Cache struct {
+	Name string
+	// Stats accumulates hit/miss/eviction counts.
+	Stats Stats
+
+	sets     int
+	ways     int
+	setMask  uint64
+	lines    []way // sets*ways, row-major by set
+	tick     uint64
+	lineBase map[uint64]int // line address -> index in lines, for O(1) probe
+}
+
+// New builds a cache of sizeBytes capacity and the given associativity.
+// sizeBytes must be a multiple of ways*LineSize and the set count must be a
+// power of two; New panics otherwise (configuration error).
+func New(name string, sizeBytes, ways int) *Cache {
+	if ways <= 0 || sizeBytes%(ways*LineSize) != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	sets := sizeBytes / (ways * LineSize)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		Name:     name,
+		sets:     sets,
+		ways:     ways,
+		setMask:  uint64(sets - 1),
+		lines:    make([]way, sets*ways),
+		lineBase: make(map[uint64]int, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(line uint64) int {
+	return int((line >> LineShift) & c.setMask)
+}
+
+// Lookup probes for the line, updating LRU state and (for writes) the dirty
+// bit. It reports whether the line was present and does not allocate.
+func (c *Cache) Lookup(line uint64, write bool) bool {
+	if i, ok := c.lineBase[line]; ok {
+		c.tick++
+		c.lines[i].used = c.tick
+		if write {
+			c.lines[i].dirty = true
+		}
+		c.Stats.Hits++
+		return true
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Contains probes without perturbing LRU or statistics (for tests and
+// back-invalidation checks).
+func (c *Cache) Contains(line uint64) bool {
+	_, ok := c.lineBase[line]
+	return ok
+}
+
+// IsDirty reports whether the line is present and dirty, without
+// perturbing LRU or statistics.
+func (c *Cache) IsDirty(line uint64) bool {
+	i, ok := c.lineBase[line]
+	return ok && c.lines[i].dirty
+}
+
+// Victim describes a line evicted by Insert.
+type Victim struct {
+	Line  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Insert fills the line into its set, evicting the LRU way if the set is
+// full. The returned victim is Valid when a live line was displaced.
+func (c *Cache) Insert(line uint64, dirty bool) Victim {
+	if i, ok := c.lineBase[line]; ok {
+		// Already present (e.g. racing fill): just merge dirty state.
+		c.tick++
+		c.lines[i].used = c.tick
+		c.lines[i].dirty = c.lines[i].dirty || dirty
+		return Victim{}
+	}
+	set := c.setOf(line)
+	base := set * c.ways
+	victimIdx := base
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if !c.lines[i].valid {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if c.lines[i].used < oldest {
+			oldest = c.lines[i].used
+			victimIdx = i
+		}
+	}
+	var v Victim
+	w := &c.lines[victimIdx]
+	if w.valid {
+		v = Victim{Line: w.tag, Dirty: w.dirty, Valid: true}
+		delete(c.lineBase, w.tag)
+		c.Stats.Evictions++
+		if w.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	c.tick++
+	*w = way{tag: line, valid: true, dirty: dirty, used: c.tick}
+	c.lineBase[line] = victimIdx
+	return v
+}
+
+// Invalidate drops the line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
+	i, ok := c.lineBase[line]
+	if !ok {
+		return false, false
+	}
+	wasDirty = c.lines[i].dirty
+	c.lines[i] = way{}
+	delete(c.lineBase, line)
+	return true, wasDirty
+}
+
+// InvalidateIf drops every line for which pred returns true (used for the
+// lazy cache cleanup after disable_vb, §4.2.4) and returns the count.
+func (c *Cache) InvalidateIf(pred func(line uint64) bool) int {
+	var doomed []uint64
+	for line := range c.lineBase {
+		if pred(line) {
+			doomed = append(doomed, line)
+		}
+	}
+	for _, line := range doomed {
+		c.Invalidate(line)
+	}
+	return len(doomed)
+}
+
+// OccupiedLines returns the number of valid lines (for tests).
+func (c *Cache) OccupiedLines() int { return len(c.lineBase) }

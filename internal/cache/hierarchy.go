@@ -1,0 +1,188 @@
+package cache
+
+// Latencies holds the cumulative hit latencies of the hierarchy (cycles).
+// Table 1: L1 4 cycles, L2 8 cycles, L3 31 cycles; we interpret each as the
+// additional lookup latency of that level along the miss path.
+type Latencies struct {
+	L1  uint64 // L1 hit latency
+	L2  uint64 // additional L2 lookup latency
+	LLC uint64 // additional LLC lookup latency
+}
+
+// DefaultLatencies mirrors Table 1.
+var DefaultLatencies = Latencies{L1: 4, L2: 8, LLC: 31}
+
+// L1Hit returns the total latency of an L1 hit.
+func (l Latencies) L1Hit() uint64 { return l.L1 }
+
+// L2Hit returns the total latency of an L2 hit.
+func (l Latencies) L2Hit() uint64 { return l.L1 + l.L2 }
+
+// LLCHit returns the total latency of an LLC hit.
+func (l Latencies) LLCHit() uint64 { return l.L1 + l.L2 + l.LLC }
+
+// AccessResult describes one access walked through the hierarchy.
+type AccessResult struct {
+	// Latency is the on-chip portion of the access latency in cycles (the
+	// caller adds memory latency when MissedLLC is set).
+	Latency uint64
+	// MissedLLC is set when the access needs data from main memory.
+	MissedLLC bool
+	// HitLevel is 1, 2 or 3 for cache hits, 0 for misses to memory.
+	HitLevel int
+	// Writebacks lists dirty lines pushed out of the LLC to memory by the
+	// fills this access performed.
+	Writebacks []uint64
+}
+
+// Hierarchy glues per-core L1/L2 caches to a (possibly shared) LLC. Fills
+// are mostly-inclusive: a fill inserts at every level. LLC evictions
+// back-invalidate the upper levels so that a dirty line is written back to
+// memory exactly once, which the VBI delayed-allocation mechanism (§5.1)
+// relies on to trigger physical allocation.
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache
+	LLC *Cache
+	Lat Latencies
+
+	// upper holds every L1/L2 that may hold lines of this LLC (all cores'
+	// private caches in a multi-core system) for back-invalidation. It is
+	// shared by pointer across the per-core Hierarchy views.
+	upper *upperSet
+}
+
+type upperSet struct {
+	caches []*Cache
+}
+
+// NewHierarchy builds a single-core hierarchy with its own LLC slice.
+func NewHierarchy(l1, l2, llc *Cache, lat Latencies) *Hierarchy {
+	return &Hierarchy{L1: l1, L2: l2, LLC: llc, Lat: lat,
+		upper: &upperSet{caches: []*Cache{l1, l2}}}
+}
+
+// ShareLLC registers another core's private caches with this hierarchy's
+// LLC for back-invalidation, and returns a Hierarchy view for that core.
+func (h *Hierarchy) ShareLLC(l1, l2 *Cache) *Hierarchy {
+	h.upper.caches = append(h.upper.caches, l1, l2)
+	return &Hierarchy{L1: l1, L2: l2, LLC: h.LLC, Lat: h.Lat, upper: h.upper}
+}
+
+// Access performs a demand load or store of the line through the hierarchy.
+// On an LLC miss the caller is responsible for the memory access and must
+// then call Fill to install the line.
+func (h *Hierarchy) Access(line uint64, write bool) AccessResult {
+	line = LineOf(line)
+	if h.L1.Lookup(line, write) {
+		return AccessResult{Latency: h.Lat.L1Hit(), HitLevel: 1}
+	}
+	if h.L2.Lookup(line, write) {
+		res := AccessResult{Latency: h.Lat.L2Hit(), HitLevel: 2}
+		res.Writebacks = h.fillL1(line, write, res.Writebacks)
+		return res
+	}
+	if h.LLC.Lookup(line, write) {
+		res := AccessResult{Latency: h.Lat.LLCHit(), HitLevel: 3}
+		res.Writebacks = h.fillUpper(line, write, res.Writebacks)
+		return res
+	}
+	return AccessResult{Latency: h.Lat.LLCHit(), MissedLLC: true}
+}
+
+// Fill installs a line fetched from memory into all levels and returns any
+// dirty LLC writebacks caused by the fills.
+func (h *Hierarchy) Fill(line uint64, write bool) []uint64 {
+	line = LineOf(line)
+	var wbs []uint64
+	if v := h.LLC.Insert(line, false); v.Valid {
+		wbs = h.evictFromLLC(v, wbs)
+	}
+	if write {
+		h.LLC.Lookup(line, true) // record dirty state at the LLC too
+	}
+	wbs = h.fillUpper(line, write, wbs)
+	return wbs
+}
+
+// WalkerAccess performs a page-table-walker access: it probes L2 and LLC
+// (walker accesses do not consult or pollute the L1 data cache) and
+// allocates the line on a miss. The boolean result reports whether main
+// memory must be accessed.
+func (h *Hierarchy) WalkerAccess(line uint64) (latency uint64, missed bool, writebacks []uint64) {
+	line = LineOf(line)
+	if h.L2.Lookup(line, false) {
+		return h.Lat.L2Hit(), false, nil
+	}
+	if h.LLC.Lookup(line, false) {
+		return h.Lat.LLCHit(), false, nil
+	}
+	// Miss: fill into LLC and L2.
+	var wbs []uint64
+	if v := h.LLC.Insert(line, false); v.Valid {
+		wbs = h.evictFromLLC(v, wbs)
+	}
+	if v := h.L2.Insert(line, false); v.Valid && v.Dirty {
+		if inner := h.LLC.Insert(v.Line, true); inner.Valid {
+			wbs = h.evictFromLLC(inner, wbs)
+		}
+	}
+	return h.Lat.LLCHit(), true, wbs
+}
+
+// fillL1 inserts into L1 only (after an L2 hit), cascading dirty evictions.
+func (h *Hierarchy) fillL1(line uint64, write bool, wbs []uint64) []uint64 {
+	if v := h.L1.Insert(line, write); v.Valid && v.Dirty {
+		// Dirty L1 victim merges into L2; L2 should contain it
+		// (mostly-inclusive), but insert if not.
+		if !h.L2.Lookup(v.Line, true) {
+			if iv := h.L2.Insert(v.Line, true); iv.Valid && iv.Dirty {
+				wbs = h.spillToLLC(iv.Line, wbs)
+			}
+		}
+	}
+	return wbs
+}
+
+// fillUpper inserts into both private levels (after LLC hit or fill).
+func (h *Hierarchy) fillUpper(line uint64, write bool, wbs []uint64) []uint64 {
+	if v := h.L2.Insert(line, false); v.Valid && v.Dirty {
+		wbs = h.spillToLLC(v.Line, wbs)
+	}
+	return h.fillL1(line, write, wbs)
+}
+
+func (h *Hierarchy) spillToLLC(line uint64, wbs []uint64) []uint64 {
+	if h.LLC.Lookup(line, true) {
+		return wbs
+	}
+	if v := h.LLC.Insert(line, true); v.Valid {
+		wbs = h.evictFromLLC(v, wbs)
+	}
+	return wbs
+}
+
+// evictFromLLC handles an LLC victim: back-invalidate upper levels (pulling
+// in any dirtier copy) and emit a writeback if the line was dirty anywhere.
+func (h *Hierarchy) evictFromLLC(v Victim, wbs []uint64) []uint64 {
+	dirty := v.Dirty
+	for _, c := range h.upper.caches {
+		if present, wasDirty := c.Invalidate(v.Line); present && wasDirty {
+			dirty = true
+		}
+	}
+	if dirty {
+		wbs = append(wbs, v.Line)
+	}
+	return wbs
+}
+
+// InvalidateIf drops matching lines from every level (lazy VB cleanup,
+// §4.2.4). Dirty lines are discarded: disable_vb destroys VB state.
+func (h *Hierarchy) InvalidateIf(pred func(line uint64) bool) int {
+	n := h.LLC.InvalidateIf(pred)
+	for _, c := range h.upper.caches {
+		n += c.InvalidateIf(pred)
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+)
+
+func BenchmarkCVTAccess(b *testing.B) {
+	m := mtl.NewSimple(mtl.Config{}, 64<<20)
+	s := NewSystem(m)
+	s.RegisterClient(1)
+	c := NewCore(s)
+	c.SwitchClient(1)
+	u := addr.MakeVBUID(addr.Size4MB, 1)
+	s.EnableVB(u, 0)
+	idx, _ := s.Attach(1, u, PermRW)
+	v := VAddr{Index: idx, Offset: 64}
+	c.Access(v, PermR)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Access(v, PermR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

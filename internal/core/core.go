@@ -1,0 +1,406 @@
+// Package core implements the CPU-side architectural layer of the Virtual
+// Block Interface: memory clients (§4.1.2), the per-client Client–VB Tables
+// (CVTs) holding access permissions, the per-core direct-mapped CVT cache
+// (§4.3), the new instructions (attach, detach, enable_vb, disable_vb,
+// clone_vb, promote_vb), and the two-part {CVT index, offset} virtual
+// addresses programs use (§4.2.2), including CVT-relative addressing for
+// shared libraries (§4.4).
+//
+// VBI decouples protection from translation: the CPU checks permissions
+// against the CVT before every access and forms a globally-unique VBI
+// address that indexes the on-chip caches directly; translation is deferred
+// to the MTL at the memory controller (§3.2, §3.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+	"vbi/internal/phys"
+	"vbi/internal/prop"
+	"vbi/internal/tlb"
+)
+
+// ClientID identifies a memory client system-wide. The reference
+// implementation uses 16-bit client IDs, supporting 2^16 clients (§4.1.2).
+type ClientID uint16
+
+// MaxClients is the number of client IDs (an architectural parameter
+// exposed to the OS, §4.1.2).
+const MaxClients = 1 << 16
+
+// KernelClient is the client ID of the OS itself.
+const KernelClient ClientID = 0
+
+// Perm is the three-bit read-write-execute permission field of a CVT entry.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermX Perm = 1 << iota
+	PermW
+	PermR
+
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'R'
+	}
+	if p&PermW != 0 {
+		b[1] = 'W'
+	}
+	if p&PermX != 0 {
+		b[2] = 'X'
+	}
+	return string(b)
+}
+
+// CVTEntry is one row of a Client–VB Table: a valid bit, the VBUID, and the
+// RWX permissions with which the client may access that VB (§4.1.2).
+type CVTEntry struct {
+	Valid bool
+	VB    addr.VBUID
+	Perm  Perm
+}
+
+// cvtEntryBase is the reserved physical region holding the CVTs; the
+// processor maintains each client's CVT location there (§4.1.2). Entries
+// are 64 bytes apart so distinct indices never share a line.
+const cvtEntryBase = uint64(1) << 44
+
+// CVTEntryAddr returns the physical address of a CVT entry, which the
+// timing model charges on a CVT-cache miss.
+func CVTEntryAddr(c ClientID, index int) phys.Addr {
+	return phys.Addr(cvtEntryBase | uint64(c)<<26 | uint64(index)*64)
+}
+
+// Access faults, modelled as errors.
+var (
+	ErrBadIndex      = errors.New("vbi: CVT index out of range")
+	ErrInvalidEntry  = errors.New("vbi: invalid CVT entry")
+	ErrNoPermission  = errors.New("vbi: access permission violation")
+	ErrOutOfBounds   = errors.New("vbi: offset beyond VB size")
+	ErrUnknownClient = errors.New("vbi: unknown client")
+)
+
+// System is the architectural VBI state shared by all cores: the MTL and
+// the per-client CVTs.
+type System struct {
+	MTL  *mtl.MTL
+	cvts map[ClientID][]CVTEntry
+}
+
+// NewSystem wires the architectural layer over an MTL.
+func NewSystem(m *mtl.MTL) *System {
+	return &System{MTL: m, cvts: make(map[ClientID][]CVTEntry)}
+}
+
+// RegisterClient makes a client ID usable (process creation assigns one,
+// §4.4).
+func (s *System) RegisterClient(c ClientID) {
+	if _, ok := s.cvts[c]; !ok {
+		s.cvts[c] = nil
+	}
+}
+
+// ReleaseClient frees a client ID for reuse (process destruction). The
+// caller must have detached all VBs first.
+func (s *System) ReleaseClient(c ClientID) {
+	delete(s.cvts, c)
+}
+
+// CVT returns a copy of the client's table (for the OS and tests).
+func (s *System) CVT(c ClientID) ([]CVTEntry, error) {
+	t, ok := s.cvts[c]
+	if !ok {
+		return nil, ErrUnknownClient
+	}
+	out := make([]CVTEntry, len(t))
+	copy(out, t)
+	return out, nil
+}
+
+// EnableVB executes the enable_vb instruction (§4.2).
+func (s *System) EnableVB(u addr.VBUID, p prop.Props) error {
+	return s.MTL.Enable(u, p)
+}
+
+// DisableVB executes disable_vb (§4.2.4). Lazy cache cleanup is the
+// simulator layer's duty (it invalidates the VB's lines on reuse).
+func (s *System) DisableVB(u addr.VBUID) error {
+	return s.MTL.Disable(u)
+}
+
+// Attach executes the attach instruction: it adds an entry for the VB in
+// the client's CVT with the given permissions (reusing an invalid slot or
+// appending), increments the VB's reference count, and returns the CVT
+// index (§4.1.2).
+func (s *System) Attach(c ClientID, u addr.VBUID, p Perm) (int, error) {
+	t, ok := s.cvts[c]
+	if !ok {
+		return 0, ErrUnknownClient
+	}
+	if !s.MTL.Enabled(u) {
+		return 0, fmt.Errorf("vbi: attach of disabled %v", u)
+	}
+	if err := s.MTL.IncRef(u); err != nil {
+		return 0, err
+	}
+	for i := range t {
+		if !t[i].Valid {
+			t[i] = CVTEntry{Valid: true, VB: u, Perm: p}
+			return i, nil
+		}
+	}
+	s.cvts[c] = append(t, CVTEntry{Valid: true, VB: u, Perm: p})
+	return len(s.cvts[c]) - 1, nil
+}
+
+// AttachAt places the entry at a specific index, growing the table as
+// needed. The OS uses it during fork to give child VBs the same CVT
+// indices as the parent (keeping pointers valid, §4.4) and to place shared-
+// library static data exactly one index after the library code.
+func (s *System) AttachAt(c ClientID, index int, u addr.VBUID, p Perm) error {
+	t, ok := s.cvts[c]
+	if !ok {
+		return ErrUnknownClient
+	}
+	if !s.MTL.Enabled(u) {
+		return fmt.Errorf("vbi: attach of disabled %v", u)
+	}
+	if index < 0 {
+		return ErrBadIndex
+	}
+	for len(t) <= index {
+		t = append(t, CVTEntry{})
+	}
+	if t[index].Valid {
+		return fmt.Errorf("vbi: CVT index %d already in use", index)
+	}
+	if err := s.MTL.IncRef(u); err != nil {
+		return err
+	}
+	t[index] = CVTEntry{Valid: true, VB: u, Perm: p}
+	s.cvts[c] = t
+	return nil
+}
+
+// Detach executes the detach instruction: it invalidates the client's CVT
+// entry for the VB and decrements the VB's reference count, returning the
+// new count so the OS can disable the VB at zero (§4.2.4).
+func (s *System) Detach(c ClientID, u addr.VBUID) (int, error) {
+	t, ok := s.cvts[c]
+	if !ok {
+		return 0, ErrUnknownClient
+	}
+	for i := range t {
+		if t[i].Valid && t[i].VB == u {
+			t[i].Valid = false
+			return s.MTL.DecRef(u)
+		}
+	}
+	return 0, fmt.Errorf("vbi: %v not attached to client %d", u, c)
+}
+
+// DetachIndex detaches by CVT index.
+func (s *System) DetachIndex(c ClientID, index int) (int, error) {
+	t, ok := s.cvts[c]
+	if !ok {
+		return 0, ErrUnknownClient
+	}
+	if index < 0 || index >= len(t) || !t[index].Valid {
+		return 0, ErrInvalidEntry
+	}
+	u := t[index].VB
+	t[index].Valid = false
+	return s.MTL.DecRef(u)
+}
+
+// ReplaceVB swaps the VB a CVT entry points to, preserving the index.
+// promote_vb and VB migration rely on this to keep program pointers valid
+// (§4.2.2, §4.4).
+func (s *System) ReplaceVB(c ClientID, index int, u addr.VBUID) error {
+	t, ok := s.cvts[c]
+	if !ok {
+		return ErrUnknownClient
+	}
+	if index < 0 || index >= len(t) || !t[index].Valid {
+		return ErrInvalidEntry
+	}
+	if !s.MTL.Enabled(u) {
+		return fmt.Errorf("vbi: replace with disabled %v", u)
+	}
+	if err := s.MTL.IncRef(u); err != nil {
+		return err
+	}
+	if _, err := s.MTL.DecRef(t[index].VB); err != nil {
+		return err
+	}
+	t[index].VB = u
+	return nil
+}
+
+// CloneVB executes clone_vb (§4.4).
+func (s *System) CloneVB(src, dst addr.VBUID) error {
+	return s.MTL.Clone(src, dst)
+}
+
+// PromoteVB executes promote_vb (§4.4). The caller must flush the small
+// VB's dirty cache lines first (the simulator layer owns the caches).
+func (s *System) PromoteVB(small, large addr.VBUID) error {
+	return s.MTL.Promote(small, large)
+}
+
+// entry fetches a CVT entry for the access path.
+func (s *System) entry(c ClientID, index int) (CVTEntry, error) {
+	t, ok := s.cvts[c]
+	if !ok {
+		return CVTEntry{}, ErrUnknownClient
+	}
+	if index < 0 || index >= len(t) {
+		return CVTEntry{}, ErrBadIndex
+	}
+	if !t[index].Valid {
+		return CVTEntry{}, ErrInvalidEntry
+	}
+	return t[index], nil
+}
+
+// VAddr is the two-part virtual address a process generates: the CVT index
+// of the VB and the offset within it (§4.2.2). Indirecting through the CVT
+// index (instead of using VBI addresses directly) keeps pointers valid when
+// a VB is migrated, cloned or promoted: only the CVT entry changes.
+type VAddr struct {
+	Index  int
+	Offset uint64
+}
+
+// Rel applies CVT-relative addressing (§4.4): a reference in the VB at
+// Index addressing data delta entries later (shared-library static data
+// uses +1).
+func (v VAddr) Rel(delta int) VAddr {
+	return VAddr{Index: v.Index + delta, Offset: v.Offset}
+}
+
+// AccessEvent reports the timing-relevant outcome of the CVT check.
+type AccessEvent struct {
+	// CVTCacheHit is set when the per-core CVT cache held the entry; a
+	// near-100% hit rate is expected (§4.3).
+	CVTCacheHit bool
+	// CVTMemAccess is the physical address of the CVT entry fetched from
+	// the memory hierarchy on a cache miss (phys.NoAddr when none).
+	CVTMemAccess phys.Addr
+	// VBI is the generated VBI address (VBUID concatenated with offset).
+	VBI addr.Addr
+}
+
+// Core models one hardware context: the client ID of the running process
+// (the processor tags each core with it, §4.1.2) and the core's private
+// CVT cache — 64-entry direct-mapped, which is faster and more efficient
+// than the large set-associative TLBs of conventional processors (§4.3).
+type Core struct {
+	sys      *System
+	client   ClientID
+	cvtCache *tlb.TLB
+	Stats    CoreStats
+}
+
+// CoreStats counts CVT-check events.
+type CoreStats struct {
+	Accesses       uint64
+	CVTCacheHits   uint64
+	CVTCacheMisses uint64
+	Faults         uint64
+}
+
+// NewCore builds a core bound to the system.
+func NewCore(s *System) *Core {
+	return &Core{sys: s, cvtCache: tlb.New("CVTcache", 64, 1)}
+}
+
+// SwitchClient installs the running process's client ID (context switch).
+// The CVT cache is flushed: its entries are per-client.
+func (c *Core) SwitchClient(id ClientID) {
+	if c.client != id {
+		c.cvtCache.InvalidateAll()
+	}
+	c.client = id
+}
+
+// Client returns the currently-running client.
+func (c *Core) Client() ClientID { return c.client }
+
+// Access performs the CVT permission check of a memory operation (§4.2.3):
+// it verifies the index is in range, fetches the CVT entry (through the CVT
+// cache), checks the RWX permission and the offset bound, and constructs
+// the VBI address used to index the on-chip caches. Failures model CPU
+// exceptions.
+func (c *Core) Access(v VAddr, want Perm) (AccessEvent, error) {
+	c.Stats.Accesses++
+	ev := AccessEvent{CVTMemAccess: phys.NoAddr}
+	e, err := c.sys.entry(c.client, v.Index)
+	if err != nil {
+		c.Stats.Faults++
+		return ev, err
+	}
+	// CVT cache: direct-mapped on the index (low 6 bits).
+	key := uint64(v.Index)
+	if cached, ok := c.cvtCache.Lookup(key); ok && cached == cvtCacheVal(e) {
+		ev.CVTCacheHit = true
+		c.Stats.CVTCacheHits++
+	} else {
+		c.Stats.CVTCacheMisses++
+		ev.CVTMemAccess = CVTEntryAddr(c.client, v.Index)
+		c.cvtCache.Insert(key, cvtCacheVal(e))
+	}
+	if e.Perm&want != want {
+		c.Stats.Faults++
+		return ev, fmt.Errorf("%w: have %v, want %v", ErrNoPermission, e.Perm, want)
+	}
+	if v.Offset >= e.VB.Size() {
+		c.Stats.Faults++
+		return ev, fmt.Errorf("%w: offset %#x in %v", ErrOutOfBounds, v.Offset, e.VB)
+	}
+	ev.VBI = addr.Make(e.VB, v.Offset)
+	return ev, nil
+}
+
+// cvtCacheVal encodes the entry so stale cached entries (after ReplaceVB or
+// detach+attach) are detected and refreshed.
+func cvtCacheVal(e CVTEntry) uint64 {
+	return uint64(e.VB) ^ uint64(e.Perm)<<1
+}
+
+// Load performs a functional read through the CVT check and the MTL.
+func (c *Core) Load(v VAddr, buf []byte) error {
+	ev, err := c.Access(v, PermR)
+	if err != nil {
+		return err
+	}
+	return c.sys.MTL.Load(ev.VBI, buf)
+}
+
+// Store performs a functional write through the CVT check and the MTL.
+func (c *Core) Store(v VAddr, data []byte) error {
+	ev, err := c.Access(v, PermW)
+	if err != nil {
+		return err
+	}
+	return c.sys.MTL.Store(ev.VBI, data)
+}
+
+// Fetch performs a functional instruction fetch (execute permission).
+func (c *Core) Fetch(v VAddr, buf []byte) error {
+	ev, err := c.Access(v, PermX)
+	if err != nil {
+		return err
+	}
+	return c.sys.MTL.Load(ev.VBI, buf)
+}

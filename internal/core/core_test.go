@@ -1,0 +1,335 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+	"vbi/internal/phys"
+)
+
+func newTestSystem(t *testing.T) (*System, *Core) {
+	t.Helper()
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true}, 64<<20)
+	s := NewSystem(m)
+	s.RegisterClient(1)
+	c := NewCore(s)
+	c.SwitchClient(1)
+	return s, c
+}
+
+func enableVB(t *testing.T, s *System, class addr.SizeClass, vbid uint64) addr.VBUID {
+	t.Helper()
+	u := addr.MakeVBUID(class, vbid)
+	if err := s.EnableVB(u, 0); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestAttachDetachRefCount(t *testing.T) {
+	s, _ := newTestSystem(t)
+	u := enableVB(t, s, addr.Size128KB, 1)
+	idx, err := s.Attach(1, u, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MTL.RefCount(u) != 1 {
+		t.Fatalf("refcount = %d", s.MTL.RefCount(u))
+	}
+	s.RegisterClient(2)
+	if _, err := s.Attach(2, u, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if s.MTL.RefCount(u) != 2 {
+		t.Fatalf("refcount = %d", s.MTL.RefCount(u))
+	}
+	if n, err := s.Detach(1, u); err != nil || n != 1 {
+		t.Fatalf("detach = %d, %v", n, err)
+	}
+	if n, err := s.Detach(2, u); err != nil || n != 0 {
+		t.Fatalf("detach = %d, %v", n, err)
+	}
+	_ = idx
+}
+
+func TestAttachReusesInvalidSlots(t *testing.T) {
+	s, _ := newTestSystem(t)
+	u1 := enableVB(t, s, addr.Size4KB, 1)
+	u2 := enableVB(t, s, addr.Size4KB, 2)
+	u3 := enableVB(t, s, addr.Size4KB, 3)
+	i1, _ := s.Attach(1, u1, PermR)
+	i2, _ := s.Attach(1, u2, PermR)
+	s.Detach(1, u1)
+	i3, _ := s.Attach(1, u3, PermR)
+	if i3 != i1 {
+		t.Fatalf("attach did not reuse slot %d, got %d", i1, i3)
+	}
+	if i2 == i3 {
+		t.Fatal("slot collision")
+	}
+}
+
+func TestAttachDisabledVB(t *testing.T) {
+	s, _ := newTestSystem(t)
+	if _, err := s.Attach(1, addr.MakeVBUID(addr.Size4KB, 9), PermR); err == nil {
+		t.Fatal("attach of disabled VB accepted")
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size128KB, 1)
+	idx, _ := s.Attach(1, u, PermR) // read-only
+
+	if _, err := c.Access(VAddr{idx, 0}, PermR); err != nil {
+		t.Fatalf("read denied: %v", err)
+	}
+	_, err := c.Access(VAddr{idx, 0}, PermW)
+	if !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("write allowed on read-only VB: %v", err)
+	}
+	_, err = c.Access(VAddr{idx, 0}, PermX)
+	if !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("execute allowed on read-only VB: %v", err)
+	}
+}
+
+func TestBoundsCheck(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size4KB, 1)
+	idx, _ := s.Attach(1, u, PermRWX)
+	if _, err := c.Access(VAddr{idx, 4095}, PermR); err != nil {
+		t.Fatalf("in-bounds access denied: %v", err)
+	}
+	_, err := c.Access(VAddr{idx, 4096}, PermR)
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds access: %v", err)
+	}
+}
+
+func TestBadIndexFaults(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size4KB, 1)
+	idx, _ := s.Attach(1, u, PermR)
+	if _, err := c.Access(VAddr{idx + 5, 0}, PermR); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("bad index: %v", err)
+	}
+	s.Detach(1, u)
+	if _, err := c.Access(VAddr{idx, 0}, PermR); !errors.Is(err, ErrInvalidEntry) {
+		t.Fatalf("detached entry access: %v", err)
+	}
+}
+
+func TestVBIAddressGeneration(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size4MB, 7)
+	idx, _ := s.Attach(1, u, PermR)
+	ev, err := c.Access(VAddr{idx, 0x1234}, PermR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.VBI != addr.Make(u, 0x1234) {
+		t.Fatalf("VBI = %v, want %v", ev.VBI, addr.Make(u, 0x1234))
+	}
+}
+
+func TestCVTCacheBehaviour(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size128KB, 1)
+	idx, _ := s.Attach(1, u, PermRW)
+	ev, _ := c.Access(VAddr{idx, 0}, PermR)
+	if ev.CVTCacheHit {
+		t.Fatal("cold access hit the CVT cache")
+	}
+	if ev.CVTMemAccess == phys.NoAddr {
+		t.Fatal("cold access did not fetch the CVT entry")
+	}
+	ev, _ = c.Access(VAddr{idx, 64}, PermR)
+	if !ev.CVTCacheHit {
+		t.Fatal("warm access missed the CVT cache")
+	}
+	// §4.3: with ≤ 48 VBs per program a 64-entry direct-mapped cache gives
+	// a near-100% hit rate.
+	for i := uint64(2); i < 48; i++ {
+		v := enableVB(t, s, addr.Size128KB, i)
+		s.Attach(1, v, PermRW)
+	}
+	c.Stats = CoreStats{}
+	cvt, _ := s.CVT(1)
+	for pass := 0; pass < 10; pass++ {
+		for i := range cvt {
+			if _, err := c.Access(VAddr{i, 0}, PermR); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hitRate := float64(c.Stats.CVTCacheHits) / float64(c.Stats.Accesses)
+	if hitRate < 0.89 { // 47/470 misses are compulsory
+		t.Fatalf("CVT cache hit rate = %.2f", hitRate)
+	}
+}
+
+func TestCVTCacheInvalidatedOnClientSwitch(t *testing.T) {
+	s, c := newTestSystem(t)
+	s.RegisterClient(2)
+	u := enableVB(t, s, addr.Size128KB, 1)
+	i1, _ := s.Attach(1, u, PermRW)
+	i2, _ := s.Attach(2, u, PermR)
+	if i1 != i2 {
+		t.Fatalf("indices differ: %d vs %d", i1, i2)
+	}
+	c.Access(VAddr{i1, 0}, PermW) // warm cache as client 1
+	c.SwitchClient(2)
+	// Client 2 only has read permission; a stale cached entry from client
+	// 1 must not let the write through.
+	if _, err := c.Access(VAddr{i2, 0}, PermW); !errors.Is(err, ErrNoPermission) {
+		t.Fatalf("stale CVT cache let a write through: %v", err)
+	}
+}
+
+func TestReplaceVBKeepsPointersValid(t *testing.T) {
+	s, c := newTestSystem(t)
+	old := enableVB(t, s, addr.Size128KB, 1)
+	idx, _ := s.Attach(1, old, PermRW)
+	if err := c.Store(VAddr{idx, 100}, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Promote to a 4 MB VB; the program's {index, offset} pointers are
+	// untouched (§4.2.2).
+	big := enableVB(t, s, addr.Size4MB, 1)
+	if err := s.PromoteVB(old, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceVB(1, idx, big); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if err := c.Load(VAddr{idx, 100}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "before" {
+		t.Fatalf("data after promotion = %q", got)
+	}
+	// And the program can now use the grown portion.
+	if err := c.Store(VAddr{idx, 2 << 20}, []byte("grown")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCVTRelativeAddressing(t *testing.T) {
+	s, c := newTestSystem(t)
+	code := enableVB(t, s, addr.Size128KB, 1)
+	data := enableVB(t, s, addr.Size128KB, 2)
+	ci, _ := s.Attach(1, code, PermRX)
+	if err := s.AttachAt(1, ci+1, data, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// §4.4: shared-library references to static data use +1 CVT-relative
+	// addressing.
+	ref := VAddr{Index: ci, Offset: 0x40}
+	if err := c.Store(ref.Rel(1), []byte("static")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if err := c.Load(VAddr{ci + 1, 0x40}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "static" {
+		t.Fatalf("static data = %q", got)
+	}
+}
+
+func TestTrueSharing(t *testing.T) {
+	// §3.4: two clients attached to the same VB have a coherent view.
+	s, c1 := newTestSystem(t)
+	s.RegisterClient(2)
+	c2 := NewCore(s)
+	c2.SwitchClient(2)
+	u := enableVB(t, s, addr.Size128KB, 1)
+	i1, _ := s.Attach(1, u, PermRW)
+	i2, _ := s.Attach(2, u, PermRW)
+
+	if err := c1.Store(VAddr{i1, 0}, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := c2.Load(VAddr{i2, 0}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("client 2 reads %q", got)
+	}
+	c2.Store(VAddr{i2, 0}, []byte("pong"))
+	c1.Load(VAddr{i1, 0}, got)
+	if string(got) != "pong" {
+		t.Fatalf("client 1 reads %q", got)
+	}
+}
+
+func TestFunctionalLoadStoreFetch(t *testing.T) {
+	s, c := newTestSystem(t)
+	code := enableVB(t, s, addr.Size4KB, 1)
+	idx, _ := s.Attach(1, code, PermRWX)
+	prog := []byte{0x90, 0x90, 0xC3}
+	if err := c.Store(VAddr{idx, 0}, prog); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := c.Fetch(VAddr{idx, 0}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, prog) {
+		t.Fatalf("fetch = %v", got)
+	}
+}
+
+func TestAttachAtConflict(t *testing.T) {
+	s, _ := newTestSystem(t)
+	u := enableVB(t, s, addr.Size4KB, 1)
+	v := enableVB(t, s, addr.Size4KB, 2)
+	if err := s.AttachAt(1, 3, u, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachAt(1, 3, v, PermR); err == nil {
+		t.Fatal("AttachAt onto live entry accepted")
+	}
+	if err := s.AttachAt(1, -1, v, PermR); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestReleaseClient(t *testing.T) {
+	s, c := newTestSystem(t)
+	u := enableVB(t, s, addr.Size4KB, 1)
+	idx, _ := s.Attach(1, u, PermR)
+	s.Detach(1, u)
+	s.ReleaseClient(1)
+	if _, err := c.Access(VAddr{idx, 0}, PermR); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("access after release: %v", err)
+	}
+	if _, err := s.Attach(1, u, PermR); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("attach after release: %v", err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRWX.String() != "RWX" || PermR.String() != "R--" || Perm(0).String() != "---" {
+		t.Fatal("Perm.String broken")
+	}
+}
+
+func TestCVTEntryAddrDistinct(t *testing.T) {
+	seen := map[phys.Addr]bool{}
+	for c := ClientID(0); c < 4; c++ {
+		for i := 0; i < 100; i++ {
+			a := CVTEntryAddr(c, i)
+			if seen[a] {
+				t.Fatalf("CVT entry address collision at %v", a)
+			}
+			seen[a] = true
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// This file implements the client-ID half of §6.1: just as the VBI address
+// space is partitioned among virtual machines by pinning the top VBID bits
+// (addr.VMPartition), the 16-bit client-ID space is partitioned so each
+// guest OS assigns client IDs to its processes without coordinating with
+// the host.
+
+// VMClientBits is the number of client-ID bits naming the virtual machine
+// (matching addr.VMIDBits: 31 VMs plus the host).
+const VMClientBits = 5
+
+// MaxVMClients is the number of client IDs available to each VM.
+const MaxVMClients = MaxClients >> VMClientBits
+
+// VMClientPartition carves the client-ID space per virtual machine.
+type VMClientPartition struct{}
+
+// Range returns the inclusive client-ID range owned by vm (vm 0 is the
+// host).
+func (VMClientPartition) Range(vm uint32) (lo, hi ClientID, err error) {
+	if vm >= 1<<VMClientBits {
+		return 0, 0, fmt.Errorf("vbi: VM %d out of range", vm)
+	}
+	lo = ClientID(vm) << (16 - VMClientBits)
+	return lo, lo + MaxVMClients - 1, nil
+}
+
+// ClientFor returns the idx-th client ID of vm.
+func (p VMClientPartition) ClientFor(vm uint32, idx int) (ClientID, error) {
+	lo, hi, err := p.Range(vm)
+	if err != nil {
+		return 0, err
+	}
+	if idx < 0 || ClientID(idx) > hi-lo {
+		return 0, fmt.Errorf("vbi: client index %d overflows VM %d", idx, vm)
+	}
+	return lo + ClientID(idx), nil
+}
+
+// VMOf returns the virtual machine that owns the client ID.
+func (VMClientPartition) VMOf(c ClientID) uint32 {
+	return uint32(c >> (16 - VMClientBits))
+}

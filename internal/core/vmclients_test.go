@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+)
+
+func TestVMClientPartitionDisjoint(t *testing.T) {
+	var p VMClientPartition
+	var prevHi ClientID
+	for vm := uint32(0); vm < 32; vm++ {
+		lo, hi, err := p.Range(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm == 0 && lo != 0 {
+			t.Errorf("host range starts at %d", lo)
+		}
+		if vm > 0 && lo != prevHi+1 {
+			t.Errorf("VM %d range [%d,%d] not contiguous after %d", vm, lo, hi, prevHi)
+		}
+		if hi-lo+1 != MaxVMClients {
+			t.Errorf("VM %d span = %d", vm, hi-lo+1)
+		}
+		prevHi = hi
+	}
+	if prevHi != MaxClients-1 {
+		t.Errorf("partition ends at %d, want %d", prevHi, MaxClients-1)
+	}
+	if _, _, err := p.Range(32); err == nil {
+		t.Error("VM 32 accepted")
+	}
+}
+
+func TestVMClientOwnership(t *testing.T) {
+	var p VMClientPartition
+	c, err := p.ClientFor(7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VMOf(c) != 7 {
+		t.Errorf("VMOf = %d, want 7", p.VMOf(c))
+	}
+	if _, err := p.ClientFor(7, MaxVMClients); err == nil {
+		t.Error("overflow index accepted")
+	}
+}
+
+// TestGuestIsolationEndToEnd composes §6.1: two guests each get a client
+// from their VM's client slice and a VB from their VM's VBID slice; the
+// CVT check isolates them without any hypervisor involvement on the
+// access path.
+func TestGuestIsolationEndToEnd(t *testing.T) {
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true}, 64<<20)
+	s := NewSystem(m)
+	var cp VMClientPartition
+	var vp addr.VMPartition
+
+	type guest struct {
+		client ClientID
+		vb     addr.VBUID
+		cpu    *Core
+		idx    int
+	}
+	mkGuest := func(vm uint32) guest {
+		client, err := cp.ClientFor(vm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RegisterClient(client)
+		vb := vp.MakeVMVBUID(addr.Size128KB, vm, 3)
+		if err := s.EnableVB(vb, 0); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := s.Attach(client, vb, PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCore(s)
+		c.SwitchClient(client)
+		return guest{client: client, vb: vb, cpu: c, idx: idx}
+	}
+
+	g1 := mkGuest(1)
+	g2 := mkGuest(2)
+	if vp.VMOf(g1.vb) != 1 || vp.VMOf(g2.vb) != 2 {
+		t.Fatal("VB ownership wrong")
+	}
+	if err := g1.cpu.Store(VAddr{Index: g1.idx, Offset: 0}, []byte("guest1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.cpu.Store(VAddr{Index: g2.idx, Offset: 0}, []byte("guest2")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	g1.cpu.Load(VAddr{Index: g1.idx, Offset: 0}, buf)
+	if string(buf) != "guest1" {
+		t.Fatalf("guest 1 reads %q", buf)
+	}
+	g2.cpu.Load(VAddr{Index: g2.idx, Offset: 0}, buf)
+	if string(buf) != "guest2" {
+		t.Fatalf("guest 2 reads %q", buf)
+	}
+	// Guest 2's client has no CVT entry for guest 1's VB: denied.
+	g2cpuOnG1 := NewCore(s)
+	g2cpuOnG1.SwitchClient(g2.client)
+	if err := g2cpuOnG1.Load(VAddr{Index: g1.idx + 1, Offset: 0}, buf); err == nil {
+		t.Fatal("cross-guest access allowed")
+	}
+}

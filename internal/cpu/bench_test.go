@@ -1,0 +1,12 @@
+package cpu
+
+import "testing"
+
+func BenchmarkCoreStep(b *testing.B) {
+	c := New(DefaultParams)
+	fn := func(Op, uint64) uint64 { return 100 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Step(Op{Gap: 3}, fn)
+	}
+}

@@ -1,0 +1,147 @@
+// Package cpu implements the trace-driven core timing model of Table 1: a
+// 4-wide out-of-order core with a 128-entry reorder buffer, modelled at the
+// level relevant to this study — how much memory latency the window can
+// hide. Non-memory instructions retire at the issue width; memory
+// operations overlap subject to three constraints:
+//
+//   - MSHR limit: at most MSHRs outstanding misses;
+//   - ROB limit: the core cannot run more than ROB instructions ahead of
+//     the oldest incomplete memory operation;
+//   - dependences: a dependent load (pointer chasing) cannot issue before
+//     the producing load returns.
+//
+// This is the standard first-order model for translation studies: the
+// paper's effects (TLB misses, page-walk memory accesses, zero-line
+// short-circuits) all enter through per-access latency, which the model
+// converts into cycles with realistic memory-level parallelism.
+package cpu
+
+// Params configures the core.
+type Params struct {
+	IssueWidth int // instructions retired per cycle when not stalled
+	ROB        int // reorder-buffer entries
+	MSHRs      int // maximum outstanding misses
+}
+
+// DefaultParams mirrors Table 1 (4-wide OOO, 128-entry ROB) with 10 MSHRs.
+var DefaultParams = Params{IssueWidth: 4, ROB: 128, MSHRs: 10}
+
+// Op is one memory operation from the trace.
+type Op struct {
+	// Gap is the number of non-memory instructions preceding this op.
+	Gap uint32
+	// Write marks stores.
+	Write bool
+	// Dep marks a load that consumes the previous load's result (pointer
+	// chasing): it cannot issue until that load completes.
+	Dep bool
+	// Addr is the program address, in whatever space the system translates
+	// (conventional virtual address, or VBI {CVT index, offset} packed by
+	// the system layer).
+	Addr uint64
+}
+
+// LatencyFn computes the memory latency of an op issued at the given cycle.
+// The system layer implements it (TLB/CVT checks, cache hierarchy, MTL,
+// DRAM); it may carry side effects (bank state, allocations).
+type LatencyFn func(op Op, issueAt uint64) uint64
+
+type inflight struct {
+	instr uint64 // instruction position at issue
+	done  uint64 // completion cycle
+}
+
+// Core tracks one hardware context's timing state.
+type Core struct {
+	P Params
+
+	now       uint64 // next issue cycle
+	instrs    uint64 // instructions retired (memory ops count as 1 each)
+	lastLoad  uint64 // completion time of the most recent load
+	inflights []inflight
+	maxDone   uint64
+
+	frac uint32 // accumulated sub-cycle issue debt (gap % width)
+}
+
+// New builds a core.
+func New(p Params) *Core {
+	return &Core{P: p}
+}
+
+// Now returns the core's current cycle (used for multi-core interleaving).
+func (c *Core) Now() uint64 { return c.now }
+
+// Instrs returns retired instructions.
+func (c *Core) Instrs() uint64 { return c.instrs }
+
+// Step processes one trace op, advancing the core's clock.
+func (c *Core) Step(op Op, mem LatencyFn) {
+	// Non-memory instructions before the op retire at IssueWidth/cycle.
+	c.frac += op.Gap
+	c.now += uint64(c.frac / uint32(c.P.IssueWidth))
+	c.frac %= uint32(c.P.IssueWidth)
+	c.instrs += uint64(op.Gap) + 1
+
+	issue := c.now
+	if op.Dep && c.lastLoad > issue {
+		issue = c.lastLoad
+	}
+
+	// Retire completed ops; stall on MSHR and ROB limits.
+	c.drain(issue)
+	for len(c.inflights) >= c.P.MSHRs {
+		issue = maxU64(issue, c.inflights[0].done)
+		c.drain(issue)
+	}
+	for len(c.inflights) > 0 && c.instrs-c.inflights[0].instr > uint64(c.P.ROB) {
+		issue = maxU64(issue, c.inflights[0].done)
+		c.drain(issue)
+	}
+
+	lat := mem(op, issue)
+	done := issue + lat
+	c.inflights = append(c.inflights, inflight{instr: c.instrs, done: done})
+	if !op.Write {
+		c.lastLoad = done
+	}
+	if done > c.maxDone {
+		c.maxDone = done
+	}
+	c.now = issue + 1 // one issue slot consumed
+}
+
+// drain retires in-flight ops that completed by t.
+func (c *Core) drain(t uint64) {
+	i := 0
+	for i < len(c.inflights) && c.inflights[i].done <= t {
+		i++
+	}
+	if i > 0 {
+		c.inflights = c.inflights[i:]
+	}
+}
+
+// Finish drains the pipeline and returns the total cycle count.
+func (c *Core) Finish() uint64 {
+	if c.maxDone > c.now {
+		return c.maxDone
+	}
+	return c.now
+}
+
+// IPC returns instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	cycles := c.Finish()
+	if cycles == 0 {
+		return 0
+	}
+	return float64(c.instrs) / float64(cycles)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package cpu
+
+import "testing"
+
+func constLat(n uint64) LatencyFn {
+	return func(Op, uint64) uint64 { return n }
+}
+
+func TestNonMemoryThroughput(t *testing.T) {
+	c := New(DefaultParams)
+	// 1000 ops, 40 gap instructions each, free memory: limited by the
+	// 4-wide issue of 41000 instructions ≈ 10250 cycles plus issue slots.
+	for i := 0; i < 1000; i++ {
+		c.Step(Op{Gap: 40}, constLat(0))
+	}
+	cycles := c.Finish()
+	if cycles < 10000 || cycles > 12000 {
+		t.Fatalf("cycles = %d, want ≈ 10250–11000", cycles)
+	}
+	if c.Instrs() != 41000 {
+		t.Fatalf("instrs = %d", c.Instrs())
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// 10 independent 200-cycle misses with no gaps should overlap almost
+	// completely (10 MSHRs): total ≈ 200 + 10 issue slots, not 2000.
+	c := New(DefaultParams)
+	for i := 0; i < 10; i++ {
+		c.Step(Op{}, constLat(200))
+	}
+	if cycles := c.Finish(); cycles > 250 {
+		t.Fatalf("independent misses serialized: %d cycles", cycles)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	// Pointer chasing: each load waits for the previous one.
+	c := New(DefaultParams)
+	for i := 0; i < 10; i++ {
+		c.Step(Op{Dep: true}, constLat(200))
+	}
+	if cycles := c.Finish(); cycles < 10*200 {
+		t.Fatalf("dependent loads overlapped: %d cycles", cycles)
+	}
+}
+
+func TestMSHRLimitThrottles(t *testing.T) {
+	few := New(Params{IssueWidth: 4, ROB: 1024, MSHRs: 2})
+	many := New(Params{IssueWidth: 4, ROB: 1024, MSHRs: 16})
+	for i := 0; i < 64; i++ {
+		few.Step(Op{}, constLat(300))
+		many.Step(Op{}, constLat(300))
+	}
+	if few.Finish() <= many.Finish() {
+		t.Fatalf("2 MSHRs (%d cy) not slower than 16 (%d cy)",
+			few.Finish(), many.Finish())
+	}
+}
+
+func TestROBLimitThrottles(t *testing.T) {
+	// With 50-instruction gaps, a 128-entry ROB holds ~2.5 ops; a
+	// 1024-entry ROB holds ~20. Long misses expose the difference.
+	small := New(Params{IssueWidth: 4, ROB: 128, MSHRs: 32})
+	big := New(Params{IssueWidth: 4, ROB: 1024, MSHRs: 32})
+	for i := 0; i < 200; i++ {
+		small.Step(Op{Gap: 50}, constLat(500))
+		big.Step(Op{Gap: 50}, constLat(500))
+	}
+	if small.Finish() <= big.Finish() {
+		t.Fatalf("128-ROB (%d cy) not slower than 1024-ROB (%d cy)",
+			small.Finish(), big.Finish())
+	}
+}
+
+func TestStoresDoNotBlockDependents(t *testing.T) {
+	c := New(DefaultParams)
+	c.Step(Op{Write: true}, constLat(500))
+	c.Step(Op{Dep: true}, constLat(10)) // depends on last *load*; none yet
+	if cycles := c.Finish(); cycles >= 500+10 {
+		t.Fatalf("store blocked a dependent load: %d cycles", cycles)
+	}
+}
+
+func TestLatencyFnSeesIssueTime(t *testing.T) {
+	c := New(DefaultParams)
+	var issues []uint64
+	fn := func(op Op, at uint64) uint64 {
+		issues = append(issues, at)
+		return 100
+	}
+	c.Step(Op{Gap: 400}, fn)
+	c.Step(Op{Gap: 400, Dep: true}, fn)
+	if len(issues) != 2 {
+		t.Fatal("latency fn not called")
+	}
+	if issues[1] <= issues[0] {
+		t.Fatalf("issue times not increasing: %v", issues)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := New(DefaultParams)
+	for i := 0; i < 100; i++ {
+		c.Step(Op{Gap: 39}, constLat(4)) // L1 hits
+	}
+	ipc := c.IPC()
+	if ipc < 2.0 || ipc > 4.0 {
+		t.Fatalf("IPC = %.2f, want near 4 for cache-resident code", ipc)
+	}
+}

@@ -1,0 +1,27 @@
+package dram
+
+import "testing"
+
+func BenchmarkChannelRowHit(b *testing.B) {
+	c := NewChannel("t", DDR3Timing)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, uint64(i)*100, false)
+	}
+}
+
+func BenchmarkChannelStream(b *testing.B) {
+	c := NewChannel("t", DDR3Timing)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, uint64(i)*10, false)
+	}
+}
+
+func BenchmarkHybridRouting(b *testing.B) {
+	m := NewHybrid(1<<30, 6<<30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Access(uint64(i%2)*2<<30, uint64(i)*10, false)
+	}
+}

@@ -1,0 +1,169 @@
+// Package dram models main-memory timing: a bank-state DDR3-1600 channel
+// with an open-page policy (Table 1), a PCM-800 channel with the asymmetric
+// timings of Lee et al. [72], the TL-DRAM near/far-segment organization of
+// Lee et al. [74], and the hybrid PCM–DRAM layout of Ramos et al. [107] —
+// the two heterogeneous main-memory architectures of the §7.3 evaluation.
+//
+// Latency accounting follows the usual trace-driven simplification: each
+// access picks its bank, pays row-buffer hit/miss/conflict timing against
+// the bank's ready time, and returns its completion time. Bank contention
+// between demand reads, writebacks and page-table traffic emerges from the
+// shared ready times.
+package dram
+
+// Timing holds per-command latencies in memory-controller cycles.
+type Timing struct {
+	TRCD uint64 // activate -> column command
+	TRP  uint64 // precharge
+	CL   uint64 // column access (CAS) latency
+	TBL  uint64 // burst length on the data bus
+	TWR  uint64 // write recovery after a write burst
+}
+
+// DDR3Timing mirrors Table 1 (DDR3-1600: tRCD=5cy, tRP=5cy) with a CAS
+// latency and burst consistent with the part.
+var DDR3Timing = Timing{TRCD: 5, TRP: 5, CL: 5, TBL: 4, TWR: 6}
+
+// PCMTiming mirrors Table 1 (PCM-800: tRCD=22cy, tRP=60cy [72]); PCM array
+// writes are much slower than reads, captured by the large tRP (precharge
+// performs the array write-back) and write recovery.
+var PCMTiming = Timing{TRCD: 22, TRP: 60, CL: 5, TBL: 8, TWR: 90}
+
+// TLDRAMNear is the near-segment timing of TL-DRAM [74]: the short bitline
+// segment close to the sense amplifiers activates and precharges in roughly
+// half the cycles.
+var TLDRAMNear = Timing{TRCD: 3, TRP: 3, CL: 4, TBL: 4, TWR: 4}
+
+// TLDRAMFar is the far-segment timing: slightly worse than commodity DRAM
+// because the isolation transistor adds resistance.
+var TLDRAMFar = Timing{TRCD: 6, TRP: 6, CL: 5, TBL: 4, TWR: 7}
+
+// CPUCyclesPerMemCycle converts memory-controller cycles to CPU cycles
+// (3.2 GHz core, 800 MHz DDR3-1600 command clock).
+const CPUCyclesPerMemCycle = 4
+
+// ControllerOverhead is the fixed CPU-cycle cost of traversing the memory
+// controller front end (queueing, scheduling, physical layer).
+const ControllerOverhead = 20
+
+// Stats counts channel events.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed row
+	RowConflicts uint64 // different row open
+}
+
+const (
+	bankShift = 6 // cache-line interleaving across banks
+	bankBits  = 3 // 8 banks/rank (Table 1)
+	// rowShift: each 64 KB block is striped line-wise across the 8 banks,
+	// so one 8 KB row buffer per bank holds that bank's slice of the
+	// block. Sequential streams still enjoy long row-hit runs while
+	// concurrent streams spread over all banks instead of phase-locking
+	// onto one.
+	rowShift = 16
+)
+
+// bankOf combines line-granularity interleaving with XOR folding of the
+// row number (permutation-based interleaving, standard in memory
+// controllers) so streams separated by any power of two spread over banks.
+func bankOf(pa uint64) uint64 {
+	b := pa >> bankShift
+	for row := pa >> rowShift; row != 0; row >>= bankBits {
+		b ^= row
+	}
+	return b & (1<<bankBits - 1)
+}
+
+type bank struct {
+	openRow int64 // -1 = precharged
+	readyAt uint64
+}
+
+// Region gives one address range its own timing (TL-DRAM segments, or the
+// PCM half of a hybrid memory).
+type Region struct {
+	Base   uint64
+	Size   uint64
+	Timing Timing
+}
+
+// Channel is one memory channel: 8 banks, open-page policy.
+type Channel struct {
+	Name  string
+	Stats Stats
+
+	base    Timing
+	regions []Region
+	banks   [1 << bankBits]bank
+}
+
+// NewChannel builds a channel with uniform timing.
+func NewChannel(name string, t Timing) *Channel {
+	c := &Channel{Name: name, base: t}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c
+}
+
+// AddRegion overrides timing for an address range (later regions win).
+func (c *Channel) AddRegion(r Region) { c.regions = append(c.regions, r) }
+
+func (c *Channel) timingFor(pa uint64) Timing {
+	for i := len(c.regions) - 1; i >= 0; i-- {
+		r := c.regions[i]
+		if pa >= r.Base && pa-r.Base < r.Size {
+			return r.Timing
+		}
+	}
+	return c.base
+}
+
+// Access issues a read or write of the line containing pa at CPU-cycle time
+// `now` and returns the CPU-cycle completion time. Bank state (open row,
+// ready time) persists, so row locality and bank conflicts shape latency.
+func (c *Channel) Access(pa uint64, now uint64, write bool) uint64 {
+	t := c.timingFor(pa)
+	bankIdx := bankOf(pa)
+	row := int64(pa >> rowShift)
+	b := &c.banks[bankIdx]
+
+	// Convert to memory cycles for bank bookkeeping.
+	memNow := now / CPUCyclesPerMemCycle
+	start := memNow
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var lat uint64
+	switch {
+	case b.openRow == row:
+		c.Stats.RowHits++
+		lat = t.CL + t.TBL
+	case b.openRow == -1:
+		c.Stats.RowMisses++
+		lat = t.TRCD + t.CL + t.TBL
+	default:
+		c.Stats.RowConflicts++
+		lat = t.TRP + t.TRCD + t.CL + t.TBL
+	}
+	b.openRow = row
+	done := start + lat
+	if write {
+		c.Stats.Writes++
+		b.readyAt = done + t.TWR
+	} else {
+		c.Stats.Reads++
+		b.readyAt = done
+	}
+	return done*CPUCyclesPerMemCycle + ControllerOverhead
+}
+
+// MinReadLatency returns the unloaded row-hit read latency in CPU cycles
+// (used by sanity checks and the CPU model's fast path estimates).
+func (c *Channel) MinReadLatency() uint64 {
+	return (c.base.CL+c.base.TBL)*CPUCyclesPerMemCycle + ControllerOverhead
+}

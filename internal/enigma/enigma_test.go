@@ -1,0 +1,108 @@
+package enigma
+
+import (
+	"testing"
+
+	"vbi/internal/phys"
+)
+
+func TestTranslateAllocatesOnFirstTouch(t *testing.T) {
+	e := New(64 << 20)
+	base := e.AllocRegion(8 << 20)
+	ev, err := e.Translate(base + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.CTCHit {
+		t.Fatal("cold access hit the CTC")
+	}
+	if !ev.Allocated {
+		t.Fatal("first touch did not allocate")
+	}
+	if ev.WalkAccess == phys.NoAddr {
+		t.Fatal("miss did not walk the flat table")
+	}
+	if uint64(ev.PA)&(PageSize-1) != 12345 {
+		t.Fatalf("PA offset = %d", uint64(ev.PA)&(PageSize-1))
+	}
+}
+
+func TestCTCHitAfterMiss(t *testing.T) {
+	e := New(64 << 20)
+	base := e.AllocRegion(8 << 20)
+	first, _ := e.Translate(base)
+	second, err := e.Translate(base + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CTCHit || second.Allocated {
+		t.Fatalf("warm access = %+v", second)
+	}
+	if second.PA != first.PA+64 {
+		t.Fatalf("PA mismatch: %v then %v", first.PA, second.PA)
+	}
+}
+
+func Test2MGranularity(t *testing.T) {
+	e := New(64 << 20)
+	base := e.AllocRegion(8 << 20)
+	e.Translate(base)
+	// Anywhere in the same 2 MB page hits without a new allocation.
+	ev, _ := e.Translate(base + PageSize - 64)
+	if !ev.CTCHit {
+		t.Fatal("same-page access missed")
+	}
+	// The next 2 MB page allocates separately.
+	ev, _ = e.Translate(base + PageSize)
+	if ev.CTCHit || !ev.Allocated {
+		t.Fatalf("next-page access = %+v", ev)
+	}
+	if e.Stats.PageAllocs != 2 {
+		t.Fatalf("page allocs = %d", e.Stats.PageAllocs)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	e := New(64 << 20)
+	a := e.AllocRegion(4 << 20)
+	b := e.AllocRegion(4 << 20)
+	if b < a+4<<20 {
+		t.Fatalf("regions overlap: %#x, %#x", a, b)
+	}
+	pa1, _ := e.Translate(a)
+	pa2, _ := e.Translate(b)
+	if pa1.PA == pa2.PA {
+		t.Fatal("distinct regions share physical memory")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	e := New(4 << 20) // two 2 MB pages
+	base := e.AllocRegion(16 << 20)
+	var err error
+	for i := uint64(0); i < 8; i++ {
+		if _, err = e.Translate(base + i*PageSize); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("allocator never exhausted")
+	}
+}
+
+func TestCTCReach(t *testing.T) {
+	// 16K entries of 2 MB = 32 GB of reach; a multi-GB footprint must not
+	// thrash the CTC.
+	e := New(1 << 30)
+	base := e.AllocRegion(512 << 20)
+	for i := uint64(0); i < 256; i++ { // 256 pages = 512 MB
+		e.Translate(base + i*PageSize)
+	}
+	hits := e.Stats.CTCHits
+	for i := uint64(0); i < 256; i++ {
+		e.Translate(base + i*PageSize)
+	}
+	if e.Stats.CTCHits-hits != 256 {
+		t.Fatalf("re-walk hits = %d/256", e.Stats.CTCHits-hits)
+	}
+}

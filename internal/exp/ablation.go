@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"vbi/internal/stats"
+	"vbi/internal/system"
+	"vbi/internal/workloads"
+)
+
+// ablationApps are the translation-bound applications where structure
+// choice matters most.
+var ablationApps = []string{"mcf", "deepsjeng-17", "omnetpp-17", "graph500", "GemsFDTD", "moses"}
+
+// AblationFlexible quantifies §5.2's flexible translation structures: it
+// runs VBI-2 with the flexible per-VB policy (direct / single-level /
+// depth-matched multi-level) against VBI-2 forced to x86-64-style fixed
+// 4-level tables for every VB, reporting the speedup and the walk-traffic
+// ratio. The paper argues the flexible structures "reduce the number of
+// memory accesses necessary to serve a TLB miss" — this measures by how
+// much.
+func AblationFlexible(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	t := &stats.Table{
+		Title: "Ablation: flexible translation structures (VBI-2 vs fixed 4-level tables)",
+		Rows:  append([]string{}, ablationApps...),
+	}
+	for _, app := range ablationApps {
+		prof := workloads.MustGet(app)
+		run := func(uniform bool) (system.RunResult, error) {
+			m, err := system.New(system.Config{
+				Kind: system.VBI2, Refs: o.Refs, Seed: o.Seed,
+				UniformTables: uniform}, prof)
+			if err != nil {
+				return system.RunResult{}, err
+			}
+			return m.Run()
+		}
+		flex, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		uni, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		o.logf("  ablation %-14s flex=%.4f uniform=%.4f", app, flex.IPC, uni.IPC)
+		t.Add("speedup", flex.IPC/uni.IPC)
+		t.Add("walk-ratio", float64(flex.Extra["mtl.walk.accesses"])/
+			float64(max64(uni.Extra["mtl.walk.accesses"], 1)))
+	}
+	t.Rows = append(t.Rows, "AVG")
+	for i := range t.Series {
+		t.Series[i].Values = append(t.Series[i].Values, stats.Mean(t.Series[i].Values))
+	}
+	return t, nil
+}
+
+// CVTTable validates §4.3: programs need only a few tens of VBs, so a
+// 64-entry direct-mapped CVT cache achieves a near-100% hit rate.
+func CVTTable(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	apps := workloads.Fig6Apps
+	t := &stats.Table{
+		Title: "CVT cache behaviour (§4.3): VBs per program and 64-entry cache hit rate",
+		Rows:  append([]string{}, apps...),
+	}
+	for _, app := range apps {
+		prof := workloads.MustGet(app)
+		res, err := runOne(system.VBIFull, app, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("VBs", float64(len(prof.Structs)))
+		t.Add("hit-rate", 1-float64(res.Extra["cvt.misses"])/float64(res.MemRefs))
+	}
+	return t, nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

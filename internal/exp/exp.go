@@ -1,0 +1,322 @@
+// Package exp drives the paper's experiments: one function per table and
+// figure of the evaluation (§7), each returning a stats.Table with the same
+// rows and series the paper plots. The cmd/vbibench binary and the
+// top-level benchmarks call these.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"vbi/internal/stats"
+	"vbi/internal/system"
+	"vbi/internal/trace"
+	"vbi/internal/workloads"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Refs is the measured reference count per workload (default 400k;
+	// the paper uses 1B-instruction Pin regions — see DESIGN.md for the
+	// scaling rationale).
+	Refs int
+	// Seed selects the trace streams.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Refs == 0 {
+		o.Refs = 400_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// runOne executes a single-core run.
+func runOne(kind system.Kind, app string, o Options) (system.RunResult, error) {
+	prof := workloads.MustGet(app)
+	m, err := system.New(system.Config{Kind: kind, Refs: o.Refs, Seed: o.Seed}, prof)
+	if err != nil {
+		return system.RunResult{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return system.RunResult{}, err
+	}
+	o.logf("  %-14s %-14s IPC=%.4f DRAM=%d", kind, app, res.IPC, res.DRAMAccesses)
+	return res, nil
+}
+
+// appendAverages adds AVG (and optionally AVG-no-mcf) rows to a speedup
+// table whose per-app values are already present.
+func appendAverages(t *stats.Table, apps []string, noMcf bool) {
+	t.Rows = append(t.Rows, "AVG")
+	if noMcf {
+		t.Rows = append(t.Rows, "AVG-no-mcf")
+	}
+	for i := range t.Series {
+		vals := t.Series[i].Values
+		var all, rest []float64
+		for j, app := range apps {
+			all = append(all, vals[j])
+			if app != "mcf" {
+				rest = append(rest, vals[j])
+			}
+		}
+		t.Series[i].Values = append(t.Series[i].Values, stats.Mean(all))
+		if noMcf {
+			t.Series[i].Values = append(t.Series[i].Values, stats.Mean(rest))
+		}
+	}
+}
+
+// Fig6 reproduces Figure 6: single-core performance of the 4 KB-page
+// systems, normalized to Native.
+func Fig6(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	apps := workloads.Fig6Apps
+	t := &stats.Table{
+		Title: "Figure 6: performance with 4 KB pages (normalized to Native)",
+		Rows:  append([]string{}, apps...),
+	}
+	series := []system.Kind{system.Virtual, system.VIVT, system.VBI1,
+		system.VBI2, system.VBIFull, system.PerfectTLB}
+	for _, app := range apps {
+		base, err := runOne(system.Native, app, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range series {
+			res, err := runOne(k, app, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(k.String(), res.IPC/base.IPC)
+		}
+	}
+	appendAverages(t, apps, true)
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: performance with large pages, normalized to
+// Native-2M. The displayed rows are the paper's subset; the averages are
+// computed over all Figure 6 applications (§7.2.2).
+func Fig7(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	apps := workloads.Fig6Apps // averages span the full set
+	shown := map[string]bool{}
+	for _, a := range workloads.Fig7Apps {
+		shown[a] = true
+	}
+	t := &stats.Table{
+		Title: "Figure 7: performance with large pages (normalized to Native-2M)",
+		Rows:  append([]string{}, workloads.Fig7Apps...),
+	}
+	series := []system.Kind{system.Virtual2M, system.EnigmaHW2M,
+		system.VBIFull, system.PerfectTLB}
+	type speedups map[string]float64
+	perApp := map[string]speedups{}
+	for _, app := range apps {
+		base, err := runOne(system.Native2M, app, o)
+		if err != nil {
+			return nil, err
+		}
+		sp := speedups{}
+		for _, k := range series {
+			res, err := runOne(k, app, o)
+			if err != nil {
+				return nil, err
+			}
+			sp[k.String()] = res.IPC / base.IPC
+		}
+		perApp[app] = sp
+	}
+	for _, app := range workloads.Fig7Apps {
+		for _, k := range series {
+			t.Add(k.String(), perApp[app][k.String()])
+		}
+	}
+	t.Rows = append(t.Rows, "AVG", "AVG-no-mcf")
+	for _, k := range series {
+		var all, rest []float64
+		for _, app := range apps {
+			v := perApp[app][k.String()]
+			all = append(all, v)
+			if app != "mcf" {
+				rest = append(rest, v)
+			}
+		}
+		t.Add(k.String(), stats.Mean(all))
+		t.Add(k.String(), stats.Mean(rest))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: quad-core weighted speedup over the Table 2
+// bundles, normalized to Native.
+func Fig8(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	t := &stats.Table{
+		Title: "Figure 8: multiprogrammed performance (weighted speedup normalized to Native)",
+		Rows:  append([]string{}, workloads.BundleNames...),
+	}
+	// Alone-run IPCs (single-core Native) for the weighted-speedup
+	// denominators.
+	aloneIPC := map[string]float64{}
+	for _, bundle := range workloads.Bundles {
+		for _, app := range bundle {
+			if _, ok := aloneIPC[app]; ok {
+				continue
+			}
+			res, err := runOne(system.Native, app, o)
+			if err != nil {
+				return nil, err
+			}
+			aloneIPC[app] = res.IPC
+		}
+	}
+	series := []system.Kind{system.Native2M, system.Virtual, system.Virtual2M,
+		system.VBIFull, system.PerfectTLB}
+	for _, name := range workloads.BundleNames {
+		apps := workloads.Bundles[name]
+		var profs []trace.Profile
+		for _, a := range apps {
+			profs = append(profs, workloads.MustGet(a))
+		}
+		ws := func(kind system.Kind) (float64, error) {
+			mc, err := system.NewMulticore(system.Config{
+				Kind: kind, Refs: o.Refs, Seed: o.Seed}, profs)
+			if err != nil {
+				return 0, err
+			}
+			results, err := mc.Run()
+			if err != nil {
+				return 0, err
+			}
+			var shared, alone []float64
+			for i, r := range results {
+				shared = append(shared, r.IPC)
+				alone = append(alone, aloneIPC[apps[i]])
+			}
+			w := stats.WeightedSpeedup(shared, alone)
+			o.logf("  %-14s %-6s WS=%.3f", kind, name, w)
+			return w, nil
+		}
+		base, err := ws(system.Native)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range series {
+			w, err := ws(k)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(k.String(), w/base)
+		}
+	}
+	// AVG row.
+	t.Rows = append(t.Rows, "AVG")
+	for i := range t.Series {
+		t.Series[i].Values = append(t.Series[i].Values, stats.Mean(t.Series[i].Values))
+	}
+	return t, nil
+}
+
+// runHetero executes one heterogeneous-memory policy run.
+func runHetero(mem system.HeteroMem, pol system.Policy, app string, o Options) (system.RunResult, error) {
+	m, err := system.NewHetero(system.HeteroConfig{
+		Mem: mem, Policy: pol, Refs: o.Refs, Seed: o.Seed},
+		workloads.MustGet(app))
+	if err != nil {
+		return system.RunResult{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return system.RunResult{}, err
+	}
+	o.logf("  %-22s %-14s IPC=%.4f", res.System, app, res.IPC)
+	return res, nil
+}
+
+// figHetero implements Figures 9 and 10: speedup of the VBI placement (and
+// the IDEAL oracle) over the hotness-unaware mapping.
+func figHetero(mem system.HeteroMem, title, vbiLabel string, o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	apps := workloads.HeteroApps
+	t := &stats.Table{Title: title, Rows: append([]string{}, apps...)}
+	for _, app := range apps {
+		base, err := runHetero(mem, system.PolicyUnaware, app, o)
+		if err != nil {
+			return nil, err
+		}
+		vbi, err := runHetero(mem, system.PolicyVBI, app, o)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := runHetero(mem, system.PolicyIdeal, app, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(vbiLabel, vbi.IPC/base.IPC)
+		t.Add("IDEAL", ideal.IPC/base.IPC)
+	}
+	appendAverages(t, apps, false)
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9 (PCM–DRAM hybrid memory).
+func Fig9(o Options) (*stats.Table, error) {
+	return figHetero(system.HeteroPCMDRAM,
+		"Figure 9: VBI PCM-DRAM (normalized to hotness-unaware mapping)",
+		"VBI PCM-DRAM", o)
+}
+
+// Fig10 reproduces Figure 10 (TL-DRAM).
+func Fig10(o Options) (*stats.Table, error) {
+	return figHetero(system.HeteroTLDRAM,
+		"Figure 10: VBI TL-DRAM (normalized to hotness-unaware mapping)",
+		"VBI TL-DRAM", o)
+}
+
+// Table1 renders the simulation configuration (Table 1 of the paper).
+func Table1() string {
+	return `Table 1: Simulation configuration
+=================================
+CPU              4-wide issue, OOO window (128-entry ROB), 10 MSHRs
+L1 Cache         32 KB, 8-way associative, 4 cycles
+L2 Cache         256 KB, 8-way associative, 8 cycles
+L3 Cache         8 MB (2 MB per-core), 16-way associative, 31 cycles
+L1 DTLB          4 KB pages: 64-entry, fully associative
+                 2 MB pages: 32-entry, fully associative
+L2 DTLB          4 KB and 2 MB pages: 512-entry, 4-way associative
+Page Walk Cache  32-entry, fully associative
+DRAM             DDR3-1600, 1 channel, 1 rank/channel, 8 banks/rank, open-page
+DRAM Timing      tRCD=5cy, tRP=5cy (plus CL=5, burst 4)
+PCM              PCM-800, 1 channel, 1 rank/channel, 8 banks/rank
+PCM Timing       tRCD=22cy, tRP=60cy (plus write recovery 90cy)
+`
+}
+
+// Table2 renders the multiprogrammed bundles (Table 2 of the paper).
+func Table2() string {
+	out := "Table 2: Multiprogrammed workload bundles\n"
+	out += "=========================================\n"
+	for _, name := range workloads.BundleNames {
+		out += fmt.Sprintf("%-5s", name)
+		for _, app := range workloads.Bundles[name] {
+			out += fmt.Sprintf(" %-14s", app)
+		}
+		out += "\n"
+	}
+	return out
+}

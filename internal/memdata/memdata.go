@@ -1,0 +1,103 @@
+// Package memdata provides a sparse, line-granularity functional backing
+// store. The simulator's timing path does not need data contents, but the
+// functional path (and the test suite) uses a Store to verify end-to-end
+// memory semantics: zero-fill of never-written regions, copy-on-write
+// cloning, VB promotion, swapping and memory-mapped files.
+//
+// Absent lines read as zeros, which models both fresh physical frames and
+// the VBI zero-line optimization (§5.1).
+package memdata
+
+const lineShift = 6
+const lineSize = 1 << lineShift
+
+// Store is a sparse byte-addressable memory keyed by 64-bit addresses
+// (physical or VBI, at the caller's choice).
+type Store struct {
+	lines map[uint64]*[lineSize]byte
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{lines: make(map[uint64]*[lineSize]byte)}
+}
+
+// Read copies len(buf) bytes starting at a into buf. Unwritten bytes read
+// as zero.
+func (s *Store) Read(a uint64, buf []byte) {
+	for i := 0; i < len(buf); {
+		ln := (a + uint64(i)) >> lineShift
+		off := int((a + uint64(i)) & (lineSize - 1))
+		n := lineSize - off
+		if rem := len(buf) - i; n > rem {
+			n = rem
+		}
+		if l, ok := s.lines[ln]; ok {
+			copy(buf[i:i+n], l[off:off+n])
+		} else {
+			for j := i; j < i+n; j++ {
+				buf[j] = 0
+			}
+		}
+		i += n
+	}
+}
+
+// Write copies data into the store starting at address a.
+func (s *Store) Write(a uint64, data []byte) {
+	for i := 0; i < len(data); {
+		ln := (a + uint64(i)) >> lineShift
+		off := int((a + uint64(i)) & (lineSize - 1))
+		n := lineSize - off
+		if rem := len(data) - i; n > rem {
+			n = rem
+		}
+		l, ok := s.lines[ln]
+		if !ok {
+			l = new([lineSize]byte)
+			s.lines[ln] = l
+		}
+		copy(l[off:off+n], data[i:i+n])
+		i += n
+	}
+}
+
+// CopyRange copies n bytes from src to dst (ranges must not overlap).
+func (s *Store) CopyRange(dst, src uint64, n uint64) {
+	buf := make([]byte, lineSize)
+	for done := uint64(0); done < n; done += lineSize {
+		chunk := uint64(lineSize)
+		if n-done < chunk {
+			chunk = n - done
+		}
+		s.Read(src+done, buf[:chunk])
+		s.Write(dst+done, buf[:chunk])
+	}
+}
+
+// ZeroRange clears n bytes starting at a (dropping whole lines so they stop
+// consuming memory).
+func (s *Store) ZeroRange(a uint64, n uint64) {
+	for done := uint64(0); done < n; {
+		cur := a + done
+		off := cur & (lineSize - 1)
+		if off == 0 && n-done >= lineSize {
+			delete(s.lines, cur>>lineShift)
+			done += lineSize
+			continue
+		}
+		chunk := lineSize - off
+		if n-done < chunk {
+			chunk = n - done
+		}
+		if l, ok := s.lines[cur>>lineShift]; ok {
+			for i := uint64(0); i < chunk; i++ {
+				l[off+i] = 0
+			}
+		}
+		done += chunk
+	}
+}
+
+// PopulatedLines returns the number of lines holding data (for tests).
+func (s *Store) PopulatedLines() int { return len(s.lines) }

@@ -1,0 +1,104 @@
+package memdata
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	s := New()
+	buf := []byte{1, 2, 3, 4}
+	s.Read(0x1234, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unwritten read = %v", buf)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New()
+	data := []byte("hello, virtual block interface")
+	s.Write(100, data)
+	got := make([]byte, len(data))
+	s.Read(100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestCrossLineWrite(t *testing.T) {
+	s := New()
+	data := make([]byte, 200) // spans 4 lines
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s.Write(60, data) // straddles a line boundary at 64
+	got := make([]byte, 200)
+	s.Read(60, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-line round trip failed")
+	}
+	// Bytes before the write remain zero.
+	head := make([]byte, 60)
+	s.Read(0, head)
+	for _, b := range head {
+		if b != 0 {
+			t.Fatal("write leaked backwards")
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := New()
+	f := func(a uint64, data []byte) bool {
+		a %= 1 << 40
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		s.Write(a, data)
+		got := make([]byte, len(data))
+		s.Read(a, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyRange(t *testing.T) {
+	s := New()
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	s.Write(1000, data)
+	s.CopyRange(50000, 1000, 300)
+	got := make([]byte, 300)
+	s.Read(50000, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("CopyRange mismatch")
+	}
+}
+
+func TestZeroRange(t *testing.T) {
+	s := New()
+	data := bytes.Repeat([]byte{0xff}, 256)
+	s.Write(64, data)
+	s.ZeroRange(128, 64) // a whole aligned line
+	s.ZeroRange(70, 10)  // partial
+	got := make([]byte, 256)
+	s.Read(64, got)
+	for i := 0; i < 256; i++ {
+		a := 64 + i
+		zeroed := (a >= 128 && a < 192) || (a >= 70 && a < 80)
+		if zeroed && got[i] != 0 {
+			t.Fatalf("byte %d not zeroed", a)
+		}
+		if !zeroed && got[i] != 0xff {
+			t.Fatalf("byte %d clobbered", a)
+		}
+	}
+	if s.PopulatedLines() != 3 {
+		t.Fatalf("populated lines = %d, want 3 (aligned line dropped)", s.PopulatedLines())
+	}
+}

@@ -1,0 +1,73 @@
+package mtl
+
+import (
+	"testing"
+
+	"vbi/internal/addr"
+)
+
+func benchMTL(b *testing.B, cfg Config) (*MTL, addr.VBUID) {
+	b.Helper()
+	m := New(cfg, NewZones(map[string]uint64{"DRAM": 1 << 30}, []string{"DRAM"}))
+	u := addr.MakeVBUID(addr.Size128MB, 1)
+	if err := m.Enable(u, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Prefill(u, 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	return m, u
+}
+
+func BenchmarkTranslateReadTLBHit(b *testing.B) {
+	m, u := benchMTL(b, Config{DelayedAlloc: true})
+	a := addr.Make(u, 0)
+	m.TranslateRead(a)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TranslateRead(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateReadWalk(b *testing.B) {
+	m, u := benchMTL(b, Config{DelayedAlloc: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Stride far enough that the MTL TLB keeps missing.
+		off := (uint64(i) * 5 << 12) % (64 << 20)
+		if _, err := m.TranslateRead(addr.Make(u, off)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateZeroLine(b *testing.B) {
+	m, u := benchMTL(b, Config{DelayedAlloc: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := 64<<20 + (uint64(i)<<12)%(32<<20)
+		ev, err := m.TranslateRead(addr.Make(u, off))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ev.ZeroLine {
+			b.Fatal("expected zero line")
+		}
+	}
+}
+
+func BenchmarkCloneAndCOW(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewSimple(Config{DelayedAlloc: true}, 64<<20)
+		src := addr.MakeVBUID(addr.Size128KB, 1)
+		dst := addr.MakeVBUID(addr.Size128KB, 2)
+		m.Enable(src, 0)
+		m.Enable(dst, 0)
+		m.Store(addr.Make(src, 0), []byte{1})
+		m.Clone(src, dst)
+		m.Store(addr.Make(dst, 0), []byte{2})
+	}
+}

@@ -1,0 +1,395 @@
+package mtl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vbi/internal/addr"
+	"vbi/internal/prop"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	data := []byte("the virtual block interface")
+	if err := m.Store(addr.Make(u, 5000), data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Load(addr.Make(u, 5000), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestLoadUnallocatedIsZero(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	u := mustEnable(t, m, addr.Size4MB, 1, 0)
+	buf := []byte{1, 2, 3}
+	if err := m.Load(addr.Make(u, 1<<20), buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Fatalf("unallocated read = %v", buf)
+	}
+	if m.AllocatedRegions(u) != 0 {
+		t.Fatal("load allocated memory")
+	}
+}
+
+func TestStoreCrossRegion(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	data := make([]byte, 3*RegionSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := m.Store(addr.Make(u, RegionSize/2), data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	m.Load(addr.Make(u, RegionSize/2), got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-region store corrupted")
+	}
+	if m.AllocatedRegions(u) != 4 {
+		t.Fatalf("allocated regions = %d, want 4", m.AllocatedRegions(u))
+	}
+}
+
+func TestStoreOverrun(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	u := mustEnable(t, m, addr.Size4KB, 1, 0)
+	if err := m.Store(addr.Make(u, 4090), make([]byte, 10)); err == nil {
+		t.Fatal("overrun store accepted")
+	}
+	if err := m.Load(addr.Make(u, 4090), make([]byte, 10)); err == nil {
+		t.Fatal("overrun load accepted")
+	}
+}
+
+func TestLoadStoreProperty(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	u := mustEnable(t, m, addr.Size4MB, 1, 0)
+	shadow := make(map[uint64]byte)
+	f := func(offRaw uint64, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		off := offRaw % (4<<20 - uint64(len(data)))
+		if err := m.Store(addr.Make(u, off), data); err != nil {
+			return false
+		}
+		for i, b := range data {
+			shadow[off+uint64(i)] = b
+		}
+		// Verify a sample of shadow entries.
+		for k, v := range shadow {
+			got := []byte{0}
+			if err := m.Load(addr.Make(u, k), got); err != nil || got[0] != v {
+				return false
+			}
+			break
+		}
+		got := make([]byte, len(data))
+		m.Load(addr.Make(u, off), got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneSharesThenCopies(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	dst := mustEnable(t, m, addr.Size128KB, 2, 0)
+
+	orig := []byte("original contents")
+	if err := m.Store(addr.Make(src, 64), orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Clone(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clone reads the shared data without extra allocation.
+	got := make([]byte, len(orig))
+	m.Load(addr.Make(dst, 64), got)
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("clone read = %q", got)
+	}
+	sf, _ := m.frameForTest(src, 0)
+	df, _ := m.frameForTest(dst, 0)
+	if sf != df {
+		t.Fatal("clone does not share frames before any write")
+	}
+
+	// Writing the clone triggers the lazy copy; the source is unaffected.
+	if err := m.Store(addr.Make(dst, 64), []byte("CLONED!! contents")); err != nil {
+		t.Fatal(err)
+	}
+	m.Load(addr.Make(src, 64), got)
+	if !bytes.Equal(got, orig) {
+		t.Fatalf("write to clone leaked into source: %q", got)
+	}
+	sf2, _ := m.frameForTest(src, 0)
+	df2, _ := m.frameForTest(dst, 0)
+	if sf2 == df2 {
+		t.Fatal("frames still shared after write")
+	}
+	if sf2 != sf {
+		t.Fatal("source frame moved; the writer should get the new copy")
+	}
+	if m.Stats.COWCopies == 0 {
+		t.Fatal("COW copy not counted")
+	}
+}
+
+func TestCloneWriteToSourceCopies(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	dst := mustEnable(t, m, addr.Size128KB, 2, 0)
+	m.Store(addr.Make(src, 0), []byte("v1"))
+	m.Clone(src, dst)
+	// Writing the *source* must also preserve the clone's view.
+	m.Store(addr.Make(src, 0), []byte("v2"))
+	got := make([]byte, 2)
+	m.Load(addr.Make(dst, 0), got)
+	if string(got) != "v1" {
+		t.Fatalf("clone sees %q, want v1", got)
+	}
+	m.Load(addr.Make(src, 0), got)
+	if string(got) != "v2" {
+		t.Fatalf("source reads %q, want v2", got)
+	}
+}
+
+func TestCloneValidation(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	smaller := mustEnable(t, m, addr.Size4KB, 2, 0)
+	if err := m.Clone(src, smaller); err == nil {
+		t.Fatal("cross-class clone accepted")
+	}
+	used := mustEnable(t, m, addr.Size128KB, 3, 0)
+	m.Store(addr.Make(used, 0), []byte{1})
+	if err := m.Clone(src, used); err == nil {
+		t.Fatal("clone onto non-pristine VB accepted")
+	}
+}
+
+func TestCloneOfDirectMappedSource(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true, EarlyReservation: true})
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	dst := mustEnable(t, m, addr.Size128KB, 2, 0)
+	m.Store(addr.Make(src, 0), []byte("direct"))
+	if m.Kind(src) != TransDirect {
+		t.Fatal("source not direct-mapped")
+	}
+	if err := m.Clone(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Source write triggers COW; direct source downgrades.
+	m.Store(addr.Make(src, 0), []byte("DIRECT"))
+	got := make([]byte, 6)
+	m.Load(addr.Make(dst, 0), got)
+	if string(got) != "direct" {
+		t.Fatalf("clone sees %q", got)
+	}
+	if m.Kind(src) == TransDirect {
+		t.Fatal("direct source not downgraded on COW write")
+	}
+}
+
+func TestDisableSharedFramesSafely(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	dst := mustEnable(t, m, addr.Size128KB, 2, 0)
+	m.Store(addr.Make(src, 0), []byte("shared"))
+	m.Clone(src, dst)
+	if err := m.Disable(src); err != nil {
+		t.Fatal(err)
+	}
+	// The clone still reads the shared data: the frame survived because
+	// its refcount was 2.
+	got := make([]byte, 6)
+	m.Load(addr.Make(dst, 0), got)
+	if string(got) != "shared" {
+		t.Fatalf("clone reads %q after source disable", got)
+	}
+	if err := m.Disable(dst); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBytes() != m.Zones()[0].Buddy.Capacity() {
+		t.Fatal("frames leaked after both disables")
+	}
+}
+
+func TestPromote(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	small := mustEnable(t, m, addr.Size128KB, 1, 0)
+	large := mustEnable(t, m, addr.Size4MB, 1, 0)
+
+	payload := []byte("data that outgrew its VB")
+	if err := m.Store(addr.Make(small, 100), payload); err != nil {
+		t.Fatal(err)
+	}
+	frameBefore, _ := m.frameForTest(small, 0)
+	if err := m.Promote(small, large); err != nil {
+		t.Fatal(err)
+	}
+
+	// §4.4: the early portion of the larger VB maps to the same physical
+	// memory as the smaller VB.
+	frameAfter, ok := m.frameForTest(large, 0)
+	if !ok || frameAfter != frameBefore {
+		t.Fatalf("large region 0 frame = %v, want %v", frameAfter, frameBefore)
+	}
+	got := make([]byte, len(payload))
+	m.Load(addr.Make(large, 100), got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("promoted data = %q", got)
+	}
+
+	// The remaining portion of the large VB is unallocated and writable.
+	if err := m.Store(addr.Make(large, 2<<20), []byte("growth")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The small VB is left empty; disabling it must not free the frames.
+	if m.AllocatedRegions(small) != 0 {
+		t.Fatal("small VB retained regions")
+	}
+	if err := m.Disable(small); err != nil {
+		t.Fatal(err)
+	}
+	m.Load(addr.Make(large, 100), got)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data lost after disabling the promoted-away VB")
+	}
+}
+
+func TestPromoteValidation(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	a := mustEnable(t, m, addr.Size4MB, 1, 0)
+	b := mustEnable(t, m, addr.Size128KB, 1, 0)
+	if err := m.Promote(a, b); err == nil {
+		t.Fatal("demotion accepted")
+	}
+	c := mustEnable(t, m, addr.Size4MB, 2, 0)
+	m.Store(addr.Make(c, 0), []byte{1})
+	if err := m.Promote(b, c); err == nil {
+		t.Fatal("promote onto non-pristine VB accepted")
+	}
+}
+
+func TestSwapOutAndBack(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	payload := []byte("swap me out")
+	m.Store(addr.Make(u, 8192), payload)
+	free0 := m.FreeBytes()
+
+	ok, err := m.SwapOutRegion(u, 2)
+	if err != nil || !ok {
+		t.Fatalf("swap out = %v, %v", ok, err)
+	}
+	if m.FreeBytes() <= free0 {
+		t.Fatal("swap out freed no memory")
+	}
+
+	// Reads of swapped data come from the backing store.
+	got := make([]byte, len(payload))
+	m.Load(addr.Make(u, 8192), got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("swapped read = %q", got)
+	}
+
+	// A timing-path access faults it back in.
+	ev, err := m.TranslateRead(addr.Make(u, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.OSFault || !ev.AllocatedRegion {
+		t.Fatalf("swap-in event = %+v", ev)
+	}
+	m.Load(addr.Make(u, 8192), got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("post-swap-in read = %q", got)
+	}
+	if m.Stats.OSFaults == 0 || m.Stats.SwapOuts != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}
+
+func TestSwapOutVB(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	data := make([]byte, 3*RegionSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.Store(addr.Make(u, 0), data)
+	n, err := m.SwapOutVB(u)
+	if err != nil || n != 3 {
+		t.Fatalf("SwapOutVB = %d, %v", n, err)
+	}
+	if m.AllocatedRegions(u) != 0 {
+		t.Fatal("regions survived swap out")
+	}
+	got := make([]byte, len(data))
+	m.Load(addr.Make(u, 0), got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("swapped VB data corrupted")
+	}
+}
+
+func TestMemoryMappedFile(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	u := mustEnable(t, m, addr.Size128KB, 1, prop.MappedFile)
+	file := []byte("file contents: lorem ipsum dolor sit amet")
+	if err := m.AttachFile(u, file); err != nil {
+		t.Fatal(err)
+	}
+
+	// §3.4: an offset within the VB maps to the same offset in the file.
+	got := make([]byte, 13)
+	m.Load(addr.Make(u, 15), got)
+	if !bytes.Equal(got, file[15:28]) {
+		t.Fatalf("file read = %q", got)
+	}
+
+	// A timing access demand-loads the region (OS fault), not a zero line.
+	ev, err := m.TranslateRead(addr.Make(u, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ZeroLine || !ev.OSFault {
+		t.Fatalf("file access event = %+v", ev)
+	}
+
+	// Writes modify memory, and SyncFile pushes them to the file image.
+	m.Store(addr.Make(u, 0), []byte("FILE"))
+	out, err := m.SyncFile(u, uint64(len(file)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:4], []byte("FILE")) || !bytes.Equal(out[4:], file[4:]) {
+		t.Fatalf("synced file = %q", out)
+	}
+}
+
+func TestSyncFileOnNonFileVB(t *testing.T) {
+	m := newTestMTL(t, Config{})
+	u := mustEnable(t, m, addr.Size4KB, 1, 0)
+	if _, err := m.SyncFile(u, 10); err == nil {
+		t.Fatal("SyncFile on plain VB accepted")
+	}
+}

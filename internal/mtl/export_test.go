@@ -1,0 +1,7 @@
+package mtl
+
+import "vbi/internal/memdata"
+
+// newDataStore lets tests attach a functional data store to MTLs built via
+// New (NewSimple attaches one automatically).
+func newDataStore() *memdata.Store { return memdata.New() }

@@ -1,0 +1,167 @@
+package mtl
+
+import (
+	"bytes"
+	"testing"
+
+	"vbi/internal/addr"
+)
+
+func newHeteroMTL(t *testing.T) *MTL {
+	t.Helper()
+	zones := NewZones(map[string]uint64{"DRAM": 16 << 20, "PCM": 48 << 20}, []string{"DRAM", "PCM"})
+	m := New(Config{DelayedAlloc: true}, zones)
+	m.Data = nil
+	return m
+}
+
+func TestAccessCountsOrdering(t *testing.T) {
+	m := newHeteroMTL(t)
+	hot := mustEnable(t, m, addr.Size128KB, 1, 0)
+	cold := mustEnable(t, m, addr.Size128KB, 2, 0)
+	for i := 0; i < 50; i++ {
+		m.TranslateWriteback(addr.Make(hot, uint64(i%4)*RegionSize))
+	}
+	m.TranslateWriteback(addr.Make(cold, 0))
+
+	counts := m.AccessCounts()
+	if len(counts) != 2 {
+		t.Fatalf("count entries = %d", len(counts))
+	}
+	if counts[0].VB != hot {
+		t.Fatalf("hottest VB = %v, want %v", counts[0].VB, hot)
+	}
+	if counts[0].Accesses != 50 || counts[1].Accesses != 1 {
+		t.Fatalf("accesses = %d/%d", counts[0].Accesses, counts[1].Accesses)
+	}
+}
+
+func TestResetAccessCountsDecays(t *testing.T) {
+	m := newHeteroMTL(t)
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	for i := 0; i < 10; i++ {
+		m.TranslateWriteback(addr.Make(u, 0))
+	}
+	m.ResetAccessCounts()
+	counts := m.AccessCounts()
+	if counts[0].Accesses != 5 {
+		t.Fatalf("decayed count = %d, want 5", counts[0].Accesses)
+	}
+}
+
+func TestMigrateVB(t *testing.T) {
+	m := newHeteroMTL(t)
+	m.Data = newDataStore()
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	if err := m.SetHomeZone(u, 1); err != nil { // start in PCM
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, RegionSize)
+	for r := uint64(0); r < 4; r++ {
+		if err := m.Store(addr.Make(u, r*RegionSize), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zb, _ := m.ZoneBytes(u)
+	if zb[1] != 4*RegionSize || zb[0] != 0 {
+		t.Fatalf("initial placement = %v", zb)
+	}
+
+	moved, err := m.MigrateVB(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four data regions plus the translation-structure node follow the VB.
+	if moved != 5*RegionSize {
+		t.Fatalf("moved = %d, want 5 frames (4 regions + 1 table node)", moved)
+	}
+	zb, _ = m.ZoneBytes(u)
+	if zb[0] != 4*RegionSize || zb[1] != 0 {
+		t.Fatalf("post-migration placement = %v", zb)
+	}
+	// Data survives the move.
+	got := make([]byte, RegionSize)
+	m.Load(addr.Make(u, 2*RegionSize), got)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("migration corrupted data")
+	}
+	// Future allocations land in the new home zone.
+	m.Store(addr.Make(u, 5*RegionSize), []byte{1})
+	zb, _ = m.ZoneBytes(u)
+	if zb[1] != 0 {
+		t.Fatalf("new allocation went to old zone: %v", zb)
+	}
+	if m.Stats.MigratedBytes != 5*RegionSize {
+		t.Fatalf("MigratedBytes = %d", m.Stats.MigratedBytes)
+	}
+}
+
+func TestMigrateSkipsSharedRegions(t *testing.T) {
+	m := newHeteroMTL(t)
+	m.Data = newDataStore()
+	src := mustEnable(t, m, addr.Size128KB, 1, 0)
+	dst := mustEnable(t, m, addr.Size128KB, 2, 0)
+	m.SetHomeZone(src, 1)
+	m.Store(addr.Make(src, 0), []byte("shared"))
+	m.Clone(src, dst)
+	moved, err := m.MigrateVB(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("moved %d bytes of COW-shared data", moved)
+	}
+}
+
+func TestMigrateStopsWhenZoneFull(t *testing.T) {
+	zones := NewZones(map[string]uint64{"DRAM": 8 << 12, "PCM": 16 << 20}, []string{"DRAM", "PCM"})
+	m := New(Config{}, zones)
+	u := mustEnable(t, m, addr.Size4MB, 1, 0)
+	m.SetHomeZone(u, 1)
+	// Allocate 16 regions in PCM; DRAM only fits 8 frames.
+	for r := uint64(0); r < 16; r++ {
+		if _, err := m.TranslateWriteback(addr.Make(u, r*RegionSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := m.MigrateVB(u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-level table node also lives somewhere; at most 8 frames
+	// of DRAM exist, so strictly fewer than 16 regions moved.
+	if moved == 0 || moved >= 16*RegionSize {
+		t.Fatalf("moved = %d", moved)
+	}
+}
+
+func TestMigrateDirectReservedDowngrades(t *testing.T) {
+	zones := NewZones(map[string]uint64{"DRAM": 16 << 20, "PCM": 16 << 20}, []string{"DRAM", "PCM"})
+	m := New(Config{DelayedAlloc: true, EarlyReservation: true}, zones)
+	u := mustEnable(t, m, addr.Size128KB, 1, 0)
+	m.TranslateWriteback(addr.Make(u, 0))
+	if m.Kind(u) != TransDirect {
+		t.Fatal("not direct")
+	}
+	if _, err := m.MigrateVB(u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind(u) == TransDirect {
+		t.Fatal("reserved direct VB migrated without downgrade")
+	}
+	zb, _ := m.ZoneBytes(u)
+	if zb[1] == 0 {
+		t.Fatalf("nothing moved: %v", zb)
+	}
+}
+
+func TestSetHomeZoneValidation(t *testing.T) {
+	m := newHeteroMTL(t)
+	u := mustEnable(t, m, addr.Size4KB, 1, 0)
+	if err := m.SetHomeZone(u, 5); err == nil {
+		t.Fatal("bad zone accepted")
+	}
+	if err := m.SetHomeZone(addr.MakeVBUID(addr.Size4KB, 77), 0); err == nil {
+		t.Fatal("unknown VB accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package mtl
+
+import (
+	"math/rand"
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/prop"
+)
+
+// TestRandomizedInvariants drives a random lifecycle workload through a
+// two-zone MTL (with delayed allocation and early reservation enabled) and
+// checks CheckInvariants throughout — the broadest property test of the
+// reference implementation.
+func TestRandomizedInvariants(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{DelayedAlloc: true},
+		{DelayedAlloc: true, EarlyReservation: true},
+	} {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			zones := NewZones(map[string]uint64{"fast": 8 << 20, "slow": 24 << 20},
+				[]string{"fast", "slow"})
+			m := New(cfg, zones)
+			m.Data = newDataStore()
+
+			classes := []addr.SizeClass{addr.Size4KB, addr.Size128KB, addr.Size4MB}
+			var live []addr.VBUID
+			nextID := uint64(1)
+
+			for step := 0; step < 1200; step++ {
+				switch op := rng.Intn(12); {
+				case op < 3: // enable
+					u := addr.MakeVBUID(classes[rng.Intn(len(classes))], nextID)
+					nextID++
+					if err := m.Enable(u, prop.Props(rng.Intn(8))); err == nil {
+						live = append(live, u)
+					}
+				case op < 6: // store somewhere
+					if len(live) == 0 {
+						continue
+					}
+					u := live[rng.Intn(len(live))]
+					off := rng.Uint64() % u.Size()
+					if off+4 > u.Size() {
+						off = 0
+					}
+					_ = m.Store(addr.Make(u, off), []byte{1, 2, 3, 4}) // OOM tolerated
+				case op < 8: // timing-path traffic
+					if len(live) == 0 {
+						continue
+					}
+					u := live[rng.Intn(len(live))]
+					a := addr.Make(u, rng.Uint64()%u.Size())
+					if rng.Intn(2) == 0 {
+						_, _ = m.TranslateRead(a)
+					} else {
+						_, _ = m.TranslateWriteback(a)
+					}
+				case op < 9: // clone
+					if len(live) == 0 {
+						continue
+					}
+					src := live[rng.Intn(len(live))]
+					dst := addr.MakeVBUID(src.Class(), nextID)
+					nextID++
+					if err := m.Enable(dst, 0); err == nil {
+						if err := m.Clone(src, dst); err != nil {
+							m.Disable(dst)
+						} else {
+							live = append(live, dst)
+						}
+					}
+				case op < 10: // swap out a VB
+					if len(live) == 0 {
+						continue
+					}
+					_, _ = m.SwapOutVB(live[rng.Intn(len(live))])
+				case op < 11: // promote or migrate
+					if len(live) == 0 {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						_, _ = m.MigrateVB(live[rng.Intn(len(live))], rng.Intn(2))
+						continue
+					}
+					i := rng.Intn(len(live))
+					small := live[i]
+					if small.Class() >= addr.Size4MB {
+						continue
+					}
+					large := addr.MakeVBUID(small.Class()+1, nextID)
+					nextID++
+					if err := m.Enable(large, 0); err != nil {
+						continue
+					}
+					if err := m.Promote(small, large); err != nil {
+						m.Disable(large)
+						continue
+					}
+					m.Disable(small)
+					live[i] = large
+				default: // disable
+					if len(live) == 0 {
+						continue
+					}
+					i := rng.Intn(len(live))
+					if err := m.Disable(live[i]); err != nil {
+						t.Fatalf("step %d disable: %v", step, err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				if step%50 == 0 {
+					if err := m.CheckInvariants(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			// Teardown: everything must come back.
+			for _, u := range live {
+				if err := m.Disable(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			var free, capTotal uint64
+			for _, z := range m.Zones() {
+				free += z.Buddy.FreeBytes()
+				capTotal += z.Buddy.Capacity()
+			}
+			if free != capTotal {
+				t.Fatalf("leak: free %d != capacity %d", free, capTotal)
+			}
+		})
+	}
+}
+
+func cfgName(c Config) string {
+	switch {
+	case c.EarlyReservation:
+		return "full"
+	case c.DelayedAlloc:
+		return "delayed"
+	}
+	return "base"
+}
+
+func TestCheckInvariantsOnHealthyMTL(t *testing.T) {
+	m := newTestMTL(t, Config{DelayedAlloc: true, EarlyReservation: true})
+	u := mustEnable(t, m, addr.Size4MB, 1, 0)
+	m.Store(addr.Make(u, 0), []byte("x"))
+	m.TranslateWriteback(addr.Make(u, 1<<20))
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package mtl
+
+import (
+	"bytes"
+	"testing"
+
+	"vbi/internal/addr"
+)
+
+// TestMultiNodeMTLRouting exercises the §6.2 multi-node arrangement: each
+// node runs its own MTL, VBs are partitioned among the MTLs by the
+// high-order VBID bits, and a VB's home MTL is the only one that manages
+// its memory.
+func TestMultiNodeMTLRouting(t *testing.T) {
+	part := addr.NodePartition{Nodes: 4}
+	mtls := make([]*MTL, part.Nodes)
+	for i := range mtls {
+		mtls[i] = NewSimple(Config{DelayedAlloc: true}, 32<<20)
+	}
+	route := func(u addr.VBUID) *MTL { return mtls[part.HomeOf(u)] }
+
+	// Enable one VB homed at each node and store node-specific data.
+	var vbs []addr.VBUID
+	for n := 0; n < part.Nodes; n++ {
+		lo, _, ok := part.VBIDRange(addr.Size128KB, n)
+		if !ok {
+			t.Fatalf("no range for node %d", n)
+		}
+		u := addr.MakeVBUID(addr.Size128KB, lo+1)
+		if got := part.HomeOf(u); got != n {
+			t.Fatalf("VB homed at %d, want %d", got, n)
+		}
+		if err := route(u).Enable(u, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := route(u).Store(addr.Make(u, 0), []byte{byte('A' + n)}); err != nil {
+			t.Fatal(err)
+		}
+		vbs = append(vbs, u)
+	}
+
+	// Each home MTL serves its own VBs; the others know nothing of them.
+	for n, u := range vbs {
+		got := make([]byte, 1)
+		if err := route(u).Load(addr.Make(u, 0), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte{byte('A' + n)}) {
+			t.Errorf("node %d data = %q", n, got)
+		}
+		other := mtls[(part.HomeOf(u)+1)%part.Nodes]
+		if other.Enabled(u) {
+			t.Errorf("VB %v visible on a foreign MTL", u)
+		}
+		if _, err := other.TranslateRead(addr.Make(u, 0)); err == nil {
+			t.Errorf("foreign MTL translated %v", u)
+		}
+	}
+
+	// Migration between nodes (§6.2: the OS migrates data from a VB hosted
+	// by one MTL to a VB hosted by another): enable a destination VB at
+	// another node, copy, disable the source.
+	src := vbs[0]
+	lo, _, _ := part.VBIDRange(addr.Size128KB, 2)
+	dst := addr.MakeVBUID(addr.Size128KB, lo+7)
+	if err := route(dst).Enable(dst, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	route(src).Load(addr.Make(src, 0), buf)
+	route(dst).Store(addr.Make(dst, 0), buf)
+	if err := route(src).Disable(src); err != nil {
+		t.Fatal(err)
+	}
+	route(dst).Load(addr.Make(dst, 0), buf)
+	if buf[0] != 'A' {
+		t.Errorf("migrated data = %q", buf)
+	}
+}

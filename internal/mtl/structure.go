@@ -1,0 +1,582 @@
+package mtl
+
+import (
+	"fmt"
+
+	"vbi/internal/addr"
+	"vbi/internal/memdata"
+	"vbi/internal/phys"
+)
+
+// TransKind identifies the VB's translation-structure type (§5.2).
+type TransKind uint8
+
+const (
+	// TransNone means no physical memory has been allocated yet.
+	TransNone TransKind = iota
+	// TransDirect maps the whole VB to one contiguous physical region; a
+	// single TLB entry covers the entire VB.
+	TransDirect
+	// TransSingle uses a one-level table of 4 KB mappings (128 KB and 4 MB
+	// VBs); any region resolves with a single memory access.
+	TransSingle
+	// TransMulti uses a multi-level table whose depth grows with the size
+	// class (2 levels for 128 MB up to 4 for 128 TB) — always at most the
+	// 4 levels x86-64 pays for every page.
+	TransMulti
+)
+
+func (k TransKind) String() string {
+	switch k {
+	case TransNone:
+		return "none"
+	case TransDirect:
+		return "direct"
+	case TransSingle:
+		return "single-level"
+	case TransMulti:
+		return "multi-level"
+	}
+	return fmt.Sprintf("TransKind(%d)", uint8(k))
+}
+
+// tableIndexBits is the radix width of multi-level table nodes (512
+// eight-byte entries fill a 4 KB node, as in x86-64).
+const tableIndexBits = 9
+
+// staticKind returns the translation kind the static policy of §5.2 picks
+// for a size class: 4 KB VBs are direct-mapped (they are one region),
+// 128 KB and 4 MB VBs use a single-level table, and larger VBs use a
+// multi-level table.
+func staticKind(c addr.SizeClass) TransKind {
+	switch c {
+	case addr.Size4KB:
+		return TransDirect
+	case addr.Size128KB, addr.Size4MB:
+		return TransSingle
+	default:
+		return TransMulti
+	}
+}
+
+// tableDepth returns the table depth for a size class: classes up to 4 MB
+// use a single level (their whole region index fits one contiguous table,
+// §5.2), larger classes use ceil((offsetBits-12)/9) radix levels.
+func tableDepth(c addr.SizeClass) int {
+	bits := int(c.OffsetBits()) - RegionShift
+	if bits <= 0 {
+		return 0
+	}
+	if staticKind(c) != TransMulti {
+		return 1
+	}
+	return (bits + tableIndexBits - 1) / tableIndexBits
+}
+
+// nodeRef records an allocated table node for teardown.
+type nodeRef struct {
+	base  phys.Addr // global physical address
+	order int
+}
+
+// radixTable is the in-memory translation structure backing TransSingle
+// (depth 1, root possibly spanning several contiguous frames) and
+// TransMulti (depth > 1, 4 KB nodes). Like the page tables of the
+// conventional baselines it is functional: Map installs real mappings and
+// Walk retraces the exact entry addresses hardware would read.
+type radixTable struct {
+	depth   int
+	topBits uint // index bits consumed at the root level
+	root    phys.Addr
+	pte     map[phys.Addr]phys.Addr
+	nodes   []nodeRef
+}
+
+// newRadixTable builds the table skeleton for a size class, allocating the
+// root from the VB's zone.
+func (m *MTL) newRadixTable(vb *vbState, c addr.SizeClass) (*radixTable, error) {
+	return m.newRadixTableBits(vb, uint(int(c.OffsetBits())-RegionShift), tableDepth(c))
+}
+
+// newRadixTableBits builds a table over totalBits of index with the given
+// depth (depth 1 = single contiguous table, deeper = radix-9 nodes).
+func (m *MTL) newRadixTableBits(vb *vbState, totalBits uint, depth int) (*radixTable, error) {
+	t := &radixTable{depth: depth, pte: make(map[phys.Addr]phys.Addr)}
+	var rootOrder int
+	if depth <= 1 {
+		t.depth = 1
+		t.topBits = totalBits
+		// Entries*8 bytes, contiguous: 4 MB VBs need 1024 entries = 2
+		// frames (order 1); 128 KB VBs need 32 entries (order 0).
+		bytes := (uint64(1) << totalBits) * 8
+		if bytes < phys.FrameSize {
+			bytes = phys.FrameSize
+		}
+		o, ok := phys.OrderFor(bytes)
+		if !ok {
+			return nil, fmt.Errorf("mtl: single-level table too large (%d index bits)", totalBits)
+		}
+		rootOrder = o
+	} else {
+		t.topBits = totalBits - uint(tableIndexBits*(depth-1))
+		rootOrder = 0
+	}
+	root, err := m.allocNode(vb, rootOrder)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.nodes = append(t.nodes, nodeRef{root, rootOrder})
+	return t, nil
+}
+
+// allocNode allocates a table node from the VB's home zone.
+func (m *MTL) allocNode(vb *vbState, order int) (phys.Addr, error) {
+	z := m.zones[vb.zone]
+	local, ok := z.Buddy.Alloc(vb.id, order)
+	if !ok {
+		// Fall back to any zone with space.
+		for _, alt := range m.zones {
+			if local, ok = alt.Buddy.Alloc(vb.id, order); ok {
+				return alt.Base + local, nil
+			}
+		}
+		return phys.NoAddr, fmt.Errorf("mtl: out of memory for table node")
+	}
+	return z.Base + local, nil
+}
+
+// indexAt returns the radix index consumed at level k (0 = root).
+func (t *radixTable) indexAt(region uint64, k int) uint64 {
+	if k == 0 {
+		if t.topBits == 0 {
+			return 0
+		}
+		shift := uint(tableIndexBits * (t.depth - 1))
+		return (region >> shift) & (1<<t.topBits - 1)
+	}
+	shift := uint(tableIndexBits * (t.depth - 1 - k))
+	return (region >> shift) & (1<<tableIndexBits - 1)
+}
+
+func tableEntryAddr(node phys.Addr, idx uint64) phys.Addr {
+	return node + phys.Addr(idx*8)
+}
+
+// walk returns the entry addresses a hardware walk of region touches, the
+// mapped frame, and whether the region is mapped. A walk that finds a hole
+// stops early (fewer accesses), mirroring a radix walker hitting a
+// non-present entry.
+func (t *radixTable) walk(region uint64) (accesses []phys.Addr, frame phys.Addr, ok bool) {
+	node := t.root
+	for k := 0; k < t.depth; k++ {
+		e := tableEntryAddr(node, t.indexAt(region, k))
+		accesses = append(accesses, e)
+		val, present := t.pte[e]
+		if !present {
+			return accesses, phys.NoAddr, false
+		}
+		if k == t.depth-1 {
+			return accesses, val, true
+		}
+		node = val
+	}
+	return accesses, phys.NoAddr, false
+}
+
+// mapRegion installs region -> frame, allocating intermediate nodes.
+func (m *MTL) mapRegion(vb *vbState, region uint64, frame phys.Addr) error {
+	t := vb.table
+	node := t.root
+	for k := 0; k < t.depth-1; k++ {
+		e := tableEntryAddr(node, t.indexAt(region, k))
+		next, ok := t.pte[e]
+		if !ok {
+			n, err := m.allocNode(vb, 0)
+			if err != nil {
+				return err
+			}
+			t.nodes = append(t.nodes, nodeRef{n, 0})
+			t.pte[e] = n
+			next = n
+		}
+		node = next
+	}
+	t.pte[tableEntryAddr(node, t.indexAt(region, t.depth-1))] = frame
+	return nil
+}
+
+// unmapRegion clears the leaf entry for region (nodes are retained until
+// the VB is disabled).
+func (t *radixTable) unmapRegion(region uint64) {
+	node := t.root
+	for k := 0; k < t.depth-1; k++ {
+		next, ok := t.pte[tableEntryAddr(node, t.indexAt(region, k))]
+		if !ok {
+			return
+		}
+		node = next
+	}
+	delete(t.pte, tableEntryAddr(node, t.indexAt(region, t.depth-1)))
+}
+
+// freeTable releases every node of the VB's table.
+func (m *MTL) freeTable(vb *vbState) {
+	for _, n := range vb.table.nodes {
+		m.freeFrame(n.base, n.order)
+	}
+	vb.table = nil
+}
+
+// ensureStructure lazily builds the VB's translation structure at its
+// first allocation, applying early reservation when configured (§5.3).
+func (m *MTL) ensureStructure(vb *vbState) error {
+	if vb.kind != TransNone {
+		return nil
+	}
+	c := vb.id.Class()
+	if m.cfg.EarlyReservation {
+		// Try to reserve the whole VB contiguously in its home zone; on
+		// success the VB is direct-mapped with a single TLB entry.
+		if order, ok := phys.OrderFor(c.Bytes()); ok {
+			z := m.zones[vb.zone]
+			if local, ok := z.Buddy.Reserve(vb.id, order); ok {
+				vb.kind = TransDirect
+				vb.directBase = z.Base + local
+				vb.reservedOrder = order
+				m.Stats.Reservations++
+				return nil
+			}
+		}
+		// §5.3 fallback: not enough contiguity for the whole VB, so map
+		// it sparsely in blocks of the largest size class that can still
+		// be reserved contiguously — a single-level table whose entries
+		// each cover one reserved chunk.
+		if shift, ok := m.chunkedShift(vb); ok {
+			t, err := m.newRadixTableBits(vb, c.OffsetBits()-shift, 1)
+			if err == nil {
+				vb.kind = TransSingle
+				vb.table = t
+				vb.blockShift = shift
+				vb.blocks = make(map[uint64]phys.Addr)
+				return nil
+			}
+		}
+		// Otherwise fall through to the static page-granularity policy.
+	}
+	return m.staticStructure(vb)
+}
+
+// staticStructure builds the page-granularity structure of the static
+// policy (§5.2), or a fixed 4-level table when the flexible-structure
+// ablation is active.
+func (m *MTL) staticStructure(vb *vbState) error {
+	c := vb.id.Class()
+	if m.cfg.UniformTables {
+		t, err := m.newUniformTable(vb, c)
+		if err != nil {
+			return err
+		}
+		vb.kind = TransMulti
+		vb.table = t
+		return nil
+	}
+	switch staticKind(c) {
+	case TransDirect: // 4 KB VB: one region, direct-mapped
+		frame, err := m.allocRegionFrame(vb)
+		if err != nil {
+			return err
+		}
+		vb.kind = TransDirect
+		vb.directBase = frame
+		return nil
+	case TransSingle:
+		t, err := m.newRadixTable(vb, c)
+		if err != nil {
+			return err
+		}
+		vb.kind = TransSingle
+		vb.table = t
+		return nil
+	default:
+		t, err := m.newRadixTable(vb, c)
+		if err != nil {
+			return err
+		}
+		vb.kind = TransMulti
+		vb.table = t
+		return nil
+	}
+}
+
+// newUniformTable builds a fixed 4-level table regardless of size class
+// (upper levels of small VBs consume zero index bits, as x86-64 walks four
+// levels no matter how little of the address space a process uses).
+func (m *MTL) newUniformTable(vb *vbState, c addr.SizeClass) (*radixTable, error) {
+	totalBits := uint(0)
+	if int(c.OffsetBits()) > RegionShift {
+		totalBits = c.OffsetBits() - RegionShift
+	}
+	t := &radixTable{depth: 4, pte: make(map[phys.Addr]phys.Addr)}
+	if totalBits > 27 {
+		t.topBits = totalBits - 27
+	}
+	root, err := m.allocNode(vb, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.nodes = append(t.nodes, nodeRef{root, 0})
+	return t, nil
+}
+
+// chunkedShift picks the block size (log2) for the chunked-reservation
+// fallback: the largest contiguous chunk still reservable in the home
+// zone, clamped so the single-level table keeps between 8 and 4096
+// entries. ok is false when no useful chunking exists (block would be a
+// single page, or the VB is too small to chunk).
+func (m *MTL) chunkedShift(vb *vbState) (uint, bool) {
+	c := vb.id.Class()
+	offsetBits := c.OffsetBits()
+	z := m.zones[vb.zone]
+	maxOrder := z.Buddy.LargestUnreservedOrder()
+	if maxOrder < 1 {
+		return 0, false
+	}
+	shift := uint(RegionShift + maxOrder)
+	if shift > offsetBits-3 {
+		shift = offsetBits - 3 // at least 8 blocks, else direct would fit
+	}
+	if shift < offsetBits-12 {
+		shift = offsetBits - 12 // at most 4096 table entries
+	}
+	if shift <= RegionShift || shift > uint(RegionShift+maxOrder) {
+		return 0, false
+	}
+	return shift, true
+}
+
+// blockIndex returns the table index of the region under the VB's mapping
+// granularity.
+func (vb *vbState) blockIndex(region uint64) uint64 {
+	if vb.blockShift > RegionShift {
+		return region >> (vb.blockShift - RegionShift)
+	}
+	return region
+}
+
+// allocRegionFrame grabs one 4 KB frame for the VB from its home zone,
+// falling back to other zones (the buddy's own three-level priority
+// handles reservations within a zone).
+func (m *MTL) allocRegionFrame(vb *vbState) (phys.Addr, error) {
+	z := m.zones[vb.zone]
+	if local, ok := z.Buddy.Alloc(vb.id, 0); ok {
+		return z.Base + local, nil
+	}
+	for _, alt := range m.zones {
+		if local, ok := alt.Buddy.Alloc(vb.id, 0); ok {
+			return alt.Base + local, nil
+		}
+	}
+	return phys.NoAddr, fmt.Errorf("mtl: out of physical memory")
+}
+
+// allocateRegion materializes the 4 KB region of the VB, zero-filling (or
+// demand-loading) its data. For direct-mapped VBs the frame is the fixed
+// slot inside the reservation; if that slot was stolen under memory
+// pressure the VB loses its direct mapping and is downgraded to the static
+// page-granularity structure (§5.3: a VB is direct-mapped only while all
+// its memory maps to a single contiguous region).
+func (m *MTL) allocateRegion(vb *vbState, region uint64) (phys.Addr, error) {
+	if frame, ok := vb.regions[region]; ok {
+		return frame, nil
+	}
+	if err := m.ensureStructure(vb); err != nil {
+		return phys.NoAddr, err
+	}
+	var frame phys.Addr
+	switch vb.kind {
+	case TransDirect:
+		want := vb.directBase + phys.Addr(region<<RegionShift)
+		if vb.reservedOrder >= 0 {
+			z := m.zones[m.ZoneOf(vb.directBase)]
+			if z.Buddy.AllocAt(vb.id, want-z.Base, 0) {
+				frame = want
+				break
+			}
+			// Reservation slot stolen: downgrade to page granularity.
+			if err := m.downgradeDirect(vb); err != nil {
+				return phys.NoAddr, err
+			}
+			f, err := m.allocRegionFrame(vb)
+			if err != nil {
+				return phys.NoAddr, err
+			}
+			if err := m.mapRegion(vb, region, f); err != nil {
+				return phys.NoAddr, err
+			}
+			frame = f
+			break
+		}
+		// 4 KB VB: region 0 is the direct base itself (allocated by
+		// ensureStructure); any other region is out of range.
+		if region != 0 {
+			return phys.NoAddr, fmt.Errorf("mtl: region %d out of range for 4 KB VB", region)
+		}
+		frame = vb.directBase
+	case TransSingle, TransMulti:
+		if vb.blockShift > RegionShift {
+			f, finalized, err := m.allocChunkedRegion(vb, region)
+			if err != nil {
+				return phys.NoAddr, err
+			}
+			if finalized {
+				// A downgrade re-entered allocateRegion, which completed
+				// the bookkeeping already.
+				return f, nil
+			}
+			frame = f
+			break
+		}
+		f, err := m.allocRegionFrame(vb)
+		if err != nil {
+			return phys.NoAddr, err
+		}
+		if err := m.mapRegion(vb, region, f); err != nil {
+			return phys.NoAddr, err
+		}
+		frame = f
+	default:
+		return phys.NoAddr, fmt.Errorf("mtl: %v has no structure", vb.id)
+	}
+	vb.regions[region] = frame
+	m.Stats.RegionAllocs++
+	m.fillFreshRegion(vb, region, frame)
+	return frame, nil
+}
+
+// allocChunkedRegion materializes a region of a chunk-mapped VB (§5.3
+// fallback): the containing block is reserved contiguously on first touch,
+// and the region is carved at its fixed slot inside the chunk. Losing
+// either (chunk reservation impossible, or the slot stolen) downgrades the
+// VB to page granularity.
+func (m *MTL) allocChunkedRegion(vb *vbState, region uint64) (frame phys.Addr, finalized bool, err error) {
+	blockIdx := vb.blockIndex(region)
+	chunkBase, ok := vb.blocks[blockIdx]
+	if !ok {
+		z := m.zones[vb.zone]
+		order := int(vb.blockShift) - RegionShift
+		local, reserved := z.Buddy.Reserve(vb.id, order)
+		if !reserved {
+			if err := m.downgradeToPages(vb); err != nil {
+				return phys.NoAddr, false, err
+			}
+			f, err := m.allocateRegion(vb, region)
+			return f, true, err
+		}
+		chunkBase = z.Base + local
+		vb.blocks[blockIdx] = chunkBase
+		if err := m.mapRegion(vb, blockIdx, chunkBase); err != nil {
+			return phys.NoAddr, false, err
+		}
+		m.Stats.Reservations++
+	}
+	regionsPerBlock := uint64(1) << (vb.blockShift - RegionShift)
+	want := chunkBase + phys.Addr((region-blockIdx*regionsPerBlock)<<RegionShift)
+	z := m.zones[m.ZoneOf(chunkBase)]
+	if z.Buddy.AllocAt(vb.id, want-z.Base, 0) {
+		return want, false, nil
+	}
+	// Slot stolen under pressure: lose the chunked mapping.
+	if err := m.downgradeToPages(vb); err != nil {
+		return phys.NoAddr, false, err
+	}
+	f, err := m.allocateRegion(vb, region)
+	return f, true, err
+}
+
+// downgradeDirect demotes a direct-mapped VB to page granularity.
+func (m *MTL) downgradeDirect(vb *vbState) error { return m.downgradeToPages(vb) }
+
+// downgradeToPages demotes a direct-mapped or chunk-mapped VB to the static
+// page-granularity structure, re-mapping its already-allocated regions in
+// place (they remain where they were, so no copying is needed) and
+// releasing outstanding reservations.
+func (m *MTL) downgradeToPages(vb *vbState) error {
+	c := vb.id.Class()
+	if vb.table != nil {
+		m.freeTable(vb)
+	}
+	vb.blockShift = RegionShift
+	vb.blocks = nil
+	if m.cfg.UniformTables {
+		t, err := m.newUniformTable(vb, c)
+		if err != nil {
+			return err
+		}
+		vb.table = t
+		vb.kind = TransMulti
+	} else {
+		t, err := m.newRadixTable(vb, c)
+		if err != nil {
+			return err
+		}
+		vb.table = t
+		vb.kind = staticKind(c)
+		if vb.kind == TransDirect { // 4 KB class: re-point via a table
+			vb.kind = TransSingle
+		}
+	}
+	for region, frame := range vb.regions {
+		if err := m.mapRegion(vb, region, frame); err != nil {
+			return err
+		}
+	}
+	m.zones[vb.zone].Buddy.Unreserve(vb.id)
+	vb.reservedOrder = -1
+	vb.directBase = phys.NoAddr
+	m.Stats.Downgrades++
+	// Whole-VB / whole-chunk TLB entries are stale now.
+	m.InvalidateTLBRange(vb.id.Base(), vb.id.Size())
+	return nil
+}
+
+// fillFreshRegion initializes the data of a newly-allocated region: file
+// contents for memory-mapped files, swapped-out bytes for regions coming
+// back from the backing store, zeros otherwise.
+func (m *MTL) fillFreshRegion(vb *vbState, region uint64, frame phys.Addr) {
+	if m.Data == nil {
+		if vb.swapped[region] {
+			delete(vb.swapped, region)
+			m.Stats.OSFaults++
+		}
+		return
+	}
+	vbiBase := uint64(vb.id.Base()) + region<<RegionShift
+	switch {
+	case vb.swapped[region]:
+		copyFromStore(m.Data, m.swap, uint64(frame), vbiBase)
+		delete(vb.swapped, region)
+		m.swap.ZeroRange(vbiBase, RegionSize)
+		m.Stats.OSFaults++
+	case vb.isFile:
+		copyFromStore(m.Data, m.files, uint64(frame), vbiBase)
+		m.Stats.OSFaults++
+	default:
+		m.Data.ZeroRange(uint64(frame), RegionSize)
+	}
+}
+
+// copyFromStore copies one region from src (at srcAddr) into dst (dstAddr).
+func copyFromStore(dst, src *memdata.Store, dstAddr, srcAddr uint64) {
+	buf := make([]byte, RegionSize)
+	src.Read(srcAddr, buf)
+	dst.Write(dstAddr, buf)
+}
+
+// regionFrame returns the frame backing the region, consulting the direct
+// mapping or the table, without allocating.
+func (vb *vbState) regionFrame(region uint64) (phys.Addr, bool) {
+	frame, ok := vb.regions[region]
+	return frame, ok
+}

@@ -1,0 +1,116 @@
+// Package osmodel simulates the operating-system layer of every evaluated
+// system: demand-paged virtual memory for the conventional baselines
+// (Native, Native-2M, VIVT, Perfect TLB), two-level guest/host management
+// for the virtualized baselines (Virtual, Virtual-2M), and the VBI-side OS
+// of §4.4 — process creation and destruction, the request_vb system call,
+// forking with clone_vb, shared libraries with CVT-relative layout, and VB
+// promotion.
+package osmodel
+
+import (
+	"fmt"
+
+	"vbi/internal/pagetable"
+	"vbi/internal/phys"
+)
+
+// Bump is a simple bump allocator over a physical range. The conventional
+// OS model never frees during a run (the paper's workload regions run to
+// completion), so bump allocation keeps the model minimal and
+// deterministic. It hands out both 4 KB table nodes and page-sized frames.
+type Bump struct {
+	next  phys.Addr
+	limit phys.Addr
+}
+
+// NewBump allocates from [base, base+size).
+func NewBump(base phys.Addr, size uint64) *Bump {
+	return &Bump{next: base, limit: base + phys.Addr(size)}
+}
+
+// Alloc returns a 4 KB frame (satisfies pagetable.FrameSource).
+func (b *Bump) Alloc() (phys.Addr, bool) { return b.AllocSized(phys.FrameSize) }
+
+// AllocSized returns a size-aligned block of size bytes.
+func (b *Bump) AllocSized(size uint64) (phys.Addr, bool) {
+	aligned := (b.next + phys.Addr(size-1)) &^ phys.Addr(size-1)
+	if aligned+phys.Addr(size) > b.limit {
+		return phys.NoAddr, false
+	}
+	b.next = aligned + phys.Addr(size)
+	return aligned, true
+}
+
+// Used returns the bytes consumed so far.
+func (b *Bump) Used(base phys.Addr) uint64 { return uint64(b.next - base) }
+
+// ConvStats counts OS events of the conventional model.
+type ConvStats struct {
+	MinorFaults uint64 // demand-paging first-touch faults
+	PagesMapped uint64
+}
+
+// ConvOS is the conventional-baseline OS: per-process radix page tables
+// over a flat physical memory, demand paging at the configured page size.
+type ConvOS struct {
+	Geo   pagetable.Geometry
+	Stats ConvStats
+	alloc *Bump
+}
+
+// NewConvOS builds the OS over capacity bytes of physical memory.
+func NewConvOS(geo pagetable.Geometry, capacity uint64) *ConvOS {
+	return &ConvOS{Geo: geo, alloc: NewBump(0, capacity)}
+}
+
+// ConvProcess is one conventional process: a virtual address space managed
+// with mmap-style bump allocation and a private page table.
+type ConvProcess struct {
+	os    *ConvOS
+	Table *pagetable.Table
+	// brk is the next free virtual address for Mmap.
+	brk uint64
+}
+
+// NewProcess creates a process with an empty page table.
+func (o *ConvOS) NewProcess() (*ConvProcess, error) {
+	t, err := pagetable.New(o.Geo, o.alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &ConvProcess{os: o, Table: t, brk: 0x10000000}, nil
+}
+
+// Mmap reserves a size-byte region of the virtual address space (no
+// physical memory until first touch) and returns its base.
+func (p *ConvProcess) Mmap(size uint64) uint64 {
+	pageSize := p.os.Geo.PageSize()
+	base := (p.brk + pageSize - 1) &^ (pageSize - 1)
+	p.brk = base + size
+	return base
+}
+
+// Touch performs demand paging for va: on the first access to a page the
+// OS takes a minor fault, allocates a frame and maps it. It reports
+// whether a fault occurred.
+func (p *ConvProcess) Touch(va uint64) (fault bool, err error) {
+	pageVA := va &^ (p.os.Geo.PageSize() - 1)
+	if _, ok := p.Table.Lookup(pageVA); ok {
+		return false, nil
+	}
+	frame, ok := p.os.alloc.AllocSized(p.os.Geo.PageSize())
+	if !ok {
+		return false, fmt.Errorf("osmodel: out of physical memory")
+	}
+	if err := p.Table.Map(pageVA, frame); err != nil {
+		return false, err
+	}
+	p.os.Stats.MinorFaults++
+	p.os.Stats.PagesMapped++
+	return true, nil
+}
+
+// Translate returns the physical address of va, which must be mapped.
+func (p *ConvProcess) Translate(va uint64) (phys.Addr, bool) {
+	return p.Table.Lookup(va)
+}

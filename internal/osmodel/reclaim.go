@@ -1,0 +1,120 @@
+package osmodel
+
+import (
+	"sort"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+)
+
+// Reclaimer implements the physical-memory-capacity management of §3.4:
+// when the MTL runs low on physical memory it uses the two system calls
+// that move data between memory and the backing store, evicting the
+// coldest virtual blocks (by the MTL's own access counters) until free
+// memory recovers. It is the VBI analogue of a kswapd daemon, except the
+// eviction-candidate ranking comes from the memory controller, which sees
+// actual memory-level access counts rather than page-table access bits.
+type Reclaimer struct {
+	MTL *mtl.MTL
+	// LowWater triggers reclamation when free bytes drop below it.
+	LowWater uint64
+	// HighWater is the free-byte target reclamation works toward.
+	HighWater uint64
+
+	// Reclaimed counts regions moved to the backing store.
+	Reclaimed int
+}
+
+// NewReclaimer builds a reclaimer with watermarks at lowPct/highPct percent
+// of total capacity.
+func NewReclaimer(m *mtl.MTL, lowPct, highPct int) *Reclaimer {
+	var capTotal uint64
+	for _, z := range m.Zones() {
+		capTotal += z.Buddy.Capacity()
+	}
+	return &Reclaimer{
+		MTL:       m,
+		LowWater:  capTotal * uint64(lowPct) / 100,
+		HighWater: capTotal * uint64(highPct) / 100,
+	}
+}
+
+// Pressure reports whether free memory is below the low watermark.
+func (r *Reclaimer) Pressure() bool {
+	return r.MTL.FreeBytes() < r.LowWater
+}
+
+// Run performs one reclamation pass if under pressure, returning the
+// number of regions swapped out. Coldest VBs go first; reclamation stops
+// at the high watermark (or when nothing evictable remains).
+func (r *Reclaimer) Run() (int, error) {
+	if !r.Pressure() {
+		return 0, nil
+	}
+	counts := r.MTL.AccessCounts() // hottest first
+	// Evict coldest first.
+	sort.SliceStable(counts, func(i, j int) bool {
+		return counts[i].Accesses < counts[j].Accesses
+	})
+	total := 0
+	for _, c := range counts {
+		if r.MTL.FreeBytes() >= r.HighWater {
+			break
+		}
+		if c.Bytes == 0 {
+			continue
+		}
+		n, err := r.MTL.SwapOutVB(c.VB)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	r.Reclaimed += total
+	return total, nil
+}
+
+// ReclaimFor frees memory until at least want bytes are available (or no
+// more can be reclaimed), regardless of watermarks — the direct servicing
+// path for an allocation that just failed.
+func (r *Reclaimer) ReclaimFor(want uint64) (int, error) {
+	counts := r.MTL.AccessCounts()
+	sort.SliceStable(counts, func(i, j int) bool {
+		return counts[i].Accesses < counts[j].Accesses
+	})
+	total := 0
+	for _, c := range counts {
+		if r.MTL.FreeBytes() >= want {
+			break
+		}
+		if c.Bytes == 0 {
+			continue
+		}
+		n, err := r.MTL.SwapOutVB(c.VB)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	r.Reclaimed += total
+	return total, nil
+}
+
+// ColdestVBs returns the n coldest VBs with resident memory (for tests and
+// policy introspection).
+func (r *Reclaimer) ColdestVBs(n int) []addr.VBUID {
+	counts := r.MTL.AccessCounts()
+	sort.SliceStable(counts, func(i, j int) bool {
+		return counts[i].Accesses < counts[j].Accesses
+	})
+	var out []addr.VBUID
+	for _, c := range counts {
+		if len(out) == n {
+			break
+		}
+		if c.Bytes > 0 {
+			out = append(out, c.VB)
+		}
+	}
+	return out
+}

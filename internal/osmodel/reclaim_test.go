@@ -1,0 +1,124 @@
+package osmodel
+
+import (
+	"bytes"
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/mtl"
+)
+
+func newPressuredMTL(t *testing.T) (*mtl.MTL, []addr.VBUID) {
+	t.Helper()
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true}, 4<<20) // 4 MB
+	var vbs []addr.VBUID
+	for i := uint64(1); i <= 24; i++ { // 24 x 128 KB = 3 MB resident
+		u := addr.MakeVBUID(addr.Size128KB, i)
+		if err := m.Enable(u, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Prefill(u, 128<<10); err != nil {
+			t.Fatal(err)
+		}
+		vbs = append(vbs, u)
+	}
+	return m, vbs
+}
+
+func TestReclaimerPressure(t *testing.T) {
+	m, _ := newPressuredMTL(t)
+	r := NewReclaimer(m, 50, 75) // low 2 MB, high 3 MB; free is 1 MB
+	if !r.Pressure() {
+		t.Fatalf("no pressure at %d free of %d low water", m.FreeBytes(), r.LowWater)
+	}
+	n, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing reclaimed under pressure")
+	}
+	if m.FreeBytes() < r.HighWater {
+		t.Fatalf("free %d below high water %d after reclaim", m.FreeBytes(), r.HighWater)
+	}
+	if r.Pressure() {
+		t.Fatal("still under pressure")
+	}
+	// Idempotent when healthy.
+	if n, _ := r.Run(); n != 0 {
+		t.Fatalf("healthy reclaim pass moved %d regions", n)
+	}
+}
+
+func TestReclaimerEvictsColdestFirst(t *testing.T) {
+	m, vbs := newPressuredMTL(t)
+	// Heat up every VB except the first two.
+	for _, u := range vbs[2:] {
+		for i := 0; i < 20; i++ {
+			m.TranslateRead(addr.Make(u, 0))
+		}
+	}
+	r := NewReclaimer(m, 40, 45)
+	cold := r.ColdestVBs(2)
+	seen := map[addr.VBUID]bool{cold[0]: true, cold[1]: true}
+	if !seen[vbs[0]] || !seen[vbs[1]] {
+		t.Fatalf("coldest = %v, want the two untouched VBs", cold)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The cold VBs must be fully swapped out before hot ones are touched.
+	if m.AllocatedRegions(vbs[0]) != 0 || m.AllocatedRegions(vbs[1]) != 0 {
+		t.Fatal("cold VBs survived while under pressure")
+	}
+}
+
+func TestReclaimerDataSurvives(t *testing.T) {
+	m, vbs := newPressuredMTL(t)
+	payload := []byte("must survive the swap")
+	if err := m.Store(addr.Make(vbs[0], 100), payload); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReclaimer(m, 90, 95) // force heavy reclamation
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := m.Load(addr.Make(vbs[0], 100), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("data after reclaim = %q", got)
+	}
+	// And the swapped VB faults back in on demand.
+	ev, err := m.TranslateRead(addr.Make(vbs[0], 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.OSFault {
+		t.Fatal("no swap-in fault after reclaim")
+	}
+}
+
+func TestReclaimForServicesAllocation(t *testing.T) {
+	m, _ := newPressuredMTL(t)
+	r := NewReclaimer(m, 10, 20)
+	want := uint64(2 << 20)
+	if m.FreeBytes() >= want {
+		t.Fatal("test setup: memory not scarce")
+	}
+	if _, err := r.ReclaimFor(want); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBytes() < want {
+		t.Fatalf("free %d after ReclaimFor(%d)", m.FreeBytes(), want)
+	}
+	// The freed memory is genuinely allocatable.
+	u := addr.MakeVBUID(addr.Size4MB, 999)
+	if err := m.Enable(u, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prefill(u, 1<<20); err != nil {
+		t.Fatalf("allocation after reclaim failed: %v", err)
+	}
+}

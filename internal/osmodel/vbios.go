@@ -1,0 +1,247 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"vbi/internal/addr"
+	"vbi/internal/core"
+	"vbi/internal/prop"
+)
+
+// VBIOS is the VBI-side operating system of §4.4: it owns client IDs,
+// implements the request_vb system call (§4.2), process creation, forking
+// via clone_vb, destruction, shared libraries with the +1 CVT-relative
+// layout, and the VB promotion flow. The OS retains full control over
+// access protection (who can attach to which VB) while the MTL owns
+// allocation and translation.
+type VBIOS struct {
+	Sys *core.System
+
+	// OnDisable, when set, is invoked before a VB's VBID is recycled so
+	// the platform can perform the lazy cache cleanup of §4.2.4 (stale
+	// lines of a disabled VB must be invalidated before its VBUID is
+	// reused). The timing simulator wires this to the cache hierarchy.
+	OnDisable func(u addr.VBUID)
+
+	nextClient core.ClientID
+	// nextVBID tracks the allocation cursor per size class; freed VBIDs
+	// are recycled first (the OS reuses previously-disabled VBs to bound
+	// VIT growth, §4.5.1).
+	nextVBID [addr.NumSizeClasses]uint64
+	freed    [addr.NumSizeClasses][]uint64
+}
+
+// NewVBIOS boots the OS over the architectural system. VBID 0 of every
+// class is skipped so NilVBUID never names a live VB.
+func NewVBIOS(sys *core.System) *VBIOS {
+	o := &VBIOS{Sys: sys, nextClient: core.KernelClient + 1}
+	for c := range o.nextVBID {
+		o.nextVBID[c] = 1
+	}
+	sys.RegisterClient(core.KernelClient)
+	return o
+}
+
+// VBIProcess is one running process: a client ID plus the OS-side notion
+// of which CVT entries it owns.
+type VBIProcess struct {
+	Client core.ClientID
+	os     *VBIOS
+}
+
+// CreateProcess assigns a fresh client ID (§4.4 "Process Creation").
+func (o *VBIOS) CreateProcess() *VBIProcess {
+	c := o.nextClient
+	o.nextClient++
+	o.Sys.RegisterClient(c)
+	return &VBIProcess{Client: c, os: o}
+}
+
+// freeVB picks the smallest free VB that fits size bytes: recycled VBIDs
+// first, then the cursor.
+func (o *VBIOS) freeVB(size uint64) (addr.VBUID, error) {
+	c, ok := addr.ClassFor(size)
+	if !ok {
+		return addr.NilVBUID, fmt.Errorf("vbios: no size class holds %d bytes", size)
+	}
+	if n := len(o.freed[c]); n > 0 {
+		vbid := o.freed[c][n-1]
+		o.freed[c] = o.freed[c][:n-1]
+		return addr.MakeVBUID(c, vbid), nil
+	}
+	vbid := o.nextVBID[c]
+	if vbid > c.MaxVBID() {
+		return addr.NilVBUID, fmt.Errorf("vbios: class %v exhausted", c)
+	}
+	o.nextVBID[c]++
+	return addr.MakeVBUID(c, vbid), nil
+}
+
+// RequestVB implements the request_vb system call (§4.2): the OS finds the
+// smallest free VB that fits, enables it with the given properties,
+// attaches the calling process, and returns the CVT index — the pointer
+// the program uses from then on.
+func (o *VBIOS) RequestVB(p *VBIProcess, size uint64, props prop.Props) (int, addr.VBUID, error) {
+	u, err := o.freeVB(size)
+	if err != nil {
+		return 0, addr.NilVBUID, err
+	}
+	if err := o.Sys.EnableVB(u, props); err != nil {
+		return 0, addr.NilVBUID, err
+	}
+	perm := core.PermRW
+	if props.Has(prop.Code) {
+		perm = core.PermRX
+	}
+	if props.Has(prop.ReadOnly) {
+		perm &^= core.PermW
+	}
+	idx, err := o.Sys.Attach(p.Client, u, perm)
+	if err != nil {
+		return 0, addr.NilVBUID, err
+	}
+	return idx, u, nil
+}
+
+// AttachShared attaches an existing VB (true sharing, §3.4).
+func (o *VBIOS) AttachShared(p *VBIProcess, u addr.VBUID, perm core.Perm) (int, error) {
+	return o.Sys.Attach(p.Client, u, perm)
+}
+
+// LoadLibrary maps a shared library for the process (§4.4): the code VB is
+// attached (shared across processes), and a private static-data VB of
+// staticSize is enabled and attached at the next CVT index so +1
+// CVT-relative references resolve.
+func (o *VBIOS) LoadLibrary(p *VBIProcess, codeVB addr.VBUID, staticSize uint64) (codeIdx int, err error) {
+	codeIdx, err = o.Sys.Attach(p.Client, codeVB, core.PermRX)
+	if err != nil {
+		return 0, err
+	}
+	static, err := o.freeVB(staticSize)
+	if err != nil {
+		return 0, err
+	}
+	if err := o.Sys.EnableVB(static, 0); err != nil {
+		return 0, err
+	}
+	if err := o.Sys.AttachAt(p.Client, codeIdx+1, static, core.PermRW); err != nil {
+		return 0, err
+	}
+	return codeIdx, nil
+}
+
+// Fork replicates the process (§4.4): the child gets the same CVT indices;
+// shared VBs (reference count > 1) are attached directly, private VBs are
+// cloned with clone_vb so the child's VBs keep the parent's CVT indices
+// and pointer validity.
+func (o *VBIOS) Fork(p *VBIProcess) (*VBIProcess, error) {
+	child := o.CreateProcess()
+	cvt, err := o.Sys.CVT(p.Client)
+	if err != nil {
+		return nil, err
+	}
+	for idx, e := range cvt {
+		if !e.Valid {
+			continue
+		}
+		if o.Sys.MTL.RefCount(e.VB) > 1 {
+			// Shared VB: both processes reference the same VB.
+			if err := o.Sys.AttachAt(child.Client, idx, e.VB, e.Perm); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		clone, err := o.freeVB(e.VB.Size())
+		if err != nil {
+			return nil, err
+		}
+		props, _ := o.Sys.MTL.Props(e.VB)
+		if err := o.Sys.EnableVB(clone, props); err != nil {
+			return nil, err
+		}
+		if err := o.Sys.CloneVB(e.VB, clone); err != nil {
+			return nil, err
+		}
+		if err := o.Sys.AttachAt(child.Client, idx, clone, e.Perm); err != nil {
+			return nil, err
+		}
+	}
+	return child, nil
+}
+
+// PromoteVB grows the data structure at the process's CVT index into a VB
+// of the next sufficient size class (§4.2.1, §4.4): enable a larger VB,
+// transfer translation state with promote_vb, update the CVT entry in
+// place (pointers stay valid), and retire the small VB.
+func (o *VBIOS) PromoteVB(p *VBIProcess, idx int, newSize uint64) (addr.VBUID, error) {
+	cvt, err := o.Sys.CVT(p.Client)
+	if err != nil {
+		return addr.NilVBUID, err
+	}
+	if idx < 0 || idx >= len(cvt) || !cvt[idx].Valid {
+		return addr.NilVBUID, fmt.Errorf("vbios: bad CVT index %d", idx)
+	}
+	small := cvt[idx].VB
+	if newSize <= small.Size() {
+		return addr.NilVBUID, fmt.Errorf("vbios: promotion must grow the VB")
+	}
+	props, _ := o.Sys.MTL.Props(small)
+	large, err := o.freeVB(newSize)
+	if err != nil {
+		return addr.NilVBUID, err
+	}
+	if err := o.Sys.EnableVB(large, props); err != nil {
+		return addr.NilVBUID, err
+	}
+	if err := o.Sys.PromoteVB(small, large); err != nil {
+		return addr.NilVBUID, err
+	}
+	if err := o.Sys.ReplaceVB(p.Client, idx, large); err != nil {
+		return addr.NilVBUID, err
+	}
+	// The small VB's reference count dropped with ReplaceVB; disable it
+	// when unreferenced.
+	if o.Sys.MTL.RefCount(small) == 0 {
+		if err := o.disableAndRecycle(small); err != nil {
+			return addr.NilVBUID, err
+		}
+	}
+	return large, nil
+}
+
+// DestroyProcess detaches every VB and disables those whose reference
+// count drops to zero (§4.2.4), then frees the client ID for reuse.
+func (o *VBIOS) DestroyProcess(p *VBIProcess) error {
+	cvt, err := o.Sys.CVT(p.Client)
+	if err != nil {
+		return err
+	}
+	for idx, e := range cvt {
+		if !e.Valid {
+			continue
+		}
+		n, err := o.Sys.DetachIndex(p.Client, idx)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			if err := o.disableAndRecycle(e.VB); err != nil {
+				return err
+			}
+		}
+	}
+	o.Sys.ReleaseClient(p.Client)
+	return nil
+}
+
+func (o *VBIOS) disableAndRecycle(u addr.VBUID) error {
+	if err := o.Sys.DisableVB(u); err != nil {
+		return err
+	}
+	if o.OnDisable != nil {
+		o.OnDisable(u)
+	}
+	c := u.Class()
+	o.freed[c] = append(o.freed[c], u.VBID())
+	return nil
+}

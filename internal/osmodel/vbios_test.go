@@ -1,0 +1,263 @@
+package osmodel
+
+import (
+	"bytes"
+	"testing"
+
+	"vbi/internal/addr"
+	"vbi/internal/core"
+	"vbi/internal/mtl"
+	"vbi/internal/prop"
+)
+
+func newVBIOS(t *testing.T) (*VBIOS, *core.Core) {
+	t.Helper()
+	m := mtl.NewSimple(mtl.Config{DelayedAlloc: true}, 128<<20)
+	sys := core.NewSystem(m)
+	o := NewVBIOS(sys)
+	return o, core.NewCore(sys)
+}
+
+func TestRequestVBPicksSmallestClass(t *testing.T) {
+	o, _ := newVBIOS(t)
+	p := o.CreateProcess()
+	cases := []struct {
+		size uint64
+		want addr.SizeClass
+	}{
+		{100, addr.Size4KB},
+		{4096, addr.Size4KB},
+		{5000, addr.Size128KB},
+		{1 << 20, addr.Size4MB},
+		{100 << 20, addr.Size128MB},
+	}
+	for _, c := range cases {
+		_, u, err := o.RequestVB(p, c.size, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Class() != c.want {
+			t.Errorf("RequestVB(%d) class = %v, want %v", c.size, u.Class(), c.want)
+		}
+	}
+}
+
+func TestRequestVBAttachesWithPerms(t *testing.T) {
+	o, c := newVBIOS(t)
+	p := o.CreateProcess()
+	c.SwitchClient(p.Client)
+
+	idx, _, err := o.RequestVB(p, 64<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(core.VAddr{Index: idx, Offset: 0}, []byte("rw")); err != nil {
+		t.Fatalf("store to data VB: %v", err)
+	}
+
+	codeIdx, _, err := o.RequestVB(p, 64<<10, prop.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(core.VAddr{Index: codeIdx, Offset: 0}, []byte("x")); err == nil {
+		t.Fatal("store to code VB allowed")
+	}
+	if err := c.Fetch(core.VAddr{Index: codeIdx, Offset: 0}, make([]byte, 1)); err != nil {
+		t.Fatalf("fetch from code VB denied: %v", err)
+	}
+}
+
+func TestProcessIsolation(t *testing.T) {
+	o, c := newVBIOS(t)
+	p1 := o.CreateProcess()
+	p2 := o.CreateProcess()
+	c.SwitchClient(p1.Client)
+	idx, _, _ := o.RequestVB(p1, 4096, 0)
+	c.Store(core.VAddr{Index: idx, Offset: 0}, []byte("secret"))
+
+	// §3.4 Data Protection: p2 has no CVT entry for p1's VB.
+	c.SwitchClient(p2.Client)
+	if err := c.Load(core.VAddr{Index: idx, Offset: 0}, make([]byte, 6)); err == nil {
+		t.Fatal("cross-process access allowed")
+	}
+}
+
+func TestForkCopyOnWrite(t *testing.T) {
+	o, c := newVBIOS(t)
+	parent := o.CreateProcess()
+	c.SwitchClient(parent.Client)
+	idx, _, _ := o.RequestVB(parent, 64<<10, 0)
+	c.Store(core.VAddr{Index: idx, Offset: 10}, []byte("parent-data"))
+
+	child, err := o.Fork(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The child sees the parent's data at the same CVT index (pointer
+	// validity, §4.4).
+	cc := core.NewCore(o.Sys)
+	cc.SwitchClient(child.Client)
+	got := make([]byte, 11)
+	if err := cc.Load(core.VAddr{Index: idx, Offset: 10}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parent-data" {
+		t.Fatalf("child reads %q", got)
+	}
+
+	// Writes after the fork are private.
+	cc.Store(core.VAddr{Index: idx, Offset: 10}, []byte("child-data!"))
+	c.SwitchClient(parent.Client)
+	c.Load(core.VAddr{Index: idx, Offset: 10}, got)
+	if string(got) != "parent-data" {
+		t.Fatalf("child write leaked into parent: %q", got)
+	}
+}
+
+func TestForkSharesSharedVBs(t *testing.T) {
+	o, _ := newVBIOS(t)
+	p1 := o.CreateProcess()
+	p2 := o.CreateProcess()
+	// A VB attached by two processes is "shared": fork must not clone it.
+	_, u, _ := o.RequestVB(p1, 4096, 0)
+	o.AttachShared(p2, u, core.PermR)
+	before := o.Sys.MTL.RefCount(u)
+
+	child, err := o.Fork(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Sys.MTL.RefCount(u) != before+1 {
+		t.Fatalf("shared VB refcount = %d, want %d", o.Sys.MTL.RefCount(u), before+1)
+	}
+	cvt, _ := o.Sys.CVT(child.Client)
+	found := false
+	for _, e := range cvt {
+		if e.Valid && e.VB == u {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("child not attached to the shared VB")
+	}
+}
+
+func TestDestroyProcessFreesEverything(t *testing.T) {
+	o, c := newVBIOS(t)
+	free0 := o.Sys.MTL.FreeBytes()
+	p := o.CreateProcess()
+	c.SwitchClient(p.Client)
+	for i := 0; i < 5; i++ {
+		idx, _, err := o.RequestVB(p, 256<<10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Store(core.VAddr{Index: idx, Offset: 0}, bytes.Repeat([]byte{1}, 8192))
+	}
+	if o.Sys.MTL.FreeBytes() >= free0 {
+		t.Fatal("no memory consumed")
+	}
+	if err := o.DestroyProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if o.Sys.MTL.FreeBytes() != free0 {
+		t.Fatalf("leak: %d != %d", o.Sys.MTL.FreeBytes(), free0)
+	}
+}
+
+func TestVBIDRecycling(t *testing.T) {
+	o, _ := newVBIOS(t)
+	p := o.CreateProcess()
+	_, u1, _ := o.RequestVB(p, 4096, 0)
+	o.DestroyProcess(p)
+	p2 := o.CreateProcess()
+	_, u2, _ := o.RequestVB(p2, 4096, 0)
+	if u1 != u2 {
+		t.Fatalf("VBID not recycled: %v then %v", u1, u2)
+	}
+}
+
+func TestLoadLibraryLayout(t *testing.T) {
+	o, c := newVBIOS(t)
+	// The kernel stages the library code VB (shared across processes).
+	libCode := addr.MakeVBUID(addr.Size128KB, 77)
+	if err := o.Sys.EnableVB(libCode, prop.Code|prop.ReadOnly); err != nil {
+		t.Fatal(err)
+	}
+
+	p := o.CreateProcess()
+	c.SwitchClient(p.Client)
+	codeIdx, err := o.LoadLibrary(p, libCode, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.4: static data lives at codeIdx+1, reachable via +1 CVT-relative
+	// addressing from the library code.
+	ref := core.VAddr{Index: codeIdx, Offset: 0}
+	if err := c.Store(ref.Rel(1), []byte("lib-static")); err != nil {
+		t.Fatalf("static data store: %v", err)
+	}
+	// A second process gets its own static data but the same code VB.
+	p2 := o.CreateProcess()
+	codeIdx2, err := o.LoadLibrary(p2, libCode, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := core.NewCore(o.Sys)
+	c2.SwitchClient(p2.Client)
+	got := make([]byte, 10)
+	if err := c2.Load(core.VAddr{Index: codeIdx2 + 1, Offset: 0}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "lib-static" {
+		t.Fatal("static data shared between processes")
+	}
+	if o.Sys.MTL.RefCount(libCode) != 2 {
+		t.Fatalf("library code refcount = %d", o.Sys.MTL.RefCount(libCode))
+	}
+}
+
+func TestPromoteVBFlow(t *testing.T) {
+	o, c := newVBIOS(t)
+	p := o.CreateProcess()
+	c.SwitchClient(p.Client)
+	idx, small, _ := o.RequestVB(p, 128<<10, 0)
+	c.Store(core.VAddr{Index: idx, Offset: 5}, []byte("growing"))
+
+	large, err := o.PromoteVB(p, idx, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Class() != addr.Size4MB {
+		t.Fatalf("promoted class = %v", large.Class())
+	}
+	// The old pointer still works and the data survived.
+	got := make([]byte, 7)
+	if err := c.Load(core.VAddr{Index: idx, Offset: 5}, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "growing" {
+		t.Fatalf("data = %q", got)
+	}
+	// The grown region is usable.
+	if err := c.Store(core.VAddr{Index: idx, Offset: 1 << 20}, []byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	// The small VB was disabled and recycled.
+	if o.Sys.MTL.Enabled(small) {
+		t.Fatal("small VB still enabled after promotion")
+	}
+}
+
+func TestPromoteVBValidation(t *testing.T) {
+	o, _ := newVBIOS(t)
+	p := o.CreateProcess()
+	idx, _, _ := o.RequestVB(p, 4<<20, 0)
+	if _, err := o.PromoteVB(p, idx, 4096); err == nil {
+		t.Fatal("shrinking promotion accepted")
+	}
+	if _, err := o.PromoteVB(p, 99, 8<<20); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}

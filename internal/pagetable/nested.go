@@ -1,0 +1,93 @@
+package pagetable
+
+import (
+	"vbi/internal/phys"
+	"vbi/internal/tlb"
+)
+
+// NestedTable models hardware nested paging (two-dimensional walks): a
+// guest table translating guest-virtual to guest-physical addresses, whose
+// own nodes live in guest-physical memory, composed with a host table
+// translating guest-physical to host-physical addresses.
+//
+// A TLB miss therefore triggers the 2D walk of §1: every guest PTE access
+// is a guest-physical address that must first be translated through the
+// host table, and the final guest-physical data address needs one more host
+// walk. With 4-level tables on both dimensions this costs up to
+// (4+1)×(4+1)−1 = 24 memory accesses.
+type NestedTable struct {
+	// Guest translates gVA -> gPA; its "physical" addresses are gPAs.
+	Guest *Table
+	// Host translates gPA -> hPA.
+	Host *Table
+}
+
+// NestedWalkResult extends WalkResult with a breakdown of where the
+// accesses came from.
+type NestedWalkResult struct {
+	WalkResult
+	GuestAccesses int // guest-dimension PTE reads
+	HostAccesses  int // host-dimension PTE reads
+}
+
+// Walk performs the full 2D walk of gva. hostPWC accelerates the host
+// dimension; guestPWC (the "2D page-walk cache" Virtual-2M is augmented
+// with, §7.2 footnote 4) caches guest-dimension nodes and may be nil.
+// All returned accesses are host-physical addresses, charged by the caller
+// through the cache hierarchy.
+func (n *NestedTable) Walk(gva uint64, hostPWC, guestPWC *tlb.PWC) NestedWalkResult {
+	var res NestedWalkResult
+	g := n.Guest
+	node := g.root // a gPA
+	start := 0
+	if guestPWC != nil {
+		for k := g.Geo.Levels - 1; k >= 1; k-- {
+			if base, ok := guestPWC.Lookup(k, g.prefixAt(gva, k)); ok {
+				node = phys.Addr(base)
+				start = k
+				break
+			}
+		}
+	}
+	for k := start; k < g.Geo.Levels; k++ {
+		gpaOfPTE := pteAddr(node, g.indexAt(gva, k))
+		// Host walk to translate the guest PTE's gPA.
+		hw := n.Host.Walk(uint64(gpaOfPTE), hostPWC)
+		res.Accesses = append(res.Accesses, hw.Accesses...)
+		res.HostAccesses += len(hw.Accesses)
+		if !hw.OK {
+			return res // host fault on guest PT node
+		}
+		// The guest PTE read itself, at its host-physical location.
+		res.Accesses = append(res.Accesses, hw.Phys)
+		res.GuestAccesses++
+		val, ok := g.pte[gpaOfPTE]
+		if !ok {
+			return res // guest fault
+		}
+		if k < g.Geo.Levels-1 {
+			node = val
+			if guestPWC != nil {
+				guestPWC.Insert(k+1, g.prefixAt(gva, k+1), uint64(val))
+			}
+		} else {
+			// Final host walk for the data gPA.
+			gpa := val + phys.Addr(gva&(g.Geo.PageSize()-1))
+			hw := n.Host.Walk(uint64(gpa), hostPWC)
+			res.Accesses = append(res.Accesses, hw.Accesses...)
+			res.HostAccesses += len(hw.Accesses)
+			if !hw.OK {
+				return res
+			}
+			res.Phys = hw.Phys
+			res.OK = true
+		}
+	}
+	return res
+}
+
+// MaxAccesses returns the worst-case access count of the 2D walk for the
+// configured geometries: (gLevels+1)*(hLevels+1) - 1.
+func (n *NestedTable) MaxAccesses() int {
+	return (n.Guest.Geo.Levels+1)*(n.Host.Geo.Levels+1) - 1
+}

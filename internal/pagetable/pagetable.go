@@ -1,0 +1,223 @@
+// Package pagetable implements the conventional-baseline translation
+// machinery: x86-64-style radix page tables built in simulated physical
+// memory, hardware walks accelerated by page-walk caches, and the
+// two-dimensional (nested) walks of virtualized systems, which require up
+// to 24 memory accesses for 4-level tables — the overhead VBI eliminates
+// (§1, §3.5).
+package pagetable
+
+import (
+	"fmt"
+
+	"vbi/internal/phys"
+	"vbi/internal/tlb"
+)
+
+// indexBits is the radix width per level (512 entries of 8 bytes = 4 KB
+// nodes, as in x86-64).
+const indexBits = 9
+
+// entrySize is the size of one PTE in bytes.
+const entrySize = 8
+
+// Geometry describes a page-table shape.
+type Geometry struct {
+	Levels    int  // 4 for 4 KB pages, 3 for 2 MB pages
+	PageShift uint // 12 or 21
+}
+
+// Page4K is the 4-level, 4 KB-page geometry of x86-64.
+var Page4K = Geometry{Levels: 4, PageShift: 12}
+
+// Page2M is the 3-level, 2 MB-page geometry (leaf at the PD level).
+var Page2M = Geometry{Levels: 3, PageShift: 21}
+
+// PageSize returns the mapped page size in bytes.
+func (g Geometry) PageSize() uint64 { return 1 << g.PageShift }
+
+// FrameSource supplies 4 KB frames for table nodes.
+type FrameSource interface {
+	Alloc() (phys.Addr, bool)
+}
+
+// Table is one radix page table instance living in a simulated physical
+// address space. The table is functional: Map establishes real mappings and
+// Walk retraces the exact PTE addresses hardware would touch, so the timing
+// model can charge each access through the cache hierarchy.
+type Table struct {
+	Geo   Geometry
+	root  phys.Addr
+	alloc FrameSource
+	// pte maps a PTE's physical address to its stored value (the physical
+	// base of the next-level node, or the leaf frame).
+	pte map[phys.Addr]phys.Addr
+	// nodes tracks allocated table nodes for accounting/teardown.
+	nodes []phys.Addr
+}
+
+// New allocates an empty table (and its root node) from alloc.
+func New(geo Geometry, alloc FrameSource) (*Table, error) {
+	t := &Table{Geo: geo, alloc: alloc, pte: make(map[phys.Addr]phys.Addr)}
+	root, ok := alloc.Alloc()
+	if !ok {
+		return nil, fmt.Errorf("pagetable: out of memory allocating root")
+	}
+	t.root = root
+	t.nodes = append(t.nodes, root)
+	return t, nil
+}
+
+// Root returns the physical address of the root node (CR3 analogue).
+func (t *Table) Root() phys.Addr { return t.root }
+
+// NodeBytes returns the memory consumed by table nodes.
+func (t *Table) NodeBytes() uint64 { return uint64(len(t.nodes)) * phys.FrameSize }
+
+// indexAt returns the radix index consumed at walk level k (0 = root).
+func (t *Table) indexAt(va uint64, k int) uint64 {
+	shift := t.Geo.PageShift + uint(indexBits*(t.Geo.Levels-1-k))
+	return (va >> shift) & (1<<indexBits - 1)
+}
+
+// prefixAt returns the address prefix that identifies the node entered
+// after consuming k levels (used as the PWC key for that node).
+func (t *Table) prefixAt(va uint64, k int) uint64 {
+	shift := t.Geo.PageShift + uint(indexBits*(t.Geo.Levels-k))
+	return va >> shift
+}
+
+// pteAddr returns the physical address of the PTE at (node, index).
+func pteAddr(node phys.Addr, index uint64) phys.Addr {
+	return node + phys.Addr(index*entrySize)
+}
+
+// Map installs va -> frame. The va and frame must be page-aligned for the
+// geometry. Intermediate nodes are allocated on demand.
+func (t *Table) Map(va uint64, frame phys.Addr) error {
+	mask := t.Geo.PageSize() - 1
+	if va&mask != 0 || uint64(frame)&mask != 0 {
+		return fmt.Errorf("pagetable: unaligned mapping %#x -> %v", va, frame)
+	}
+	node := t.root
+	for k := 0; k < t.Geo.Levels-1; k++ {
+		e := pteAddr(node, t.indexAt(va, k))
+		next, ok := t.pte[e]
+		if !ok {
+			n, okAlloc := t.alloc.Alloc()
+			if !okAlloc {
+				return fmt.Errorf("pagetable: out of memory allocating node")
+			}
+			t.nodes = append(t.nodes, n)
+			t.pte[e] = n
+			next = n
+		}
+		node = next
+	}
+	t.pte[pteAddr(node, t.indexAt(va, t.Geo.Levels-1))] = frame
+	return nil
+}
+
+// Unmap removes the leaf mapping for va (intermediate nodes are retained).
+// It reports whether a mapping existed.
+func (t *Table) Unmap(va uint64) bool {
+	node, ok := t.nodeFor(va)
+	if !ok {
+		return false
+	}
+	e := pteAddr(node, t.indexAt(va, t.Geo.Levels-1))
+	if _, ok := t.pte[e]; !ok {
+		return false
+	}
+	delete(t.pte, e)
+	return true
+}
+
+func (t *Table) nodeFor(va uint64) (phys.Addr, bool) {
+	node := t.root
+	for k := 0; k < t.Geo.Levels-1; k++ {
+		next, ok := t.pte[pteAddr(node, t.indexAt(va, k))]
+		if !ok {
+			return 0, false
+		}
+		node = next
+	}
+	return node, true
+}
+
+// Lookup functionally translates va without modelling any hardware state.
+func (t *Table) Lookup(va uint64) (phys.Addr, bool) {
+	node, ok := t.nodeFor(va)
+	if !ok {
+		return phys.NoAddr, false
+	}
+	frame, ok := t.pte[pteAddr(node, t.indexAt(va, t.Geo.Levels-1))]
+	if !ok {
+		return phys.NoAddr, false
+	}
+	return frame + phys.Addr(va&(t.Geo.PageSize()-1)), true
+}
+
+// WalkResult reports the outcome of a hardware walk.
+type WalkResult struct {
+	// Accesses lists, in order, the physical addresses of every PTE the
+	// walker read. The timing model charges each through the hierarchy.
+	Accesses []phys.Addr
+	// Phys is the translated physical address (page base + offset).
+	Phys phys.Addr
+	// OK is false when the walk hit a hole (page fault).
+	OK bool
+}
+
+// Walk performs a hardware page walk for va, consulting (and filling) the
+// page-walk cache if one is supplied. The PWC caches node bases for the
+// levels below the root, letting the walker skip upper-level accesses
+// (Barr et al. style "skip, don't walk").
+func (t *Table) Walk(va uint64, pwc *tlb.PWC) WalkResult {
+	node := t.root
+	start := 0
+	if pwc != nil {
+		// Deepest cached node first.
+		for k := t.Geo.Levels - 1; k >= 1; k-- {
+			if base, ok := pwc.Lookup(k, t.prefixAt(va, k)); ok {
+				node = phys.Addr(base)
+				start = k
+				break
+			}
+		}
+	}
+	var res WalkResult
+	for k := start; k < t.Geo.Levels; k++ {
+		e := pteAddr(node, t.indexAt(va, k))
+		res.Accesses = append(res.Accesses, e)
+		val, ok := t.pte[e]
+		if !ok {
+			return res // fault: OK stays false
+		}
+		if k < t.Geo.Levels-1 {
+			node = val
+			if pwc != nil {
+				pwc.Insert(k+1, t.prefixAt(va, k+1), uint64(val))
+			}
+		} else {
+			res.Phys = val + phys.Addr(va&(t.Geo.PageSize()-1))
+			res.OK = true
+		}
+	}
+	return res
+}
+
+// MappedPages returns the number of leaf mappings (for tests/teardown).
+// Leaf PTEs are those whose value is not one of the table's own nodes.
+func (t *Table) MappedPages() int {
+	nodeSet := make(map[phys.Addr]bool, len(t.nodes))
+	for _, n := range t.nodes {
+		nodeSet[n] = true
+	}
+	n := 0
+	for _, v := range t.pte {
+		if !nodeSet[v] {
+			n++
+		}
+	}
+	return n
+}

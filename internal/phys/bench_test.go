@@ -1,0 +1,42 @@
+package phys
+
+import "testing"
+
+func BenchmarkBuddyAllocFree(b *testing.B) {
+	bd := NewBuddy(1 << 30)
+	owner := vb(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, ok := bd.Alloc(owner, 0)
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		bd.Free(a, 0)
+	}
+}
+
+func BenchmarkBuddyAllocAt(b *testing.B) {
+	bd := NewBuddy(1 << 30)
+	owner := vb(1)
+	base, _ := bd.Reserve(owner, 18) // 1 GB reservation
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := base + Addr((i%1000)*FrameSize)
+		if !bd.AllocAt(owner, at, 0) {
+			b.Fatal("AllocAt failed")
+		}
+		bd.Free(at, 0)
+	}
+}
+
+func BenchmarkFrameAllocator(b *testing.B) {
+	f := NewFrameAllocator(1 << 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, ok := f.Alloc()
+		if !ok {
+			b.Fatal("exhausted")
+		}
+		f.Free(a)
+	}
+}

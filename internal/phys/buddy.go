@@ -1,0 +1,454 @@
+package phys
+
+import (
+	"fmt"
+	"sort"
+
+	"vbi/internal/addr"
+)
+
+// Owner identifies the virtual block a reservation or allocation belongs to.
+// The zero Owner means "unreserved".
+type Owner = addr.VBUID
+
+// MaxOrder bounds block sizes at 4 KB << 28 = 1 TB, far beyond any simulated
+// physical capacity.
+const MaxOrder = 28
+
+// OrderBytes returns the size in bytes of an order-k buddy block.
+func OrderBytes(order int) uint64 { return FrameSize << order }
+
+// OrderFor returns the smallest order whose blocks hold size bytes, and
+// ok=false when size exceeds the largest order.
+func OrderFor(size uint64) (int, bool) {
+	for o := 0; o <= MaxOrder; o++ {
+		if size <= OrderBytes(o) {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// blockKey uniquely names an existing buddy block: its base address plus its
+// order (the same base can exist at several orders after splits, but only
+// one of them is live at a time; the key disambiguates book-keeping).
+type blockKey struct {
+	base  Addr
+	order int
+}
+
+type blockState struct {
+	free bool
+	// owner is the reservation the block belongs to (0 = unreserved). For
+	// allocated blocks it records which reservation the block was carved
+	// from so that Free returns it to the right pool; note a block stolen
+	// by VB X from VB Y's reservation has owner Y here.
+	owner Owner
+}
+
+// Buddy is a binary-buddy allocator with per-VB reservations (§5.3).
+//
+// A reservation is an ordinary free block tagged with the owning VB. When
+// VB X requests memory the allocator uses a three-level priority: (1) free
+// blocks reserved for X, (2) unreserved free blocks, (3) free blocks
+// reserved for other VBs (stealing, used only under memory pressure by
+// construction of the priority order).
+type Buddy struct {
+	capacity uint64
+	// live holds every currently-existing block, free or allocated.
+	live map[blockKey]blockState
+	// freeUnres[o] is the set of unreserved free order-o blocks.
+	freeUnres [MaxOrder + 1]map[Addr]struct{}
+	// freeRes[o] maps base -> reservation owner for reserved free blocks.
+	freeRes [MaxOrder + 1]map[Addr]Owner
+	// byOwner indexes the free reserved blocks of each owner: owner ->
+	// order -> set of bases.
+	byOwner map[Owner]map[int]map[Addr]struct{}
+	// allocatedFrom indexes allocated blocks carved out of each owner's
+	// reservation, so Unreserve can retag them.
+	allocatedFrom map[Owner]map[blockKey]struct{}
+
+	freeBytes     uint64
+	reservedBytes uint64 // subset of freeBytes that is reserved
+}
+
+// NewBuddy returns a buddy allocator over capacity bytes (rounded down to a
+// whole number of frames). The capacity need not be a power of two: the pool
+// is seeded with the greedy binary decomposition of the capacity.
+func NewBuddy(capacity uint64) *Buddy {
+	capacity &^= FrameSize - 1
+	b := &Buddy{
+		capacity:      capacity,
+		live:          make(map[blockKey]blockState),
+		byOwner:       make(map[Owner]map[int]map[Addr]struct{}),
+		allocatedFrom: make(map[Owner]map[blockKey]struct{}),
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		b.freeUnres[o] = make(map[Addr]struct{})
+		b.freeRes[o] = make(map[Addr]Owner)
+	}
+	// Seed with the largest aligned blocks that fit, high orders first.
+	base := Addr(0)
+	remaining := capacity
+	for o := MaxOrder; o >= 0; o-- {
+		sz := OrderBytes(o)
+		for remaining >= sz && uint64(base)%sz == 0 {
+			b.addFree(base, o, 0)
+			base += Addr(sz)
+			remaining -= sz
+		}
+	}
+	b.freeBytes = capacity - remaining
+	b.capacity = b.freeBytes
+	return b
+}
+
+// Capacity returns the managed pool size in bytes.
+func (b *Buddy) Capacity() uint64 { return b.capacity }
+
+// FreeBytes returns the total free bytes (reserved free blocks included).
+func (b *Buddy) FreeBytes() uint64 { return b.freeBytes }
+
+// ReservedBytes returns the free bytes currently reserved for some VB.
+func (b *Buddy) ReservedBytes() uint64 { return b.reservedBytes }
+
+func (b *Buddy) addFree(base Addr, order int, owner Owner) {
+	b.live[blockKey{base, order}] = blockState{free: true, owner: owner}
+	if owner == 0 {
+		b.freeUnres[order][base] = struct{}{}
+	} else {
+		b.freeRes[order][base] = owner
+		m := b.byOwner[owner]
+		if m == nil {
+			m = make(map[int]map[Addr]struct{})
+			b.byOwner[owner] = m
+		}
+		s := m[order]
+		if s == nil {
+			s = make(map[Addr]struct{})
+			m[order] = s
+		}
+		s[base] = struct{}{}
+		b.reservedBytes += OrderBytes(order)
+	}
+}
+
+func (b *Buddy) removeFree(base Addr, order int, owner Owner) {
+	delete(b.live, blockKey{base, order})
+	if owner == 0 {
+		delete(b.freeUnres[order], base)
+	} else {
+		delete(b.freeRes[order], base)
+		if m := b.byOwner[owner]; m != nil {
+			if s := m[order]; s != nil {
+				delete(s, base)
+				if len(s) == 0 {
+					delete(m, order)
+				}
+			}
+			if len(m) == 0 {
+				delete(b.byOwner, owner)
+			}
+		}
+		b.reservedBytes -= OrderBytes(order)
+	}
+}
+
+// splitTo repeatedly halves the free block (base, from, owner) until an
+// order-"to" block is available, re-tagging all pieces with the same owner.
+// It returns the base of the order-"to" block (always == base).
+func (b *Buddy) splitTo(base Addr, from, to int, owner Owner) Addr {
+	b.removeFree(base, from, owner)
+	for o := from; o > to; o-- {
+		half := OrderBytes(o - 1)
+		b.addFree(base+Addr(half), o-1, owner)
+	}
+	b.addFree(base, to, owner)
+	return base
+}
+
+// takeFreeUnres finds an unreserved free block of order >= want and splits
+// it down. Smallest sufficient order first to limit fragmentation.
+func (b *Buddy) takeFreeUnres(want int) (Addr, bool) {
+	for o := want; o <= MaxOrder; o++ {
+		for base := range b.freeUnres[o] {
+			return b.splitTo(base, o, want, 0), true
+		}
+	}
+	return NoAddr, false
+}
+
+// takeFreeOwned finds a free block reserved for owner of order >= want.
+func (b *Buddy) takeFreeOwned(owner Owner, want int) (Addr, bool) {
+	m := b.byOwner[owner]
+	if m == nil {
+		return NoAddr, false
+	}
+	for o := want; o <= MaxOrder; o++ {
+		for base := range m[o] {
+			return b.splitTo(base, o, want, owner), true
+		}
+	}
+	return NoAddr, false
+}
+
+// takeFreeStolen finds a free block reserved for any owner other than self.
+func (b *Buddy) takeFreeStolen(self Owner, want int) (Addr, Owner, bool) {
+	for o := want; o <= MaxOrder; o++ {
+		for base, owner := range b.freeRes[o] {
+			if owner == self {
+				continue
+			}
+			return b.splitTo(base, o, want, owner), owner, true
+		}
+	}
+	return NoAddr, 0, false
+}
+
+// Alloc allocates an order-sized block for VB vb using the three-level
+// priority of §5.3. It returns ok=false only when no free block of
+// sufficient order exists anywhere.
+func (b *Buddy) Alloc(vb Owner, order int) (Addr, bool) {
+	if order < 0 || order > MaxOrder {
+		return NoAddr, false
+	}
+	// Priority 1: free blocks reserved for this VB.
+	if base, ok := b.takeFreeOwned(vb, order); ok {
+		b.markAllocated(base, order, vb)
+		return base, true
+	}
+	// Priority 2: unreserved free blocks.
+	if base, ok := b.takeFreeUnres(order); ok {
+		b.markAllocated(base, order, 0)
+		return base, true
+	}
+	// Priority 3: steal from another VB's reservation.
+	if base, owner, ok := b.takeFreeStolen(vb, order); ok {
+		b.markAllocated(base, order, owner)
+		return base, true
+	}
+	return NoAddr, false
+}
+
+func (b *Buddy) markAllocated(base Addr, order int, reservedOwner Owner) {
+	b.removeFree(base, order, reservedOwner)
+	b.live[blockKey{base, order}] = blockState{free: false, owner: reservedOwner}
+	b.freeBytes -= OrderBytes(order)
+	if reservedOwner != 0 {
+		m := b.allocatedFrom[reservedOwner]
+		if m == nil {
+			m = make(map[blockKey]struct{})
+			b.allocatedFrom[reservedOwner] = m
+		}
+		m[blockKey{base, order}] = struct{}{}
+	}
+}
+
+// AllocAt allocates the specific order-sized block at base for vb, if that
+// exact region is currently free (whether unreserved or reserved for any
+// owner). Directly-mapped VBs use it to materialize a 4 KB region at its
+// fixed position inside the VB's reservation (§5.3); it fails when the
+// region was stolen by another VB under memory pressure, which is the
+// signal that the VB has lost its direct mapping.
+func (b *Buddy) AllocAt(vb Owner, base Addr, order int) bool {
+	if order < 0 || order > MaxOrder || uint64(base)%OrderBytes(order) != 0 {
+		return false
+	}
+	// Find the free block containing [base, base+2^order): the smallest
+	// enclosing aligned block that exists and is free.
+	for o := order; o <= MaxOrder; o++ {
+		enclosing := base &^ Addr(OrderBytes(o)-1)
+		st, ok := b.live[blockKey{enclosing, o}]
+		if !ok {
+			continue
+		}
+		if !st.free {
+			return false // region (or part of it) already allocated
+		}
+		b.splitToAt(enclosing, o, base, order, st.owner)
+		b.markAllocated(base, order, st.owner)
+		return true
+	}
+	return false
+}
+
+// splitToAt splits the free block (blockBase, from, owner) down to an
+// order-"to" block at exactly target, keeping every split-off sibling free
+// with the same owner.
+func (b *Buddy) splitToAt(blockBase Addr, from int, target Addr, to int, owner Owner) {
+	b.removeFree(blockBase, from, owner)
+	cur := blockBase
+	for o := from; o > to; o-- {
+		half := Addr(OrderBytes(o - 1))
+		if target >= cur+half {
+			b.addFree(cur, o-1, owner) // target in upper half; lower stays free
+			cur += half
+		} else {
+			b.addFree(cur+half, o-1, owner)
+		}
+	}
+	b.addFree(cur, to, owner)
+}
+
+// Reserve carves an order-sized contiguous region out of *unreserved* free
+// memory and tags it as reserved for vb. Reserved blocks remain free (they
+// count toward FreeBytes) but are preferred by vb's future allocations and
+// only used by other VBs when nothing unreserved remains.
+func (b *Buddy) Reserve(vb Owner, order int) (Addr, bool) {
+	if vb == 0 || order < 0 || order > MaxOrder {
+		return NoAddr, false
+	}
+	base, ok := b.takeFreeUnres(order)
+	if !ok {
+		return NoAddr, false
+	}
+	// Retag the block as reserved-free for vb.
+	b.removeFree(base, order, 0)
+	b.addFree(base, order, vb)
+	return base, true
+}
+
+// Free returns an allocated block to the pool. The block rejoins the
+// reservation it was carved from (if that reservation still stands) and
+// merges with same-state buddies.
+func (b *Buddy) Free(base Addr, order int) {
+	k := blockKey{base, order}
+	st, ok := b.live[k]
+	if !ok || st.free {
+		panic(fmt.Sprintf("phys: Free of non-allocated block %v order %d", base, order))
+	}
+	delete(b.live, k)
+	if st.owner != 0 {
+		if m := b.allocatedFrom[st.owner]; m != nil {
+			delete(m, k)
+			if len(m) == 0 {
+				delete(b.allocatedFrom, st.owner)
+			}
+		}
+	}
+	b.freeBytes += OrderBytes(order)
+	b.freeAndMerge(base, order, st.owner)
+}
+
+func (b *Buddy) freeAndMerge(base Addr, order int, owner Owner) {
+	for order < MaxOrder {
+		buddy := base ^ Addr(OrderBytes(order))
+		st, ok := b.live[blockKey{buddy, order}]
+		if !ok || !st.free || st.owner != owner {
+			break
+		}
+		b.removeFree(buddy, order, owner)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	b.addFree(base, order, owner)
+}
+
+// Unreserve releases vb's reservation: its remaining reserved-free blocks
+// become unreserved free blocks, and blocks still allocated out of the
+// reservation are retagged so that freeing them later returns them to the
+// unreserved pool.
+func (b *Buddy) Unreserve(vb Owner) {
+	if m := b.byOwner[vb]; m != nil {
+		type fb struct {
+			base  Addr
+			order int
+		}
+		var blocks []fb
+		for o, set := range m {
+			for base := range set {
+				blocks = append(blocks, fb{base, o})
+			}
+		}
+		// Deterministic order for reproducible merging.
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].base < blocks[j].base })
+		for _, blk := range blocks {
+			b.removeFree(blk.base, blk.order, vb)
+			b.freeAndMerge(blk.base, blk.order, 0)
+		}
+	}
+	if m := b.allocatedFrom[vb]; m != nil {
+		for k := range m {
+			b.live[k] = blockState{free: false, owner: 0}
+		}
+		delete(b.allocatedFrom, vb)
+	}
+}
+
+// LargestFreeOrder returns the order of the largest allocatable contiguous
+// block available to vb at each priority level combined (i.e. the largest
+// block Alloc(vb, order) would currently succeed for), or -1 when nothing
+// is free.
+func (b *Buddy) LargestFreeOrder(vb Owner) int {
+	for o := MaxOrder; o >= 0; o-- {
+		if len(b.freeUnres[o]) > 0 {
+			return o
+		}
+		if m := b.byOwner[vb]; m != nil && len(m[o]) > 0 {
+			return o
+		}
+		for _, owner := range b.freeRes[o] {
+			if owner != vb {
+				return o
+			}
+		}
+	}
+	return -1
+}
+
+// LargestUnreservedOrder returns the order of the largest unreserved free
+// block (the contiguity Reserve can still satisfy), or -1 when none.
+func (b *Buddy) LargestUnreservedOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if len(b.freeUnres[o]) > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// CheckInvariants verifies structural invariants and returns an error
+// describing the first violation. It is exercised by the property tests.
+func (b *Buddy) CheckInvariants() error {
+	type span struct {
+		base Addr
+		size uint64
+	}
+	var spans []span
+	var free, reserved uint64
+	for k, st := range b.live {
+		spans = append(spans, span{k.base, OrderBytes(k.order)})
+		if st.free {
+			free += OrderBytes(k.order)
+			if st.owner != 0 {
+				reserved += OrderBytes(k.order)
+			}
+		}
+		if uint64(k.base)%OrderBytes(k.order) != 0 {
+			return fmt.Errorf("block %v order %d misaligned", k.base, k.order)
+		}
+	}
+	if free != b.freeBytes {
+		return fmt.Errorf("freeBytes %d, blocks sum to %d", b.freeBytes, free)
+	}
+	if reserved != b.reservedBytes {
+		return fmt.Errorf("reservedBytes %d, blocks sum to %d", b.reservedBytes, reserved)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	var total uint64
+	for i, s := range spans {
+		if i > 0 {
+			prev := spans[i-1]
+			if uint64(prev.base)+prev.size > uint64(s.base) {
+				return fmt.Errorf("blocks overlap at %v", s.base)
+			}
+		}
+		total += s.size
+	}
+	if total != b.capacity {
+		return fmt.Errorf("blocks cover %d bytes, capacity %d", total, b.capacity)
+	}
+	return nil
+}

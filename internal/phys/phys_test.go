@@ -1,0 +1,100 @@
+package phys
+
+import "testing"
+
+func TestFrameAllocatorBasics(t *testing.T) {
+	f := NewFrameAllocator(4 * FrameSize)
+	if f.Capacity() != 4*FrameSize {
+		t.Fatalf("capacity = %d", f.Capacity())
+	}
+	seen := map[Addr]bool{}
+	for i := 0; i < 4; i++ {
+		a, ok := f.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[a] {
+			t.Fatalf("frame %v handed out twice", a)
+		}
+		if a != a.Frame() {
+			t.Fatalf("frame %v not aligned", a)
+		}
+		seen[a] = true
+	}
+	if _, ok := f.Alloc(); ok {
+		t.Fatal("alloc succeeded past capacity")
+	}
+	if f.FreeBytes() != 0 {
+		t.Fatalf("FreeBytes = %d, want 0", f.FreeBytes())
+	}
+}
+
+func TestFrameAllocatorReuse(t *testing.T) {
+	f := NewFrameAllocator(2 * FrameSize)
+	a, _ := f.Alloc()
+	bAddr, _ := f.Alloc()
+	f.Free(a)
+	c, ok := f.Alloc()
+	if !ok || c != a {
+		t.Fatalf("freed frame not reused: got %v, want %v", c, a)
+	}
+	f.Free(bAddr)
+	f.Free(c)
+	if f.FreeBytes() != 2*FrameSize {
+		t.Fatalf("FreeBytes = %d", f.FreeBytes())
+	}
+}
+
+func TestFrameAllocatorRoundsDown(t *testing.T) {
+	f := NewFrameAllocator(FrameSize + 123)
+	if f.Capacity() != FrameSize {
+		t.Fatalf("capacity = %d, want %d", f.Capacity(), FrameSize)
+	}
+}
+
+func TestFrameFreePanicsOnUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrameAllocator(FrameSize).Free(Addr(12))
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Frame() != 0x12000 {
+		t.Errorf("Frame() = %#x", uint64(a.Frame()))
+	}
+	if a.Line() != 0x12340 {
+		t.Errorf("Line() = %#x", uint64(a.Line()))
+	}
+	if NoAddr.String() != "phys(none)" {
+		t.Errorf("NoAddr.String() = %q", NoAddr.String())
+	}
+	if a.String() != "phys(0x12345)" {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		size  uint64
+		order int
+		ok    bool
+	}{
+		{1, 0, true},
+		{FrameSize, 0, true},
+		{FrameSize + 1, 1, true},
+		{128 << 10, 5, true},
+		{4 << 20, 10, true},
+		{OrderBytes(MaxOrder), MaxOrder, true},
+		{OrderBytes(MaxOrder) + 1, 0, false},
+	}
+	for _, c := range cases {
+		o, ok := OrderFor(c.size)
+		if ok != c.ok || (ok && o != c.order) {
+			t.Errorf("OrderFor(%d) = %d,%v want %d,%v", c.size, o, ok, c.order, c.ok)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package prop defines the VB property bitvector (§4.1.1): a set of flags
+// that characterize the contents of a virtual block plus software-provided
+// hints that describe the memory behaviour of the data the VB contains.
+// The bitvector is part of the ISA specification; software passes it to
+// request_vb and enable_vb, and the Memory Translation Layer consults it
+// when making allocation, mapping and migration decisions.
+package prop
+
+import "strings"
+
+// Props is the property bitvector attached to every VB.
+type Props uint64
+
+// Content flags (what the VB holds).
+const (
+	// Code marks a VB containing executable code.
+	Code Props = 1 << iota
+	// ReadOnly marks a VB whose contents never change after load.
+	ReadOnly
+	// Kernel marks a VB accessible only to the kernel client.
+	Kernel
+	// Compressible hints that the contents compress well.
+	Compressible
+	// Persistent marks a VB whose contents must survive power loss.
+	Persistent
+	// MappedFile marks a VB backing a memory-mapped file (§3.4): unallocated
+	// regions are demand-loaded from storage rather than zero-filled.
+	MappedFile
+
+	// LatencySensitive hints that accesses are on the critical path and the
+	// data should live in the lowest-latency memory available.
+	LatencySensitive
+	// BandwidthSensitive hints that the data is streamed at high rate.
+	BandwidthSensitive
+	// ErrorTolerant hints that the data tolerates bit errors (e.g. media).
+	ErrorTolerant
+
+	// AccessSequential, AccessStrided and AccessRandom are access-pattern
+	// hints (at most one should be set).
+	AccessSequential
+	AccessStrided
+	AccessRandom
+)
+
+var names = []struct {
+	bit  Props
+	name string
+}{
+	{Code, "code"},
+	{ReadOnly, "read-only"},
+	{Kernel, "kernel"},
+	{Compressible, "compressible"},
+	{Persistent, "persistent"},
+	{MappedFile, "mapped-file"},
+	{LatencySensitive, "lat-sen"},
+	{BandwidthSensitive, "band-sen"},
+	{ErrorTolerant, "err-tol"},
+	{AccessSequential, "seq"},
+	{AccessStrided, "strided"},
+	{AccessRandom, "random"},
+}
+
+// Has reports whether all bits in q are set in p.
+func (p Props) Has(q Props) bool { return p&q == q }
+
+// With returns p with the bits of q added.
+func (p Props) With(q Props) Props { return p | q }
+
+// Without returns p with the bits of q cleared.
+func (p Props) Without(q Props) Props { return p &^ q }
+
+func (p Props) String() string {
+	if p == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range names {
+		if p.Has(n.bit) {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "unknown"
+	}
+	return strings.Join(parts, "|")
+}

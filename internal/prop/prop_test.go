@@ -1,0 +1,48 @@
+package prop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHasWithWithout(t *testing.T) {
+	p := Code.With(Kernel)
+	if !p.Has(Code) || !p.Has(Kernel) || !p.Has(Code|Kernel) {
+		t.Errorf("Has failed on %v", p)
+	}
+	if p.Has(ReadOnly) {
+		t.Error("Has(ReadOnly) true on code|kernel")
+	}
+	if q := p.Without(Kernel); q != Code {
+		t.Errorf("Without = %v, want %v", q, Code)
+	}
+}
+
+func TestWithWithoutInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		p, q := Props(a), Props(b)
+		return p.With(q).Without(q) == p.Without(q) && p.With(q).Has(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Props
+		want string
+	}{
+		{0, "none"},
+		{Code, "code"},
+		{Code | Kernel, "code|kernel"},
+		{LatencySensitive, "lat-sen"},
+		{BandwidthSensitive | AccessRandom, "band-sen|random"},
+		{1 << 60, "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("(%#x).String() = %q, want %q", uint64(c.p), got, c.want)
+		}
+	}
+}

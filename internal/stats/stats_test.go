@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %f", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil)")
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x+0.001)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	shared := []float64{0.5, 1.0}
+	alone := []float64{1.0, 2.0}
+	if got := WeightedSpeedup(shared, alone); got != 1.0 {
+		t.Fatalf("WS = %f", got)
+	}
+}
+
+func TestTableAddGetRender(t *testing.T) {
+	tb := &Table{Title: "Figure X", Rows: []string{"mcf", "milc"}}
+	tb.Add("Native", 1.0)
+	tb.Add("VBI", 2.5)
+	tb.Add("Native", 1.0)
+	tb.Add("VBI", 1.2)
+	if got := tb.Get("VBI"); len(got) != 2 || got[1] != 1.2 {
+		t.Fatalf("Get = %v", got)
+	}
+	if tb.Get("missing") != nil {
+		t.Fatal("missing series returned values")
+	}
+	out := tb.Render()
+	for _, want := range []string{"Figure X", "mcf", "milc", "Native", "VBI", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderRagged(t *testing.T) {
+	tb := &Table{Rows: []string{"a", "b"}}
+	tb.Add("s", 1)
+	out := tb.Render()
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing filler for ragged series")
+	}
+}
+
+func TestCountersRender(t *testing.T) {
+	c := Counters{"b.count": 2, "a.count": 1}
+	out := c.Render()
+	if !strings.Contains(out, "a.count") || strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}

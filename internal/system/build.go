@@ -1,0 +1,58 @@
+package system
+
+import (
+	"fmt"
+
+	"vbi/internal/cache"
+	"vbi/internal/dram"
+	"vbi/internal/trace"
+)
+
+// New builds a single-core machine for the configuration.
+func New(cfg Config, prof trace.Profile) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	mem := dram.NewUniform(cfg.Capacity)
+	llc := cache.New("LLC", LLCSize, LLCWays)
+	runner, err := newRunner(cfg.Kind, prof, cfg, mem, llc, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		name:   fmt.Sprintf("%s/%s", cfg.Kind, prof.Name),
+		cfg:    cfg,
+		runner: runner,
+	}, nil
+}
+
+// sharedState bundles the per-machine singletons quad-core runs share
+// (one OS / hypervisor / MTL across all cores).
+type sharedState struct {
+	conv *convShared
+	vbi  *vbiShared
+}
+
+func newRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, sharedHier *cache.Hierarchy, ss *sharedState) (coreRunner, error) {
+	switch kind {
+	case Native, Native2M, Virtual, Virtual2M, PerfectTLB, VIVT:
+		var cs *convShared
+		if ss != nil {
+			if ss.conv == nil {
+				ss.conv = &convShared{}
+			}
+			cs = ss.conv
+		}
+		return newConvRunner(kind, prof, cfg, mem, llc, sharedHier, cs)
+	case EnigmaHW2M:
+		return newEnigmaRunner(prof, cfg, mem, llc, sharedHier, nil)
+	case VBI1, VBI2, VBIFull:
+		var vs *vbiShared
+		if ss != nil {
+			if ss.vbi == nil {
+				ss.vbi = &vbiShared{}
+			}
+			vs = ss.vbi
+		}
+		return newVBIRunner(kind, prof, cfg, mem, llc, sharedHier, vs)
+	}
+	return nil, fmt.Errorf("system: unknown kind %v", kind)
+}

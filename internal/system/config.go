@@ -1,0 +1,137 @@
+// Package system wires the substrates into the complete simulated machines
+// of the evaluation (§7): the conventional baselines (Native, Native-2M,
+// Perfect TLB, VIVT), the virtualized baselines (Virtual, Virtual-2M), the
+// Enigma-HW-2M comparator, the three VBI variants (VBI-1, VBI-2, VBI-Full),
+// quad-core multiprogrammed versions of all of them (§7.2.3), and the
+// heterogeneous-memory systems of §7.3.
+package system
+
+import "fmt"
+
+// Kind names one evaluated system configuration.
+type Kind int
+
+// The evaluated systems (§7.2).
+const (
+	// Native: x86-64-style 4-level page tables, 4 KB pages, PIPT caches.
+	Native Kind = iota
+	// Native2M: Native with 2 MB pages (3-level tables).
+	Native2M
+	// Virtual: Native running inside a virtual machine (2D page walks).
+	Virtual
+	// Virtual2M: Virtual with 2 MB pages and a 2D page-walk cache.
+	Virtual2M
+	// PerfectTLB: Native with no L1 TLB misses (no translation overhead);
+	// an unrealizable upper bound for translation optimizations.
+	PerfectTLB
+	// VIVT: Native with virtually-indexed virtually-tagged caches;
+	// translation only at the LLC boundary, but still x86-64 page tables.
+	VIVT
+	// EnigmaHW2M: Enigma [137] with a 16K-entry CTC, hardware-managed
+	// walks and 2 MB pages.
+	EnigmaHW2M
+	// VBI1: inherently virtual caches + flexible per-VB translation
+	// structures at 4 KB granularity.
+	VBI1
+	// VBI2: VBI1 + delayed physical memory allocation (§5.1).
+	VBI2
+	// VBIFull: VBI2 + early reservation (§5.3): direct-mapped VBs.
+	VBIFull
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"Native", "Native-2M", "Virtual", "Virtual-2M", "Perfect TLB",
+	"VIVT", "Enigma-HW-2M", "VBI-1", "VBI-2", "VBI-Full",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Table 1 parameters shared by every system.
+const (
+	// Caches.
+	L1Size, L1Ways   = 32 << 10, 8
+	L2Size, L2Ways   = 256 << 10, 8
+	LLCSize, LLCWays = 8 << 20, 16
+	LLCSizePerCore   = 2 << 20
+
+	// TLBs.
+	L1TLB4KEntries = 64  // fully associative
+	L1TLB2MEntries = 32  // fully associative
+	L2TLBEntries   = 512 // 4-way
+	L2TLBWays      = 4
+	PWCEntries     = 32 // fully associative
+
+	// Added latencies (cycles).
+	L2TLBLatency = 7 // L2 TLB probe after an L1 TLB miss
+
+	// OS costs (cycles).
+	MinorFaultCost = 700  // demand-paging fault: trap, allocate, map
+	GuestFaultCost = 900  // guest-side fault in a VM
+	HostFaultCost  = 1100 // hypervisor fault (EPT fill)
+	SwapFaultCost  = 1500 // MTL interrupts the OS for swap/file data
+
+	// Memory-controller work (cycles).
+	MCAllocCost  = 30 // MTL/Enigma hardware allocation of a region
+	MTLLookupMin = 4  // MTL pipeline minimum (VIT cache / TLB probe)
+	CTCLookupLat = 4  // Enigma CTC probe
+
+	// MTLCacheLat is the MTL walk-cache (node-pointer cache) hit latency;
+	// the cache itself has PWCEntries entries, keeping translation-caching
+	// budgets equal across systems.
+	MTLCacheLat = 2
+
+	// migDrainPerAccess bounds how much background-migration bandwidth
+	// interference one access can observe (cycles).
+	migDrainPerAccess = 16
+)
+
+// Config parameterizes one run.
+type Config struct {
+	Kind Kind
+	// Refs is the number of measured memory references.
+	Refs int
+	// Warmup references run before measurement starts (default Refs/2).
+	Warmup int
+	// Seed selects the trace stream (default 1).
+	Seed uint64
+	// Capacity is the physical memory size (default 16 GB; quad-core runs
+	// use 32 GB). Sized so whole-VB early reservations (§5.3) of the
+	// 4 GB size class have headroom, as on the paper's testbed.
+	Capacity uint64
+	// UniformTables (VBI kinds only) disables the flexible translation
+	// structures of §5.2, giving every VB a fixed 4-level table — the
+	// ablation isolating the flexible-structure benefit.
+	UniformTables bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Refs == 0 {
+		c.Refs = 1_000_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Refs / 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 16 << 30
+	}
+	return c
+}
+
+// Kinds4K lists the systems of Figure 6 (4 KB pages), in plot order.
+var Kinds4K = []Kind{Native, Virtual, VIVT, VBI1, VBI2, VBIFull, PerfectTLB}
+
+// KindsLarge lists the systems of Figure 7 (large pages), in plot order.
+var KindsLarge = []Kind{Native2M, Virtual2M, EnigmaHW2M, VBIFull, PerfectTLB}
+
+// KindsMulticore lists the systems of Figure 8.
+var KindsMulticore = []Kind{Native, Native2M, Virtual, Virtual2M, VBIFull, PerfectTLB}

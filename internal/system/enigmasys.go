@@ -1,0 +1,127 @@
+package system
+
+import (
+	"vbi/internal/cache"
+	"vbi/internal/cpu"
+	"vbi/internal/dram"
+	"vbi/internal/enigma"
+	"vbi/internal/trace"
+)
+
+// enigmaRunner simulates Enigma-HW-2M (§7.2.2): intermediate-address
+// caches (translation deferred to the memory controller, like VBI), a
+// 16K-entry centralized translation cache, hardware flat-table walks, and
+// 2 MB pages allocated on first touch.
+type enigmaRunner struct {
+	*coreKit
+	eng   *enigma.Enigma
+	bases []uint64
+
+	c enigmaCounters
+	s enigmaCounters
+}
+
+type enigmaCounters struct {
+	ctcMisses  uint64
+	pageAllocs uint64
+}
+
+func newEnigmaRunner(prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, sharedHier *cache.Hierarchy, shared *enigma.Enigma) (*enigmaRunner, error) {
+	r := &enigmaRunner{coreKit: newCoreKit(prof, cfg.Seed, mem, llc, sharedHier)}
+	if shared != nil {
+		r.eng = shared
+	} else {
+		r.eng = enigma.New(cfg.Capacity)
+	}
+	for _, s := range prof.Structs {
+		base := r.eng.AllocRegion(s.Size)
+		r.bases = append(r.bases, base)
+		// Initialization pass: first touches allocate the 2 MB pages of
+		// the live data before the simulated region.
+		for ia := base; ia < base+s.WarmBytes(); ia += enigma.PageSize {
+			if _, err := r.eng.Translate(ia); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+func (r *enigmaRunner) now() uint64 { return r.cpu.Now() }
+
+func (r *enigmaRunner) step() error {
+	ref := r.gen.Next()
+	op := ref.Op
+	op.Addr = r.bases[ref.StructIdx] + ref.Offset
+	var stepErr error
+	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
+		lat, err := r.access(o, at)
+		if err != nil {
+			stepErr = err
+		}
+		return lat
+	})
+	r.memRefs++
+	return stepErr
+}
+
+func (r *enigmaRunner) access(op cpu.Op, at uint64) (uint64, error) {
+	ia := op.Addr
+	line := cache.LineOf(ia)
+	res := r.hier.Access(line, op.Write)
+	t := res.Latency
+	r.drainEnigmaWritebacks(res.Writebacks, at+t)
+	if !res.MissedLLC {
+		return t, nil
+	}
+
+	ev, err := r.eng.Translate(ia)
+	if err != nil {
+		return t, err
+	}
+	lat := uint64(CTCLookupLat)
+	cur := at + t + lat
+	if !ev.CTCHit {
+		r.c.ctcMisses++
+		cur = r.mem.Access(uint64(ev.WalkAccess), cur, false)
+	}
+	if ev.Allocated {
+		r.c.pageAllocs++
+		cur += MCAllocCost
+	}
+	mcLat := cur - (at + t)
+	if mcLat > cache.DefaultLatencies.LLC {
+		t += mcLat - cache.DefaultLatencies.LLC
+	}
+	done := r.mem.Access(uint64(ev.PA), at+t, false)
+	t = done - at
+	wbs := r.hier.Fill(line, op.Write)
+	r.drainEnigmaWritebacks(wbs, done)
+	return t, nil
+}
+
+func (r *enigmaRunner) drainEnigmaWritebacks(wbs []uint64, at uint64) {
+	for _, wb := range wbs {
+		ev, err := r.eng.Translate(wb)
+		if err != nil {
+			continue
+		}
+		cur := at
+		if !ev.CTCHit {
+			cur = r.mem.Access(uint64(ev.WalkAccess), cur, false)
+		}
+		r.mem.Access(uint64(ev.PA), cur, true)
+	}
+}
+
+func (r *enigmaRunner) beginMeasurement() {
+	r.coreKit.beginMeasurement()
+	r.s = r.c
+}
+
+func (r *enigmaRunner) result() RunResult {
+	res := r.baseResult(EnigmaHW2M.String())
+	res.Extra["ctc.misses"] = r.c.ctcMisses - r.s.ctcMisses
+	res.Extra["page.allocs"] = r.c.pageAllocs - r.s.pageAllocs
+	return res
+}

@@ -1,0 +1,30 @@
+package tlb
+
+import "testing"
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	t := New("L1", 1, 64)
+	t.Insert(42, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(42)
+	}
+}
+
+func BenchmarkRangeTLBPageHit(b *testing.B) {
+	t := NewRange("MTL", 64)
+	t.Insert(RangeEntry{Base: 0x1000, Size: 4096, Phys: 0x9000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(0x1abc)
+	}
+}
+
+func BenchmarkRangeTLBBigEntryHit(b *testing.B) {
+	t := NewRange("MTL", 64)
+	t.Insert(RangeEntry{Base: 1 << 30, Size: 4 << 30, Phys: 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(1<<30 + uint64(i)%(4<<30))
+	}
+}

@@ -1,0 +1,171 @@
+package tlb
+
+// RangeEntry is a variable-granularity translation: VBI addresses in
+// [Base, Base+Size) map to physical addresses starting at Phys. A
+// directly-mapped VB needs a single entry covering the whole VB (§5.2,
+// §5.3); page-granularity mappings use Size = 4096.
+type RangeEntry struct {
+	Base uint64
+	Size uint64
+	Phys uint64
+}
+
+// Contains reports whether the entry translates address a.
+func (e RangeEntry) Contains(a uint64) bool {
+	return a >= e.Base && a-e.Base < e.Size
+}
+
+// Translate maps a (which must be contained) to its physical address.
+func (e RangeEntry) Translate(a uint64) uint64 {
+	return e.Phys + (a - e.Base)
+}
+
+const pageShift = 12
+
+type rangeSlot struct {
+	e    RangeEntry
+	used uint64
+}
+
+// RangeTLB is a fully-associative TLB whose entries cover arbitrary
+// power-of-two-aligned ranges. Page-sized entries (the common case) are
+// indexed in a hash map for O(1) lookup; larger entries are kept in a small
+// linear list (their count is bounded by the number of live VBs, which is
+// small — §4.3 observes most programs need a few tens of VBs). Eviction is
+// global LRU across both kinds.
+type RangeTLB struct {
+	Name     string
+	Stats    Stats
+	capacity int
+
+	pages map[uint64]*rangeSlot // page-number -> slot, for Size==4096 entries
+	big   []*rangeSlot          // entries with Size > 4096
+	tick  uint64
+}
+
+// NewRange builds a RangeTLB holding up to capacity entries.
+func NewRange(name string, capacity int) *RangeTLB {
+	if capacity <= 0 {
+		panic("tlb: bad range capacity")
+	}
+	return &RangeTLB{
+		Name:     name,
+		capacity: capacity,
+		pages:    make(map[uint64]*rangeSlot, capacity),
+	}
+}
+
+// Entries returns the TLB capacity.
+func (t *RangeTLB) Entries() int { return t.capacity }
+
+// Occupied returns the number of live entries.
+func (t *RangeTLB) Occupied() int { return len(t.pages) + len(t.big) }
+
+// Lookup probes for a translation covering address a.
+func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
+	if s, ok := t.pages[a>>pageShift]; ok {
+		t.tick++
+		s.used = t.tick
+		t.Stats.Hits++
+		return s.e, true
+	}
+	for _, s := range t.big {
+		if s.e.Contains(a) {
+			t.tick++
+			s.used = t.tick
+			t.Stats.Hits++
+			return s.e, true
+		}
+	}
+	t.Stats.Misses++
+	return RangeEntry{}, false
+}
+
+// Insert caches the translation, evicting the global LRU entry when full.
+// Inserting a range that duplicates an existing base refreshes it.
+func (t *RangeTLB) Insert(e RangeEntry) {
+	t.tick++
+	if e.Size <= 1<<pageShift {
+		pn := e.Base >> pageShift
+		if s, ok := t.pages[pn]; ok {
+			s.e = e
+			s.used = t.tick
+			return
+		}
+		t.evictIfFull()
+		t.pages[pn] = &rangeSlot{e: e, used: t.tick}
+		return
+	}
+	for _, s := range t.big {
+		if s.e.Base == e.Base && s.e.Size == e.Size {
+			s.e = e
+			s.used = t.tick
+			return
+		}
+	}
+	t.evictIfFull()
+	t.big = append(t.big, &rangeSlot{e: e, used: t.tick})
+}
+
+func (t *RangeTLB) evictIfFull() {
+	if t.Occupied() < t.capacity {
+		return
+	}
+	// Global LRU scan. Inserts only happen on misses, so this O(n) scan is
+	// off the common path.
+	var (
+		oldest   uint64 = ^uint64(0)
+		pageKey  uint64
+		fromPage bool
+		bigIdx   = -1
+	)
+	for k, s := range t.pages {
+		if s.used < oldest {
+			oldest = s.used
+			pageKey = k
+			fromPage = true
+			bigIdx = -1
+		}
+	}
+	for i, s := range t.big {
+		if s.used < oldest {
+			oldest = s.used
+			fromPage = false
+			bigIdx = i
+		}
+	}
+	if fromPage {
+		delete(t.pages, pageKey)
+	} else if bigIdx >= 0 {
+		t.big = append(t.big[:bigIdx], t.big[bigIdx+1:]...)
+	}
+	t.Stats.Evictions++
+}
+
+// InvalidateRange drops every entry overlapping [base, base+size) (used by
+// disable_vb, promote_vb and migration).
+func (t *RangeTLB) InvalidateRange(base, size uint64) int {
+	n := 0
+	for pn, s := range t.pages {
+		if s.e.Base+s.e.Size > base && s.e.Base < base+size {
+			delete(t.pages, pn)
+			n++
+		}
+	}
+	kept := t.big[:0]
+	for _, s := range t.big {
+		if s.e.Base+s.e.Size > base && s.e.Base < base+size {
+			n++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	t.big = kept
+	return n
+}
+
+// InvalidateAll empties the TLB.
+func (t *RangeTLB) InvalidateAll() {
+	t.pages = make(map[uint64]*rangeSlot, t.capacity)
+	t.big = nil
+}

@@ -1,0 +1,126 @@
+// Package tlb models the translation-caching structures of Table 1: the
+// per-core L1/L2 TLBs of conventional systems, the page-walk caches that
+// accelerate radix walks (including the nested/2D page-walk cache of
+// virtualized systems), and the range-granularity TLB used by the VBI
+// Memory Translation Layer, whose entries may cover anything from one 4 KB
+// page to an entire directly-mapped VB (§5.2).
+package tlb
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type entry struct {
+	key   uint64
+	value uint64
+	valid bool
+	used  uint64
+}
+
+// TLB is a set-associative translation buffer over opaque uint64 keys
+// (callers compose the key from ASID and virtual page number). A fully
+// associative TLB is one with sets == 1.
+type TLB struct {
+	Name  string
+	Stats Stats
+
+	sets, ways int
+	setMask    uint64
+	entries    []entry
+	index      map[uint64]int
+	tick       uint64
+}
+
+// New builds a TLB with the given geometry; entries = sets*ways. The set
+// count must be a power of two.
+func New(name string, sets, ways int) *TLB {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("tlb: bad geometry")
+	}
+	return &TLB{
+		Name:    name,
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, sets*ways),
+		index:   make(map[uint64]int, sets*ways),
+	}
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Lookup probes for key, returning its cached value. Hit/miss statistics
+// and LRU state are updated.
+func (t *TLB) Lookup(key uint64) (uint64, bool) {
+	if i, ok := t.index[key]; ok {
+		t.tick++
+		t.entries[i].used = t.tick
+		t.Stats.Hits++
+		return t.entries[i].value, true
+	}
+	t.Stats.Misses++
+	return 0, false
+}
+
+// Insert caches key -> value, evicting the set's LRU entry if needed.
+func (t *TLB) Insert(key, value uint64) {
+	if i, ok := t.index[key]; ok {
+		t.tick++
+		t.entries[i].value = value
+		t.entries[i].used = t.tick
+		return
+	}
+	set := int(key & t.setMask)
+	base := set * t.ways
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+t.ways; i++ {
+		if !t.entries[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if t.entries[i].used < oldest {
+			oldest = t.entries[i].used
+			victim = i
+		}
+	}
+	if t.entries[victim].valid {
+		delete(t.index, t.entries[victim].key)
+		t.Stats.Evictions++
+	}
+	t.tick++
+	t.entries[victim] = entry{key: key, value: value, valid: true, used: t.tick}
+	t.index[key] = victim
+}
+
+// InvalidateAll empties the TLB (context switch without ASIDs, disable_vb).
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.index = make(map[uint64]int, t.sets*t.ways)
+}
+
+// InvalidateIf drops entries whose key matches pred, returning the count.
+func (t *TLB) InvalidateIf(pred func(key uint64) bool) int {
+	var doomed []uint64
+	for k := range t.index {
+		if pred(k) {
+			doomed = append(doomed, k)
+		}
+	}
+	for _, k := range doomed {
+		i := t.index[k]
+		t.entries[i] = entry{}
+		delete(t.index, k)
+	}
+	return len(doomed)
+}
+
+// Occupied returns the number of valid entries (for tests).
+func (t *TLB) Occupied() int { return len(t.index) }

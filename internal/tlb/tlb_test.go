@@ -1,0 +1,206 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tl := New("L1D", 1, 64)
+	if _, ok := tl.Lookup(42); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tl.Insert(42, 0xabc)
+	v, ok := tl.Lookup(42)
+	if !ok || v != 0xabc {
+		t.Fatalf("Lookup = %#x,%v", v, ok)
+	}
+	if tl.Stats.Hits != 1 || tl.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", tl.Stats)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tl := New("t", 1, 2)
+	tl.Insert(1, 0)
+	tl.Insert(2, 0)
+	tl.Lookup(1) // 1 becomes MRU
+	tl.Insert(3, 0)
+	if _, ok := tl.Lookup(2); ok {
+		t.Fatal("LRU entry 2 survived")
+	}
+	if _, ok := tl.Lookup(1); !ok {
+		t.Fatal("MRU entry 1 evicted")
+	}
+	if tl.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", tl.Stats.Evictions)
+	}
+}
+
+func TestTLBSetAssociative(t *testing.T) {
+	tl := New("L2D", 128, 4) // 512 entries, Table 1 geometry
+	if tl.Entries() != 512 {
+		t.Fatalf("entries = %d", tl.Entries())
+	}
+	// Keys mapping to the same set: low 7 bits equal.
+	for i := uint64(0); i < 5; i++ {
+		tl.Insert(i<<7|3, i)
+	}
+	// One of the first five must have been evicted; occupancy stays <= 4 in
+	// that set.
+	hits := 0
+	for i := uint64(0); i < 5; i++ {
+		if _, ok := tl.Lookup(i<<7 | 3); ok {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("set holds %d of 5 conflicting keys, want 4", hits)
+	}
+}
+
+func TestTLBInsertRefreshes(t *testing.T) {
+	tl := New("t", 1, 4)
+	tl.Insert(1, 10)
+	tl.Insert(1, 20)
+	if tl.Occupied() != 1 {
+		t.Fatalf("occupied = %d", tl.Occupied())
+	}
+	if v, _ := tl.Lookup(1); v != 20 {
+		t.Fatalf("value = %d, want 20", v)
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tl := New("t", 1, 8)
+	for i := uint64(0); i < 8; i++ {
+		tl.Insert(i, i)
+	}
+	n := tl.InvalidateIf(func(k uint64) bool { return k%2 == 0 })
+	if n != 4 || tl.Occupied() != 4 {
+		t.Fatalf("n=%d occupied=%d", n, tl.Occupied())
+	}
+	tl.InvalidateAll()
+	if tl.Occupied() != 0 {
+		t.Fatal("InvalidateAll left entries")
+	}
+}
+
+func TestRangeTLBPageEntries(t *testing.T) {
+	rt := NewRange("MTL", 4)
+	rt.Insert(RangeEntry{Base: 0x1000, Size: 4096, Phys: 0x9000})
+	e, ok := rt.Lookup(0x1abc)
+	if !ok || e.Translate(0x1abc) != 0x9abc {
+		t.Fatalf("Lookup/Translate = %+v,%v", e, ok)
+	}
+	if _, ok := rt.Lookup(0x2000); ok {
+		t.Fatal("hit outside range")
+	}
+}
+
+func TestRangeTLBBigEntry(t *testing.T) {
+	rt := NewRange("MTL", 4)
+	// A directly-mapped 4 MB VB: one entry covers it all (§5.3).
+	rt.Insert(RangeEntry{Base: 1 << 30, Size: 4 << 20, Phys: 0x4000_0000})
+	for _, off := range []uint64{0, 4095, 1 << 20, 4<<20 - 1} {
+		e, ok := rt.Lookup(1<<30 + off)
+		if !ok {
+			t.Fatalf("miss at offset %#x", off)
+		}
+		if got := e.Translate(1<<30 + off); got != 0x4000_0000+off {
+			t.Fatalf("translate(%#x) = %#x", off, got)
+		}
+	}
+	if _, ok := rt.Lookup(1<<30 + 4<<20); ok {
+		t.Fatal("hit just past the range end")
+	}
+}
+
+func TestRangeTLBEvictionLRU(t *testing.T) {
+	rt := NewRange("MTL", 2)
+	rt.Insert(RangeEntry{Base: 0x1000, Size: 4096, Phys: 1})
+	rt.Insert(RangeEntry{Base: 0x2000, Size: 4096, Phys: 2})
+	rt.Lookup(0x1000) // refresh first
+	rt.Insert(RangeEntry{Base: 0x3000, Size: 4096, Phys: 3})
+	if _, ok := rt.Lookup(0x2000); ok {
+		t.Fatal("LRU range entry survived")
+	}
+	if _, ok := rt.Lookup(0x1000); !ok {
+		t.Fatal("MRU range entry evicted")
+	}
+	if rt.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", rt.Stats.Evictions)
+	}
+}
+
+func TestRangeTLBEvictionMixed(t *testing.T) {
+	rt := NewRange("MTL", 2)
+	rt.Insert(RangeEntry{Base: 0, Size: 1 << 20, Phys: 0})     // big
+	rt.Insert(RangeEntry{Base: 1 << 30, Size: 4096, Phys: 42}) // page
+	rt.Lookup(1 << 30)                                         // page entry is MRU
+	rt.Insert(RangeEntry{Base: 2 << 30, Size: 2 << 20, Phys: 7})
+	if _, ok := rt.Lookup(512); ok {
+		t.Fatal("LRU big entry survived")
+	}
+	if rt.Occupied() != 2 {
+		t.Fatalf("occupied = %d", rt.Occupied())
+	}
+}
+
+func TestRangeTLBInvalidateRange(t *testing.T) {
+	rt := NewRange("MTL", 8)
+	rt.Insert(RangeEntry{Base: 0x0000, Size: 4096, Phys: 0})
+	rt.Insert(RangeEntry{Base: 0x1000, Size: 4096, Phys: 1})
+	rt.Insert(RangeEntry{Base: 0x10000, Size: 1 << 16, Phys: 2})
+	n := rt.InvalidateRange(0x1000, 0x10000)
+	if n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := rt.Lookup(0x0800); !ok {
+		t.Fatal("untouched entry lost")
+	}
+	if _, ok := rt.Lookup(0x1800); ok {
+		t.Fatal("invalidated page entry survived")
+	}
+	if _, ok := rt.Lookup(0x10000); ok {
+		t.Fatal("invalidated big entry survived")
+	}
+}
+
+func TestRangeTLBCapacityBound(t *testing.T) {
+	rt := NewRange("MTL", 16)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(4) == 0 {
+			rt.Insert(RangeEntry{Base: uint64(rng.Intn(100)) << 22, Size: 1 << 22, Phys: 0})
+		} else {
+			rt.Insert(RangeEntry{Base: uint64(rng.Intn(4096)) << 12, Size: 4096, Phys: 0})
+		}
+		if rt.Occupied() > 16 {
+			t.Fatalf("occupancy %d exceeds capacity", rt.Occupied())
+		}
+	}
+}
+
+func TestPWC(t *testing.T) {
+	p := NewPWC("PWC", 32)
+	if _, ok := p.Lookup(2, 0x40); ok {
+		t.Fatal("hit on empty PWC")
+	}
+	p.Insert(2, 0x40, 0xdead000)
+	v, ok := p.Lookup(2, 0x40)
+	if !ok || v != 0xdead000 {
+		t.Fatalf("Lookup = %#x,%v", v, ok)
+	}
+	// Same prefix at a different level is a distinct key.
+	if _, ok := p.Lookup(3, 0x40); ok {
+		t.Fatal("level collision")
+	}
+	p.InvalidateAll()
+	if _, ok := p.Lookup(2, 0x40); ok {
+		t.Fatal("entry survived InvalidateAll")
+	}
+	if p.Stats().Misses != 3 {
+		t.Fatalf("misses = %d", p.Stats().Misses)
+	}
+}

@@ -1,0 +1,11 @@
+package trace
+
+import "testing"
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(testProfile(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

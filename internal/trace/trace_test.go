@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"testing"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name:           "unit",
+		MemRefsPer1000: 250,
+		Structs: []Struct{
+			{Name: "stream", Size: 1 << 20, Pattern: Seq, Weight: 1, WriteFrac: 0.5},
+			{Name: "table", Size: 4 << 20, Pattern: Rand, Weight: 2, WriteFrac: 0.1, ColdFrac: 0.5},
+			{Name: "list", Size: 2 << 20, Pattern: Chase, Weight: 1},
+		},
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(testProfile(), 42)
+	g2 := NewGenerator(testProfile(), 42)
+	for i := 0; i < 10000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("ref %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	g1 := NewGenerator(testProfile(), 1)
+	g2 := NewGenerator(testProfile(), 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next() == g2.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical refs", same)
+	}
+}
+
+func TestWeightsRespected(t *testing.T) {
+	g := NewGenerator(testProfile(), 7)
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[g.Next().StructIdx]++
+	}
+	// Weights 1:2:1 -> shares 0.25, 0.5, 0.25 (±3%).
+	for i, want := range []float64{0.25, 0.5, 0.25} {
+		got := float64(counts[i]) / n
+		if got < want-0.03 || got > want+0.03 {
+			t.Fatalf("struct %d share = %.3f, want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestOffsetsInBounds(t *testing.T) {
+	p := testProfile()
+	g := NewGenerator(p, 3)
+	for i := 0; i < 50000; i++ {
+		r := g.Next()
+		if r.Offset >= p.Structs[r.StructIdx].Size {
+			t.Fatalf("offset %#x out of bounds for struct %d", r.Offset, r.StructIdx)
+		}
+		if r.Offset&63 != 0 {
+			t.Fatalf("offset %#x not line-aligned", r.Offset)
+		}
+	}
+}
+
+func TestSequentialPattern(t *testing.T) {
+	p := Profile{Name: "seq", Structs: []Struct{{Size: 1 << 20, Pattern: Seq, Weight: 1}}}
+	g := NewGenerator(p, 1)
+	prev := g.Next().Offset
+	for i := 0; i < 100; i++ {
+		cur := g.Next().Offset
+		want := (prev + 64) % (1 << 20)
+		if cur != want {
+			t.Fatalf("seq offset = %#x, want %#x", cur, want)
+		}
+		prev = cur
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	p := Profile{Name: "strided", Structs: []Struct{
+		{Size: 1 << 20, Pattern: Strided, Stride: 4096, Weight: 1}}}
+	g := NewGenerator(p, 1)
+	a := g.Next().Offset
+	b := g.Next().Offset
+	if b != (a+4096)%(1<<20) {
+		t.Fatalf("stride: %#x then %#x", a, b)
+	}
+}
+
+func TestChaseSetsDep(t *testing.T) {
+	p := Profile{Name: "chase", Structs: []Struct{{Size: 1 << 20, Pattern: Chase, Weight: 1}}}
+	g := NewGenerator(p, 1)
+	for i := 0; i < 100; i++ {
+		if !g.Next().Op.Dep {
+			t.Fatal("chase ref without Dep")
+		}
+	}
+}
+
+func TestColdFracKeepsWritesOut(t *testing.T) {
+	p := Profile{Name: "cold", Structs: []Struct{
+		{Size: 1 << 20, Pattern: Rand, Weight: 1, WriteFrac: 0.5, ColdFrac: 0.25}}}
+	g := NewGenerator(p, 1)
+	warmLimit := uint64(float64(1<<20) * 0.75)
+	writesSeen := 0
+	for i := 0; i < 50000; i++ {
+		r := g.Next()
+		if r.Op.Write {
+			writesSeen++
+			if r.Offset >= warmLimit {
+				t.Fatalf("write at %#x inside the cold tail (limit %#x)", r.Offset, warmLimit)
+			}
+		}
+	}
+	if writesSeen < 20000 {
+		t.Fatalf("writes = %d, want ≈ 25000", writesSeen)
+	}
+}
+
+func TestSparseHotSpreadsPages(t *testing.T) {
+	p := Profile{Name: "sparse", Structs: []Struct{{
+		Size: 64 << 20, Pattern: Rand, Weight: 1,
+		HotFrac: 0.5, HotBias: 1.0, SparseHot: true}}}
+	g := NewGenerator(p, 1)
+	pages := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		pages[g.Next().Offset>>12] = true
+	}
+	// One hot line per page over half the struct: thousands of distinct
+	// pages even though the cache footprint is one line each.
+	if len(pages) < 4000 {
+		t.Fatalf("sparse-hot touched only %d pages", len(pages))
+	}
+}
+
+func TestHotBiasSkews(t *testing.T) {
+	p := Profile{Name: "hot", Structs: []Struct{{
+		Size: 16 << 20, Pattern: Rand, Weight: 1, HotFrac: 0.01, HotBias: 0.9}}}
+	g := NewGenerator(p, 1)
+	size := float64(uint64(16 << 20))
+	hotLimit := uint64(size * 0.01)
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Offset < hotLimit {
+			hot++
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.85 {
+		t.Fatalf("hot share = %.2f, want ≈ 0.9", frac)
+	}
+}
+
+func TestGapRespectsMemIntensity(t *testing.T) {
+	p := testProfile() // 250 refs / 1000 instrs -> avg gap ≈ 3
+	g := NewGenerator(p, 1)
+	var total uint64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += uint64(g.Next().Op.Gap)
+	}
+	avg := float64(total) / n
+	if avg < 1.5 || avg > 4.5 {
+		t.Fatalf("average gap = %.2f, want ≈ 3", avg)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	if got := testProfile().Footprint(); got != 7<<20 {
+		t.Fatalf("footprint = %d", got)
+	}
+}

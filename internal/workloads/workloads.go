@@ -1,0 +1,352 @@
+// Package workloads defines the synthetic per-benchmark profiles standing
+// in for the paper's Pin traces (SPEC CPU 2006 [125], SPEC CPU 2017 [126],
+// TailBench [48] and Graph 500 [44]; §7.1 and DESIGN.md).
+//
+// Each profile encodes the published memory character of its benchmark at
+// the level that determines address-translation and data-placement
+// behaviour: footprint, number of distinct data structures (VB count under
+// VBI, §4.3), access-pattern class per structure, pointer-chase dependence,
+// hot-set shape (dense and cache-resident vs. sparse one-line-per-page,
+// the TLB-hostile shape of mcf-like codes), write fraction, and the
+// never-written cold tail that delayed allocation (§5.1) turns into zero
+// lines. Absolute sizes are scaled to the simulated 4 GB main memory while
+// preserving each benchmark's relationship to the TLB reach (2 MB) and LLC
+// capacity (8 MB).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"vbi/internal/prop"
+	"vbi/internal/trace"
+)
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+	gb = 1 << 30
+)
+
+// profiles maps benchmark name to its profile.
+var profiles = map[string]trace.Profile{
+	// ------------------------- SPEC CPU 2006 -------------------------
+	"mcf": {
+		// Single-depot vehicle scheduling: multi-GB pointer chasing over
+		// network arcs/nodes; the highest TLB MPKI in SPEC. Hot nodes are
+		// cache-resident but scattered one-per-page, so even the 2 MB-page
+		// TLB reach cannot cover them.
+		Name: "mcf", MemRefsPer1000: 380,
+		Structs: []trace.Struct{
+			{Name: "nodes", Size: 1472 * mb, Pattern: trace.Chase, Weight: 5,
+				WriteFrac: 0.12, HotFrac: 0.15, HotBias: 0.88, SparseHot: true, ColdFrac: 0.30},
+			{Name: "arcs", Size: 640 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.08, HotFrac: 0.15, HotBias: 0.80, SparseHot: true, ColdFrac: 0.25},
+			{Name: "basket", Size: 2 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.40, HotFrac: 0.25, HotBias: 0.95},
+		},
+	},
+	"astar": {
+		// Path-finding over a graph: pointer-heavy, medium footprint.
+		Name: "astar", MemRefsPer1000: 330,
+		Structs: []trace.Struct{
+			{Name: "graph", Size: 288 * mb, Pattern: trace.Chase, Weight: 4,
+				WriteFrac: 0.10, HotFrac: 0.15, HotBias: 0.75, SparseHot: true, ColdFrac: 0.15},
+			{Name: "open-list", Size: 24 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.35, HotFrac: 0.10, HotBias: 0.90},
+			{Name: "wayfields", Size: 96 * mb, Pattern: trace.Seq, Weight: 1,
+				WriteFrac: 0.30, ColdFrac: 0.20},
+		},
+	},
+	"bzip2": {
+		// Block compression: working set near the block size, mixed
+		// sequential/random, cache-friendly.
+		Name: "bzip2", MemRefsPer1000: 280,
+		Structs: []trace.Struct{
+			{Name: "block", Size: 8 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.30, HotFrac: 0.30, HotBias: 0.85},
+			{Name: "input", Size: 64 * mb, Pattern: trace.Seq, Weight: 2, WriteFrac: 0.05},
+			{Name: "output", Size: 64 * mb, Pattern: trace.Seq, Weight: 1,
+				WriteFrac: 0.90, ColdFrac: 0.30},
+		},
+	},
+	"GemsFDTD": {
+		// 3D finite-difference time domain: many large grids allocated
+		// per timestep (195 VBs, §4.3), strided sweeps, large
+		// zero-initialized tails.
+		Name: "GemsFDTD", MemRefsPer1000: 360,
+		Structs: gemsGrids(),
+	},
+	"milc": {
+		// Lattice QCD: streaming sweeps over large field arrays.
+		Name: "milc", MemRefsPer1000: 370,
+		Structs: []trace.Struct{
+			{Name: "lattice-u", Size: 224 * mb, Pattern: trace.Seq, Weight: 3,
+				WriteFrac: 0.25, ColdFrac: 0.10},
+			{Name: "lattice-v", Size: 224 * mb, Pattern: trace.Seq, Weight: 3,
+				WriteFrac: 0.25, ColdFrac: 0.10},
+			{Name: "gather-idx", Size: 96 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.05, HotFrac: 0.20, HotBias: 0.50},
+		},
+	},
+	"namd": {
+		// Molecular dynamics: small, cache-resident working set whose hot
+		// pages fit the TLB reach — translation-insensitive.
+		Name: "namd", MemRefsPer1000: 230,
+		Structs: []trace.Struct{
+			{Name: "atoms", Size: 8 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.25, HotFrac: 0.12, HotBias: 0.97},
+			{Name: "pairlists", Size: 16 * mb, Pattern: trace.Seq, Weight: 2, WriteFrac: 0.10},
+			{Name: "forces", Size: 4 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.50, HotFrac: 0.25, HotBias: 0.95},
+		},
+	},
+	"sjeng": {
+		// Chess search: hash-table probing, moderate footprint.
+		Name: "sjeng", MemRefsPer1000: 250,
+		Structs: []trace.Struct{
+			{Name: "ttable", Size: 160 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.25, HotFrac: 0.06, HotBias: 0.65, SparseHot: true},
+			{Name: "board-stack", Size: 2 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.45, HotFrac: 0.50, HotBias: 0.95},
+		},
+	},
+	"hmmer": {
+		// Profile HMM search: small hot matrices, very cache-friendly.
+		Name: "hmmer", MemRefsPer1000: 300,
+		Structs: []trace.Struct{
+			{Name: "dp-matrix", Size: 24 * mb, Pattern: trace.Seq, Weight: 5, WriteFrac: 0.45},
+			{Name: "hmm", Size: 4 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.02, HotFrac: 0.40, HotBias: 0.90},
+		},
+	},
+	"soplex": {
+		// Simplex LP solver: sparse-matrix column sweeps plus random
+		// row access.
+		Name: "soplex", MemRefsPer1000: 320,
+		Structs: []trace.Struct{
+			{Name: "matrix", Size: 224 * mb, Pattern: trace.Strided, Stride: 8 * kb, Weight: 3,
+				WriteFrac: 0.15, ColdFrac: 0.20},
+			{Name: "rows", Size: 64 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.20, HotFrac: 0.10, HotBias: 0.70, SparseHot: true},
+			{Name: "workvecs", Size: 8 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.40, HotFrac: 0.30, HotBias: 0.90},
+		},
+	},
+	"sphinx3": {
+		// Speech recognition: acoustic model scans with a hot language-
+		// model core.
+		Name: "sphinx3", MemRefsPer1000: 310,
+		Structs: []trace.Struct{
+			{Name: "senones", Size: 128 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.05, HotFrac: 0.15, HotBias: 0.70},
+			{Name: "frames", Size: 48 * mb, Pattern: trace.Seq, Weight: 3, WriteFrac: 0.30},
+			{Name: "lm-cache", Size: 8 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.30, HotFrac: 0.30, HotBias: 0.92},
+		},
+	},
+
+	// ------------------------- SPEC CPU 2017 -------------------------
+	"bwaves-17": {
+		// Blast-wave CFD: large strided grid sweeps, big BSS tails.
+		Name: "bwaves-17", MemRefsPer1000: 390,
+		Structs: []trace.Struct{
+			{Name: "grid-a", Size: 320 * mb, Pattern: trace.Strided, Stride: 16 * kb, Weight: 3,
+				WriteFrac: 0.25, ColdFrac: 0.25},
+			{Name: "grid-b", Size: 320 * mb, Pattern: trace.Strided, Stride: 16 * kb, Weight: 3,
+				WriteFrac: 0.25, ColdFrac: 0.25},
+			{Name: "rhs", Size: 128 * mb, Pattern: trace.Seq, Weight: 2,
+				WriteFrac: 0.50, ColdFrac: 0.15},
+		},
+	},
+	"deepsjeng-17": {
+		// Chess with a large transposition table: random probes over a
+		// multi-hundred-MB table.
+		Name: "deepsjeng-17", MemRefsPer1000: 270,
+		Structs: []trace.Struct{
+			{Name: "ttable", Size: 448 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.30, HotFrac: 0.08, HotBias: 0.70, SparseHot: true, ColdFrac: 0.20},
+			{Name: "search-stack", Size: 3 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.45, HotFrac: 0.50, HotBias: 0.95},
+		},
+	},
+	"lbm-17": {
+		// Lattice Boltzmann: two large grids streamed with heavy writes.
+		Name: "lbm-17", MemRefsPer1000: 420,
+		Structs: []trace.Struct{
+			{Name: "src-grid", Size: 208 * mb, Pattern: trace.Seq, Weight: 3, WriteFrac: 0.10},
+			{Name: "dst-grid", Size: 208 * mb, Pattern: trace.Seq, Weight: 3,
+				WriteFrac: 0.85, ColdFrac: 0.10},
+		},
+	},
+	"omnetpp-17": {
+		// Discrete-event network simulation: event heap + module objects,
+		// pointer chasing over many pages; known TLB stressor.
+		Name: "omnetpp-17", MemRefsPer1000: 300,
+		Structs: []trace.Struct{
+			{Name: "event-objects", Size: 192 * mb, Pattern: trace.Chase, Weight: 5,
+				WriteFrac: 0.20, HotFrac: 0.20, HotBias: 0.85, SparseHot: true, ColdFrac: 0.10},
+			{Name: "event-heap", Size: 8 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.45, HotFrac: 0.30, HotBias: 0.90},
+		},
+	},
+	"xalancbmk-17": {
+		// XSLT processing: DOM pointer chasing plus string tables.
+		Name: "xalancbmk-17", MemRefsPer1000: 290,
+		Structs: []trace.Struct{
+			{Name: "dom", Size: 256 * mb, Pattern: trace.Chase, Weight: 4,
+				WriteFrac: 0.15, HotFrac: 0.12, HotBias: 0.75, SparseHot: true, ColdFrac: 0.15},
+			{Name: "strings", Size: 64 * mb, Pattern: trace.Rand, Weight: 2,
+				WriteFrac: 0.10, HotFrac: 0.20, HotBias: 0.80},
+		},
+	},
+
+	// --------------------------- TailBench ---------------------------
+	"img-dnn": {
+		// Handwriting-recognition DNN inference: streaming weight reads
+		// with small hot activations.
+		Name: "img-dnn", MemRefsPer1000: 350,
+		Structs: []trace.Struct{
+			{Name: "weights", Size: 256 * mb, Pattern: trace.Seq, Weight: 5, WriteFrac: 0.0},
+			{Name: "activations", Size: 12 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.50, HotFrac: 0.40, HotBias: 0.90},
+			{Name: "scratch", Size: 64 * mb, Pattern: trace.Seq, Weight: 1,
+				WriteFrac: 0.60, ColdFrac: 0.40},
+		},
+	},
+	"moses": {
+		// Statistical machine translation: huge read-mostly phrase table
+		// probed randomly.
+		Name: "moses", MemRefsPer1000: 310,
+		Structs: []trace.Struct{
+			{Name: "phrase-table", Size: 512 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.02, HotFrac: 0.06, HotBias: 0.70, SparseHot: true, ColdFrac: 0.30},
+			{Name: "hypotheses", Size: 32 * mb, Pattern: trace.Chase, Weight: 3,
+				WriteFrac: 0.40, HotFrac: 0.25, HotBias: 0.85},
+		},
+	},
+
+	// --------------------------- Graph 500 ---------------------------
+	"graph500": {
+		// BFS on a Kronecker graph: uniform random edge access, bitmap
+		// updates, large never-touched tail in the over-allocated edge
+		// arrays.
+		Name: "graph500", MemRefsPer1000: 340,
+		Structs: []trace.Struct{
+			{Name: "edges", Size: 768 * mb, Pattern: trace.Rand, Weight: 4,
+				WriteFrac: 0.05, ColdFrac: 0.25},
+			{Name: "frontier", Size: 48 * mb, Pattern: trace.Seq, Weight: 2, WriteFrac: 0.50},
+			{Name: "visited", Size: 24 * mb, Pattern: trace.Rand, Weight: 3,
+				WriteFrac: 0.40, HotFrac: 0.30, HotBias: 0.60},
+		},
+	},
+}
+
+// gemsGrids builds GemsFDTD's structure list: six large field grids per
+// timestep group plus many auxiliary arrays, mirroring its unusually high
+// allocation count (195 VBs, §4.3).
+func gemsGrids() []trace.Struct {
+	var out []trace.Struct
+	for i := 0; i < 6; i++ {
+		out = append(out, trace.Struct{
+			Name: fmt.Sprintf("field-%d", i), Size: 96 * mb,
+			Pattern: trace.Strided, Stride: 4 * kb, Weight: 3,
+			WriteFrac: 0.35, ColdFrac: 0.35,
+		})
+	}
+	for i := 0; i < 24; i++ {
+		out = append(out, trace.Struct{
+			Name: fmt.Sprintf("aux-%d", i), Size: 4 * mb,
+			Pattern: trace.Seq, Weight: 0.25,
+			WriteFrac: 0.40, ColdFrac: 0.30,
+		})
+	}
+	return out
+}
+
+// Get returns the profile for a benchmark name.
+func Get(name string) (trace.Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return trace.Profile{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustGet is Get for known-good names (panics otherwise).
+func MustGet(name string) trace.Profile {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fig6Apps lists the Figure 6 x-axis (single-core, 4 KB pages).
+var Fig6Apps = []string{
+	"astar", "bzip2", "GemsFDTD", "mcf", "milc", "namd", "sjeng",
+	"bwaves-17", "deepsjeng-17", "lbm-17", "omnetpp-17",
+	"img-dnn", "moses", "graph500",
+}
+
+// Fig7Apps lists the applications shown in Figure 7 (the average there is
+// computed over all Fig6Apps, §7.2.2).
+var Fig7Apps = []string{
+	"bzip2", "GemsFDTD", "mcf", "milc",
+	"deepsjeng-17", "lbm-17", "img-dnn", "graph500",
+}
+
+// HeteroApps lists the Figure 9/10 x-axis.
+var HeteroApps = []string{
+	"astar", "bzip2", "GemsFDTD", "hmmer", "mcf", "milc", "soplex",
+	"sphinx3", "bwaves-17", "lbm-17", "omnetpp-17", "xalancbmk-17",
+	"img-dnn", "moses", "graph500",
+}
+
+// Bundles reproduces Table 2's multiprogrammed workload bundles.
+var Bundles = map[string][]string{
+	"wl1": {"deepsjeng-17", "omnetpp-17", "bwaves-17", "lbm-17"},
+	"wl2": {"graph500", "astar", "img-dnn", "moses"},
+	"wl3": {"mcf", "GemsFDTD", "astar", "milc"},
+	"wl4": {"milc", "namd", "GemsFDTD", "bzip2"},
+	"wl5": {"bzip2", "GemsFDTD", "sjeng", "mcf"},
+	"wl6": {"namd", "bzip2", "astar", "sjeng"},
+}
+
+// BundleNames returns bundle names in order.
+var BundleNames = []string{"wl1", "wl2", "wl3", "wl4", "wl5", "wl6"}
+
+// PropsFor derives the VB property bitvector (§4.1.1) software passes for
+// a structure: the semantic hints the MTL's placement policies consume.
+func PropsFor(s trace.Struct) prop.Props {
+	var p prop.Props
+	if s.Code {
+		p = p.With(prop.Code | prop.ReadOnly)
+	}
+	switch s.Pattern {
+	case trace.Seq, trace.Strided:
+		p = p.With(prop.BandwidthSensitive | prop.AccessSequential)
+	case trace.Rand:
+		p = p.With(prop.AccessRandom)
+	case trace.Chase:
+		p = p.With(prop.LatencySensitive | prop.AccessRandom)
+	}
+	// Small structures with dense hot subsets are latency-critical.
+	if s.HotFrac > 0 && !s.SparseHot && s.Size <= 16*mb {
+		p = p.With(prop.LatencySensitive)
+	}
+	if s.WriteFrac == 0 {
+		p = p.With(prop.ReadOnly)
+	}
+	return p
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"testing"
+
+	"vbi/internal/prop"
+	"vbi/internal/trace"
+)
+
+func TestAllFigureAppsExist(t *testing.T) {
+	lists := map[string][]string{
+		"Fig6":   Fig6Apps,
+		"Fig7":   Fig7Apps,
+		"Hetero": HeteroApps,
+	}
+	for fig, apps := range lists {
+		for _, a := range apps {
+			if _, err := Get(a); err != nil {
+				t.Errorf("%s references missing workload %q", fig, a)
+			}
+		}
+	}
+}
+
+func TestBundlesMatchTable2(t *testing.T) {
+	// Table 2 of the paper, verbatim.
+	want := map[string][]string{
+		"wl1": {"deepsjeng-17", "omnetpp-17", "bwaves-17", "lbm-17"},
+		"wl2": {"graph500", "astar", "img-dnn", "moses"},
+		"wl3": {"mcf", "GemsFDTD", "astar", "milc"},
+		"wl4": {"milc", "namd", "GemsFDTD", "bzip2"},
+		"wl5": {"bzip2", "GemsFDTD", "sjeng", "mcf"},
+		"wl6": {"namd", "bzip2", "astar", "sjeng"},
+	}
+	for name, apps := range want {
+		got, ok := Bundles[name]
+		if !ok {
+			t.Fatalf("missing bundle %s", name)
+		}
+		if len(got) != 4 {
+			t.Fatalf("%s has %d apps", name, len(got))
+		}
+		for i := range apps {
+			if got[i] != apps[i] {
+				t.Errorf("%s[%d] = %q, want %q", name, i, got[i], apps[i])
+			}
+			if _, err := Get(apps[i]); err != nil {
+				t.Errorf("bundle app %q missing", apps[i])
+			}
+		}
+	}
+	if len(BundleNames) != 6 {
+		t.Fatal("BundleNames incomplete")
+	}
+}
+
+func TestProfilesWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		p := MustGet(name)
+		if p.Name != name {
+			t.Errorf("%s: profile.Name = %q", name, p.Name)
+		}
+		if p.MemRefsPer1000 <= 0 || p.MemRefsPer1000 > 1000 {
+			t.Errorf("%s: MemRefsPer1000 = %d", name, p.MemRefsPer1000)
+		}
+		if len(p.Structs) == 0 {
+			t.Errorf("%s: no structures", name)
+		}
+		for _, s := range p.Structs {
+			if s.Size == 0 || s.Size%4096 != 0 {
+				t.Errorf("%s/%s: size %d not page-aligned", name, s.Name, s.Size)
+			}
+			if s.Weight <= 0 {
+				t.Errorf("%s/%s: weight %f", name, s.Name, s.Weight)
+			}
+			if s.WriteFrac < 0 || s.WriteFrac > 1 || s.ColdFrac < 0 || s.ColdFrac >= 1 {
+				t.Errorf("%s/%s: bad fractions", name, s.Name)
+			}
+			if s.HotBias > 0 && s.HotFrac == 0 {
+				t.Errorf("%s/%s: hot bias without hot fraction", name, s.Name)
+			}
+		}
+		if p.Footprint() > 3<<30 {
+			t.Errorf("%s: footprint %d exceeds simulated-memory budget", name, p.Footprint())
+		}
+	}
+}
+
+func TestFootprintsSpanRegimes(t *testing.T) {
+	// The suite must contain both cache-resident and TLB-hostile apps for
+	// the figures to show their spreads.
+	small, big := false, false
+	for _, name := range Names() {
+		fp := MustGet(name).Footprint()
+		if fp < 64<<20 {
+			small = true
+		}
+		if fp > 512<<20 {
+			big = true
+		}
+	}
+	if !small || !big {
+		t.Fatalf("workload footprints lack spread (small=%v big=%v)", small, big)
+	}
+}
+
+func TestGemsFDTDManyStructs(t *testing.T) {
+	// §4.3 singles out GemsFDTD for its high VB count.
+	p := MustGet("GemsFDTD")
+	if len(p.Structs) < 20 {
+		t.Fatalf("GemsFDTD has %d structs; expected the allocation-heavy shape", len(p.Structs))
+	}
+}
+
+func TestGeneratable(t *testing.T) {
+	for _, name := range Names() {
+		g := trace.NewGenerator(MustGet(name), 1)
+		for i := 0; i < 1000; i++ {
+			r := g.Next()
+			if r.Offset >= MustGet(name).Structs[r.StructIdx].Size {
+				t.Fatalf("%s: out-of-bounds ref", name)
+			}
+		}
+	}
+}
+
+func TestPropsFor(t *testing.T) {
+	chase := trace.Struct{Pattern: trace.Chase}
+	if p := PropsFor(chase); !p.Has(prop.LatencySensitive) {
+		t.Error("chase struct not latency-sensitive")
+	}
+	stream := trace.Struct{Pattern: trace.Seq, WriteFrac: 0.5}
+	if p := PropsFor(stream); !p.Has(prop.BandwidthSensitive) {
+		t.Error("stream struct not bandwidth-sensitive")
+	}
+	ro := trace.Struct{Pattern: trace.Rand, WriteFrac: 0}
+	if p := PropsFor(ro); !p.Has(prop.ReadOnly) {
+		t.Error("read-only struct not marked")
+	}
+	code := trace.Struct{Code: true}
+	if p := PropsFor(code); !p.Has(prop.Code) {
+		t.Error("code struct not marked")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Get("nonexistent"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
