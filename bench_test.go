@@ -1,7 +1,9 @@
 // Package vbi's top-level benchmarks regenerate the paper's evaluation
 // (§7): one benchmark per table and figure, each running a scaled-down
 // version of the corresponding experiment and reporting its headline
-// numbers as custom metrics. cmd/vbibench runs the same experiments at
+// numbers as custom metrics. The figure benchmarks execute through the
+// internal/harness worker pool (workers = GOMAXPROCS), so they also track
+// the orchestrator's scaling. cmd/vbibench runs the same experiments at
 // full scale and prints the paper-format tables; EXPERIMENTS.md records
 // paper-vs-measured values.
 //
@@ -9,14 +11,22 @@
 package vbi
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
 	"vbi/internal/exp"
+	"vbi/internal/harness"
 	"vbi/internal/stats"
 	"vbi/internal/system"
 	"vbi/internal/workloads"
 )
+
+// benchOptions routes a figure through the harness at full parallelism.
+func benchOptions(refs int) exp.Options {
+	return exp.Options{Refs: refs, Workers: runtime.GOMAXPROCS(0)}
+}
 
 // benchRefs keeps each figure regeneration to tens of seconds. The shapes
 // are stable from ~50k references; cmd/vbibench defaults to 400k.
@@ -63,7 +73,7 @@ func BenchmarkTable2Bundles(b *testing.B) {
 // all fourteen applications, normalized to Native.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig6(exp.Options{Refs: benchRefs})
+		t, err := exp.Fig6(benchOptions(benchRefs))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +85,7 @@ func BenchmarkFig6(b *testing.B) {
 // Enigma-HW-2M) normalized to Native-2M.
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig7(exp.Options{Refs: benchRefs})
+		t, err := exp.Fig7(benchOptions(benchRefs))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +97,7 @@ func BenchmarkFig7(b *testing.B) {
 // Table 2 bundles, normalized to Native.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig8(exp.Options{Refs: benchRefs / 2})
+		t, err := exp.Fig8(benchOptions(benchRefs / 2))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +109,7 @@ func BenchmarkFig8(b *testing.B) {
 // VBI vs hotness-unaware mapping (plus the IDEAL oracle).
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig9(exp.Options{Refs: benchRefs})
+		t, err := exp.Fig9(benchOptions(benchRefs))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +120,7 @@ func BenchmarkFig9(b *testing.B) {
 // BenchmarkFig10 regenerates Figure 10: TL-DRAM under the same policies.
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Fig10(exp.Options{Refs: benchRefs})
+		t, err := exp.Fig10(benchOptions(benchRefs))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,3 +177,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // VBIFullKind re-exports the flagship configuration for the throughput
 // benchmark.
 const VBIFullKind = system.VBIFull
+
+// BenchmarkHarnessWorkers measures the experiment orchestrator itself: the
+// same job batch at one worker vs full parallelism. On a multi-core
+// machine the ratio of the two is the harness's wall-clock win.
+func BenchmarkHarnessWorkers(b *testing.B) {
+	grid := harness.Grid{
+		Systems:   []string{"Native", "VBI-Full"},
+		Workloads: []string{"namd", "sjeng", "bzip2", "hmmer"},
+		Refs:      benchRefs / 2,
+	}
+	jobs, err := grid.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&harness.Runner{Workers: workers}).Run(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

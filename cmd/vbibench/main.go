@@ -1,17 +1,23 @@
 // Command vbibench regenerates the paper's evaluation: every table and
 // figure of §7, printed as the same rows and series the paper reports.
+// Runs execute through the internal/harness worker pool; -cache makes
+// repeated invocations incremental.
 //
 // Usage:
 //
 //	vbibench -exp fig6 -refs 400000
-//	vbibench -exp all -out results.txt
+//	vbibench -exp all -out results.txt -workers 8 -cache .vbicache
+//	vbibench -exp fig6 -json fig6.json -csv fig6.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"vbi/internal/exp"
@@ -24,6 +30,10 @@ func main() {
 		refs    = flag.Int("refs", 400_000, "measured references per run")
 		seed    = flag.Uint64("seed", 1, "trace seed")
 		out     = flag.String("out", "", "also write results to this file")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache   = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		jsonOut = flag.String("json", "", "write figure tables as JSON to this file")
+		csvOut  = flag.String("csv", "", "write figure tables as CSV to this file")
 		verbose = flag.Bool("v", false, "log every run")
 	)
 	flag.Parse()
@@ -37,8 +47,17 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
+	// Exports accumulate across figures: -json writes one document (an
+	// array of {experiment, table} objects), -csv one file per figure
+	// (suffixed with the figure name when several run), so the outputs
+	// stay parseable under -exp all.
+	type namedTable struct {
+		Experiment string       `json:"experiment"`
+		Table      *stats.Table `json:"table"`
+	}
+	var exported []namedTable
 
-	o := exp.Options{Refs: *refs, Seed: *seed}
+	o := exp.Options{Refs: *refs, Seed: *seed, Workers: *workers, CacheDir: *cache}
 	if *verbose {
 		o.Progress = os.Stderr
 	}
@@ -61,7 +80,8 @@ func main() {
 		default:
 			fn, ok := figures[name]
 			if !ok {
-				fatal(fmt.Errorf("unknown experiment %q", name))
+				fatal(fmt.Errorf("unknown experiment %q (want %s or all)",
+					name, strings.Join(order, ", ")))
 			}
 			t, err := fn(o)
 			if err != nil {
@@ -69,6 +89,7 @@ func main() {
 			}
 			fmt.Fprintln(w, t.Render())
 			fmt.Fprintf(w, "(%s completed in %v)\n\n", name, time.Since(start).Round(time.Second))
+			exported = append(exported, namedTable{Experiment: name, Table: t})
 		}
 	}
 
@@ -76,9 +97,43 @@ func main() {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		run(*which)
 	}
-	run(*which)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(exported); err != nil {
+			fatal(fmt.Errorf("json export: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		for _, nt := range exported {
+			path := *csvOut
+			if len(exported) > 1 {
+				ext := filepath.Ext(path)
+				path = strings.TrimSuffix(path, ext) + "-" + nt.Experiment + ext
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := nt.Table.WriteCSV(f); err != nil {
+				fatal(fmt.Errorf("%s: csv export: %w", nt.Experiment, err))
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 func fatal(err error) {

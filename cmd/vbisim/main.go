@@ -21,7 +21,7 @@ import (
 var systems = map[string]system.Kind{}
 
 func init() {
-	for k := system.Kind(0); k.String() != fmt.Sprintf("Kind(%d)", int(k)); k++ {
+	for _, k := range system.Kinds() {
 		systems[strings.ToLower(k.String())] = k
 	}
 }
@@ -40,7 +40,7 @@ func main() {
 
 	if *list {
 		fmt.Println("systems:")
-		for k := system.Kind(0); int(k) < 10; k++ {
+		for _, k := range system.Kinds() {
 			fmt.Printf("  %s\n", k)
 		}
 		fmt.Println("workloads:")

@@ -1,0 +1,171 @@
+// Command vbisweep runs a (systems × workloads × seeds) grid through the
+// experiment harness and emits the result matrix. Grids come from flags or
+// a small JSON config; runs execute across a bounded worker pool, and an
+// optional on-disk cache makes re-runs incremental (only changed cells
+// simulate).
+//
+// Usage:
+//
+//	vbisweep -systems Native,VBI-Full -workloads mcf,graph500 -refs 100000
+//	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
+//	vbisweep -list
+//
+// A config file holds the same axes as the flags:
+//
+//	{"systems": ["Native", "VBI-Full"], "workloads": ["mcf"], "seeds": [1, 2], "refs": 100000}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vbi/internal/harness"
+	"vbi/internal/system"
+	"vbi/internal/workloads"
+)
+
+func main() {
+	var (
+		systemsF   = flag.String("systems", "Native,VBI-Full", "comma-separated system names (see -list)")
+		workloadsF = flag.String("workloads", "mcf,graph500", "comma-separated workload names (see -list)")
+		seedsF     = flag.String("seeds", "1", "comma-separated trace seeds")
+		refs       = flag.Int("refs", 100_000, "measured references per run")
+		config     = flag.String("config", "", "JSON grid config (overrides the axis flags)")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		metric     = flag.String("metric", harness.MetricIPC, "matrix metric: ipc or dram")
+		jsonOut    = flag.String("json", "", "write the matrix as JSON to this file")
+		csvOut     = flag.String("csv", "", "write the matrix as CSV to this file")
+		list       = flag.Bool("list", false, "list systems and workloads")
+		verbose    = flag.Bool("v", false, "log every run")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("systems:")
+		for _, k := range system.Kinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("workloads:")
+		for _, n := range workloads.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	if *metric != harness.MetricIPC && *metric != harness.MetricDRAM {
+		fatal(fmt.Errorf("unknown metric %q (want %s or %s)",
+			*metric, harness.MetricIPC, harness.MetricDRAM))
+	}
+
+	var grid harness.Grid
+	if *config != "" {
+		g, err := harness.LoadGrid(*config)
+		if err != nil {
+			fatal(err)
+		}
+		grid = g
+		if grid.Refs == 0 {
+			grid.Refs = *refs
+		}
+	} else {
+		seeds, err := parseSeeds(*seedsF)
+		if err != nil {
+			fatal(err)
+		}
+		grid = harness.Grid{
+			Systems:   splitList(*systemsF),
+			Workloads: splitList(*workloadsF),
+			Seeds:     seeds,
+			Refs:      *refs,
+		}
+	}
+
+	jobs, err := grid.Jobs()
+	if err != nil {
+		fatal(err)
+	}
+
+	runner := &harness.Runner{Workers: *workers}
+	if *cacheDir != "" {
+		runner.Cache = &harness.Cache{Dir: *cacheDir}
+	}
+	if *verbose {
+		runner.Progress = os.Stderr
+	}
+
+	results, err := runner.Run(jobs)
+	if err != nil {
+		fatal(err)
+	}
+
+	t, err := grid.Matrix(results, *metric)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(t.Render())
+
+	cached := 0
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+	}
+	fmt.Printf("\n%d runs (%d simulated, %d from cache)\n",
+		len(results), len(results)-cached, cached)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbisweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module vbi
+
+go 1.22

@@ -23,25 +23,19 @@ func AblationFlexible(o Options) (*stats.Table, error) {
 		Title: "Ablation: flexible translation structures (VBI-2 vs fixed 4-level tables)",
 		Rows:  append([]string{}, ablationApps...),
 	}
+	var keys []runKey
 	for _, app := range ablationApps {
-		prof := workloads.MustGet(app)
-		run := func(uniform bool) (system.RunResult, error) {
-			m, err := system.New(system.Config{
-				Kind: system.VBI2, Refs: o.Refs, Seed: o.Seed,
-				UniformTables: uniform}, prof)
-			if err != nil {
-				return system.RunResult{}, err
-			}
-			return m.Run()
-		}
-		flex, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		uni, err := run(true)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys,
+			runKey{kind: system.VBI2, app: app},
+			runKey{kind: system.VBI2, app: app, uniform: true})
+	}
+	runs, err := runSingles(o, keys)
+	if err != nil {
+		return nil, err
+	}
+	for _, app := range ablationApps {
+		flex := runs[runKey{kind: system.VBI2, app: app}]
+		uni := runs[runKey{kind: system.VBI2, app: app, uniform: true}]
 		o.logf("  ablation %-14s flex=%.4f uniform=%.4f", app, flex.IPC, uni.IPC)
 		t.Add("speedup", flex.IPC/uni.IPC)
 		t.Add("walk-ratio", float64(flex.Extra["mtl.walk.accesses"])/
@@ -63,12 +57,17 @@ func CVTTable(o Options) (*stats.Table, error) {
 		Title: "CVT cache behaviour (§4.3): VBs per program and 64-entry cache hit rate",
 		Rows:  append([]string{}, apps...),
 	}
+	var keys []runKey
+	for _, app := range apps {
+		keys = append(keys, runKey{kind: system.VBIFull, app: app})
+	}
+	runs, err := runSingles(o, keys)
+	if err != nil {
+		return nil, err
+	}
 	for _, app := range apps {
 		prof := workloads.MustGet(app)
-		res, err := runOne(system.VBIFull, app, o)
-		if err != nil {
-			return nil, err
-		}
+		res := runs[runKey{kind: system.VBIFull, app: app}]
 		t.Add("VBs", float64(len(prof.Structs)))
 		t.Add("hit-rate", 1-float64(res.Extra["cvt.misses"])/float64(res.MemRefs))
 	}

@@ -22,16 +22,14 @@ func DRAMTable(o Options) (*stats.Table, error) {
 		Rows:  append([]string{}, apps...),
 	}
 	series := []system.Kind{system.Native, system.VBI1, system.VBI2, system.VBIFull}
+	runs, err := runSingles(o, crossKeys(system.PerfectTLB, series, apps))
+	if err != nil {
+		return nil, err
+	}
 	for _, app := range apps {
-		base, err := runOne(system.PerfectTLB, app, o)
-		if err != nil {
-			return nil, err
-		}
+		base := runs[runKey{kind: system.PerfectTLB, app: app}]
 		for _, k := range series {
-			res, err := runOne(k, app, o)
-			if err != nil {
-				return nil, err
-			}
+			res := runs[runKey{kind: k, app: app}]
 			t.Add(k.String(), float64(res.DRAMAccesses)/float64(base.DRAMAccesses))
 		}
 	}

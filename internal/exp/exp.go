@@ -2,15 +2,22 @@
 // figure of the evaluation (§7), each returning a stats.Table with the same
 // rows and series the paper plots. The cmd/vbibench binary and the
 // top-level benchmarks call these.
+//
+// Every figure function expands into independent harness jobs and executes
+// them through internal/harness: runs proceed across a bounded worker pool
+// (Options.Workers, default GOMAXPROCS) and, when Options.CacheDir is set,
+// unchanged runs are served from the on-disk result cache. Aggregation is
+// positional over the job list, so the rendered tables are identical for
+// any worker count.
 package exp
 
 import (
 	"fmt"
 	"io"
 
+	"vbi/internal/harness"
 	"vbi/internal/stats"
 	"vbi/internal/system"
-	"vbi/internal/trace"
 	"vbi/internal/workloads"
 )
 
@@ -24,6 +31,10 @@ type Options struct {
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, enables the on-disk result cache there.
+	CacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -42,7 +53,65 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// runOne executes a single-core run.
+// runner builds the harness runner the figure functions share.
+func (o Options) runner() *harness.Runner {
+	r := &harness.Runner{Workers: o.Workers, Progress: o.Progress}
+	if o.CacheDir != "" {
+		r.Cache = &harness.Cache{Dir: o.CacheDir}
+	}
+	return r
+}
+
+// runKey identifies one single-core run within a figure.
+type runKey struct {
+	kind    system.Kind
+	app     string
+	uniform bool
+}
+
+// runSingles executes one harness job per key (deduplicated, preserving
+// first occurrence) and returns the results keyed back.
+func runSingles(o Options, keys []runKey) (map[runKey]system.RunResult, error) {
+	seen := map[runKey]bool{}
+	var uniq []runKey
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, k)
+		}
+	}
+	jobs := make([]harness.Job, len(uniq))
+	for i, k := range uniq {
+		jobs[i] = harness.Job{
+			System: k.kind.String(), Workloads: []string{k.app},
+			Refs: o.Refs, Seed: o.Seed, UniformTables: k.uniform,
+		}
+	}
+	results, err := o.runner().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[runKey]system.RunResult, len(uniq))
+	for i, k := range uniq {
+		out[k] = results[i].Results[0]
+	}
+	return out, nil
+}
+
+// crossKeys expands apps × ([base] + series) into run keys.
+func crossKeys(base system.Kind, series []system.Kind, apps []string) []runKey {
+	var keys []runKey
+	for _, app := range apps {
+		keys = append(keys, runKey{kind: base, app: app})
+		for _, k := range series {
+			keys = append(keys, runKey{kind: k, app: app})
+		}
+	}
+	return keys
+}
+
+// runOne executes a single-core run serially (the figure-shape tests use
+// it; the figure functions go through the harness).
 func runOne(kind system.Kind, app string, o Options) (system.RunResult, error) {
 	prof := workloads.MustGet(app)
 	m, err := system.New(system.Config{Kind: kind, Refs: o.Refs, Seed: o.Seed}, prof)
@@ -91,17 +160,14 @@ func Fig6(o Options) (*stats.Table, error) {
 	}
 	series := []system.Kind{system.Virtual, system.VIVT, system.VBI1,
 		system.VBI2, system.VBIFull, system.PerfectTLB}
+	runs, err := runSingles(o, crossKeys(system.Native, series, apps))
+	if err != nil {
+		return nil, err
+	}
 	for _, app := range apps {
-		base, err := runOne(system.Native, app, o)
-		if err != nil {
-			return nil, err
-		}
+		base := runs[runKey{kind: system.Native, app: app}]
 		for _, k := range series {
-			res, err := runOne(k, app, o)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(k.String(), res.IPC/base.IPC)
+			t.Add(k.String(), runs[runKey{kind: k, app: app}].IPC/base.IPC)
 		}
 	}
 	appendAverages(t, apps, true)
@@ -114,43 +180,30 @@ func Fig6(o Options) (*stats.Table, error) {
 func Fig7(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	apps := workloads.Fig6Apps // averages span the full set
-	shown := map[string]bool{}
-	for _, a := range workloads.Fig7Apps {
-		shown[a] = true
-	}
 	t := &stats.Table{
 		Title: "Figure 7: performance with large pages (normalized to Native-2M)",
 		Rows:  append([]string{}, workloads.Fig7Apps...),
 	}
 	series := []system.Kind{system.Virtual2M, system.EnigmaHW2M,
 		system.VBIFull, system.PerfectTLB}
-	type speedups map[string]float64
-	perApp := map[string]speedups{}
-	for _, app := range apps {
-		base, err := runOne(system.Native2M, app, o)
-		if err != nil {
-			return nil, err
-		}
-		sp := speedups{}
-		for _, k := range series {
-			res, err := runOne(k, app, o)
-			if err != nil {
-				return nil, err
-			}
-			sp[k.String()] = res.IPC / base.IPC
-		}
-		perApp[app] = sp
+	runs, err := runSingles(o, crossKeys(system.Native2M, series, apps))
+	if err != nil {
+		return nil, err
+	}
+	speedup := func(k system.Kind, app string) float64 {
+		base := runs[runKey{kind: system.Native2M, app: app}]
+		return runs[runKey{kind: k, app: app}].IPC / base.IPC
 	}
 	for _, app := range workloads.Fig7Apps {
 		for _, k := range series {
-			t.Add(k.String(), perApp[app][k.String()])
+			t.Add(k.String(), speedup(k, app))
 		}
 	}
 	t.Rows = append(t.Rows, "AVG", "AVG-no-mcf")
 	for _, k := range series {
 		var all, rest []float64
 		for _, app := range apps {
-			v := perApp[app][k.String()]
+			v := speedup(k, app)
 			all = append(all, v)
 			if app != "mcf" {
 				rest = append(rest, v)
@@ -171,57 +224,51 @@ func Fig8(o Options) (*stats.Table, error) {
 		Rows:  append([]string{}, workloads.BundleNames...),
 	}
 	// Alone-run IPCs (single-core Native) for the weighted-speedup
-	// denominators.
-	aloneIPC := map[string]float64{}
-	for _, bundle := range workloads.Bundles {
-		for _, app := range bundle {
-			if _, ok := aloneIPC[app]; ok {
-				continue
-			}
-			res, err := runOne(system.Native, app, o)
-			if err != nil {
-				return nil, err
-			}
-			aloneIPC[app] = res.IPC
+	// denominators, plus one quad-core job per (kind, bundle) — all
+	// submitted as a single harness batch.
+	var aloneKeys []runKey
+	for _, name := range workloads.BundleNames {
+		for _, app := range workloads.Bundles[name] {
+			aloneKeys = append(aloneKeys, runKey{kind: system.Native, app: app})
 		}
+	}
+	alone, err := runSingles(o, aloneKeys)
+	if err != nil {
+		return nil, err
 	}
 	series := []system.Kind{system.Native2M, system.Virtual, system.Virtual2M,
 		system.VBIFull, system.PerfectTLB}
+	kinds := append([]system.Kind{system.Native}, series...)
+	var jobs []harness.Job
+	for _, name := range workloads.BundleNames {
+		for _, k := range kinds {
+			jobs = append(jobs, harness.Job{
+				System:    k.String(),
+				Workloads: append([]string{}, workloads.Bundles[name]...),
+				Refs:      o.Refs, Seed: o.Seed,
+			})
+		}
+	}
+	results, err := o.runner().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, name := range workloads.BundleNames {
 		apps := workloads.Bundles[name]
-		var profs []trace.Profile
-		for _, a := range apps {
-			profs = append(profs, workloads.MustGet(a))
-		}
-		ws := func(kind system.Kind) (float64, error) {
-			mc, err := system.NewMulticore(system.Config{
-				Kind: kind, Refs: o.Refs, Seed: o.Seed}, profs)
-			if err != nil {
-				return 0, err
-			}
-			results, err := mc.Run()
-			if err != nil {
-				return 0, err
-			}
-			var shared, alone []float64
-			for i, r := range results {
+		ws := make(map[system.Kind]float64, len(kinds))
+		for _, k := range kinds {
+			var shared, aloneIPC []float64
+			for c, r := range results[i].Results {
 				shared = append(shared, r.IPC)
-				alone = append(alone, aloneIPC[apps[i]])
+				aloneIPC = append(aloneIPC, alone[runKey{kind: system.Native, app: apps[c]}].IPC)
 			}
-			w := stats.WeightedSpeedup(shared, alone)
-			o.logf("  %-14s %-6s WS=%.3f", kind, name, w)
-			return w, nil
-		}
-		base, err := ws(system.Native)
-		if err != nil {
-			return nil, err
+			ws[k] = stats.WeightedSpeedup(shared, aloneIPC)
+			o.logf("  %-14s %-6s WS=%.3f", k, name, ws[k])
+			i++
 		}
 		for _, k := range series {
-			w, err := ws(k)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(k.String(), w/base)
+			t.Add(k.String(), ws[k]/ws[system.Native])
 		}
 	}
 	// AVG row.
@@ -232,7 +279,8 @@ func Fig8(o Options) (*stats.Table, error) {
 	return t, nil
 }
 
-// runHetero executes one heterogeneous-memory policy run.
+// runHetero executes one heterogeneous-memory policy run serially (used by
+// the shape tests; figHetero batches through the harness).
 func runHetero(mem system.HeteroMem, pol system.Policy, app string, o Options) (system.RunResult, error) {
 	m, err := system.NewHetero(system.HeteroConfig{
 		Mem: mem, Policy: pol, Refs: o.Refs, Seed: o.Seed},
@@ -254,19 +302,24 @@ func figHetero(mem system.HeteroMem, title, vbiLabel string, o Options) (*stats.
 	o = o.withDefaults()
 	apps := workloads.HeteroApps
 	t := &stats.Table{Title: title, Rows: append([]string{}, apps...)}
+	policies := []system.Policy{system.PolicyUnaware, system.PolicyVBI, system.PolicyIdeal}
+	var jobs []harness.Job
 	for _, app := range apps {
-		base, err := runHetero(mem, system.PolicyUnaware, app, o)
-		if err != nil {
-			return nil, err
+		for _, pol := range policies {
+			jobs = append(jobs, harness.Job{
+				Workloads: []string{app}, Refs: o.Refs, Seed: o.Seed,
+				HeteroMem: mem.String(), Policy: pol.String(),
+			})
 		}
-		vbi, err := runHetero(mem, system.PolicyVBI, app, o)
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := runHetero(mem, system.PolicyIdeal, app, o)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := o.runner().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range apps {
+		base := results[i*len(policies)].Results[0]
+		vbi := results[i*len(policies)+1].Results[0]
+		ideal := results[i*len(policies)+2].Results[0]
 		t.Add(vbiLabel, vbi.IPC/base.IPC)
 		t.Add("IDEAL", ideal.IPC/base.IPC)
 	}

@@ -30,6 +30,7 @@ func TestFig6ShapeMcf(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	native := ipcOf(t, system.Native, "mcf")
 	virtual := ipcOf(t, system.Virtual, "mcf")
 	vivt := ipcOf(t, system.VIVT, "mcf")
@@ -68,6 +69,7 @@ func TestFig6ShapeInsensitive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	native := ipcOf(t, system.Native, "namd")
 	for _, k := range []system.Kind{system.VIVT, system.VBI1, system.VBI2} {
 		r := ipcOf(t, k, "namd") / native
@@ -82,6 +84,7 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	native2M := ipcOf(t, system.Native2M, "mcf")
 	virtual2M := ipcOf(t, system.Virtual2M, "mcf")
 	enigma := ipcOf(t, system.EnigmaHW2M, "mcf")
@@ -103,6 +106,7 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	o := Options{Refs: 40_000}
 	apps := workloads.Bundles["wl5"]
 	alone := map[string]float64{}
@@ -153,6 +157,7 @@ func TestFig910Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	for _, mem := range []system.HeteroMem{system.HeteroPCMDRAM, system.HeteroTLDRAM} {
 		base, err := runHetero(mem, system.PolicyUnaware, "sphinx3", Options{Refs: 100_000})
 		if err != nil {
@@ -200,6 +205,7 @@ func TestDRAMReductionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	perfect, err := runOne(system.PerfectTLB, "graph500", Options{Refs: shapeRefs})
 	if err != nil {
 		t.Fatal(err)
@@ -241,6 +247,7 @@ func TestAblationFlexibleShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	tab, err := AblationFlexible(Options{Refs: 60_000})
 	if err != nil {
 		t.Fatal(err)
@@ -262,6 +269,7 @@ func TestCVTTableShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shape test")
 	}
+	t.Parallel()
 	tab, err := CVTTable(Options{Refs: 20_000})
 	if err != nil {
 		t.Fatal(err)
@@ -270,5 +278,36 @@ func TestCVTTableShape(t *testing.T) {
 		if rate < 0.99 {
 			t.Errorf("%s: CVT cache hit rate %.4f", tab.Rows[i], rate)
 		}
+	}
+}
+
+// TestFigureWorkerInvariance exercises the harness guarantee end-to-end
+// through a figure function: serial and parallel execution must render the
+// identical table, and a warm result cache must reproduce it again.
+func TestFigureWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	t.Parallel()
+	cacheDir := t.TempDir()
+	serial, err := AblationFlexible(Options{Refs: 8_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AblationFlexible(Options{Refs: 8_000, Workers: 8, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Errorf("parallel table differs:\nserial:\n%s\nparallel:\n%s",
+			serial.Render(), parallel.Render())
+	}
+	cached, err := AblationFlexible(Options{Refs: 8_000, Workers: 8, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Render() != serial.Render() {
+		t.Errorf("cache-served table differs:\nserial:\n%s\ncached:\n%s",
+			serial.Render(), cached.Render())
 	}
 }

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"vbi/internal/system"
+)
+
+// Version invalidates every cached result when the simulators change in a
+// way that alters outputs for an identical job spec. Bump it whenever a
+// timing model, workload profile or default constant moves.
+const Version = "vbi-harness-v1"
+
+// Cache is an on-disk result store keyed by a SHA-256 of the canonical
+// job JSON plus Version. Entries are written atomically (temp file +
+// rename), so concurrent workers and concurrent sweeps sharing a directory
+// are safe: the worst race is two workers simulating the same job and one
+// rename winning, which is harmless because both computed identical
+// results.
+type Cache struct {
+	// Dir holds one JSON file per cached job. Created on first Put.
+	Dir string
+
+	hits, misses atomic.Int64
+}
+
+// entry is the stored envelope. The job spec is kept alongside the
+// results so Get can reject hash collisions and hand-edited files.
+type entry struct {
+	Version string             `json:"version"`
+	Job     Job                `json:"job"`
+	Results []system.RunResult `json:"results"`
+}
+
+// Key returns the cache key for a job.
+func (c *Cache) Key(j Job) string {
+	b, err := json.Marshal(j)
+	if err != nil {
+		// Job is plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("harness: marshal job: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(Version))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Get returns the cached results for a job, if present and valid.
+func (c *Cache) Get(j Job) ([]system.RunResult, bool) {
+	b, err := os.ReadFile(c.path(c.Key(j)))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Version != Version {
+		c.misses.Add(1)
+		return nil, false
+	}
+	// Reject collisions/corruption: the stored spec must round-trip to the
+	// same canonical JSON as the requested one.
+	want, _ := json.Marshal(j)
+	got, _ := json.Marshal(e.Job)
+	if !bytes.Equal(want, got) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Results, true
+}
+
+// Put stores a job's results.
+func (c *Cache) Put(j Job, results []system.RunResult) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(entry{Version: Version, Job: j, Results: results}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(c.Key(j)))
+}
+
+// Stats reports hits and misses since the Cache was created.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len counts the entries currently on disk.
+func (c *Cache) Len() (int, error) {
+	ents, err := os.ReadDir(c.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

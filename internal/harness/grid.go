@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"vbi/internal/stats"
+)
+
+// Grid is a declarative sweep over (system × workload × seed), the
+// design-space-exploration shape of cmd/vbisweep. It expands to one
+// single-core Job per cell in a fixed order (seed-major, then workload,
+// then system), so Matrix can consume the results positionally.
+type Grid struct {
+	Systems   []string `json:"systems"`
+	Workloads []string `json:"workloads"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+	Refs      int      `json:"refs,omitempty"`
+	Warmup    int      `json:"warmup,omitempty"`
+}
+
+// LoadGrid reads a Grid from a JSON config file.
+func LoadGrid(path string) (Grid, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, err
+	}
+	var g Grid
+	if err := json.Unmarshal(b, &g); err != nil {
+		return Grid{}, fmt.Errorf("harness: parse grid %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// withDefaults fills the optional axes.
+func (g Grid) withDefaults() Grid {
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{1}
+	}
+	return g
+}
+
+// Jobs expands the grid. It fails fast on unknown system or workload
+// names.
+func (g Grid) Jobs() ([]Job, error) {
+	g = g.withDefaults()
+	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
+		return nil, fmt.Errorf("harness: grid needs at least one system and one workload")
+	}
+	var jobs []Job
+	for _, seed := range g.Seeds {
+		for _, w := range g.Workloads {
+			for _, s := range g.Systems {
+				j := Job{System: s, Workloads: []string{w}, Refs: g.Refs,
+					Warmup: g.Warmup, Seed: seed}
+				if err := j.Validate(); err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Metrics selectable in a sweep matrix.
+const (
+	MetricIPC  = "ipc"
+	MetricDRAM = "dram"
+)
+
+// Matrix folds the results of a Jobs() run into a table: one row per
+// (workload, seed) cell, one series per system, values taken from the
+// named metric.
+func (g Grid) Matrix(results []Result, metric string) (*stats.Table, error) {
+	g = g.withDefaults()
+	if want := len(g.Seeds) * len(g.Workloads) * len(g.Systems); len(results) != want {
+		return nil, fmt.Errorf("harness: grid expects %d results, got %d", want, len(results))
+	}
+	value := func(r Result) (float64, error) {
+		switch metric {
+		case MetricIPC:
+			return r.Results[0].IPC, nil
+		case MetricDRAM:
+			return float64(r.Results[0].DRAMAccesses), nil
+		}
+		return 0, fmt.Errorf("harness: unknown metric %q (want %s or %s)",
+			metric, MetricIPC, MetricDRAM)
+	}
+	t := &stats.Table{
+		Title: fmt.Sprintf("Sweep: %s over %d systems x %d workloads x %d seeds",
+			metric, len(g.Systems), len(g.Workloads), len(g.Seeds)),
+	}
+	i := 0
+	for _, seed := range g.Seeds {
+		for _, w := range g.Workloads {
+			row := w
+			if len(g.Seeds) > 1 {
+				row = fmt.Sprintf("%s/s%d", w, seed)
+			}
+			t.Rows = append(t.Rows, row)
+			for _, s := range g.Systems {
+				v, err := value(results[i])
+				if err != nil {
+					return nil, err
+				}
+				t.Add(s, v)
+				i++
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,297 @@
+// Package harness orchestrates experiment runs. It turns declarative Job
+// specs — system kind, workload(s), reference count, seed, heterogeneous
+// memory and placement policy — into simulations executed across a bounded
+// worker pool, with results guaranteed identical to a serial run: every
+// job owns its own system.Machine, and aggregation is positional, so the
+// worker count only changes wall-clock time, never output.
+//
+// The harness also provides an on-disk result cache (see Cache) keyed by a
+// hash of the job spec, so re-running a sweep only simulates what changed,
+// and grid-sweep expansion (see Grid) for design-space exploration over
+// (system × workload × seed). internal/exp, cmd/vbibench and cmd/vbisweep
+// all run on top of it; DESIGN.md describes the architecture.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"vbi/internal/system"
+	"vbi/internal/trace"
+	"vbi/internal/workloads"
+)
+
+// Job declares one simulation. The zero values of the optional fields take
+// the system package's defaults, exactly as a direct system.New call
+// would. Jobs are plain data: they marshal to canonical JSON, which is
+// what the result cache hashes.
+type Job struct {
+	// System is the system.Kind name (e.g. "VBI-Full"). Ignored for
+	// heterogeneous-memory jobs, which are always VBI-2 over two zones.
+	System string `json:"system,omitempty"`
+	// Workloads lists benchmark names: one element is a single-core run,
+	// several are a multiprogrammed run with one core per workload.
+	Workloads []string `json:"workloads"`
+	// Refs is the measured reference count per core (0 = default).
+	Refs int `json:"refs,omitempty"`
+	// Warmup references before measurement (0 = Refs/2).
+	Warmup int `json:"warmup,omitempty"`
+	// Seed selects the trace streams (0 = 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Capacity is the physical memory size (0 = default).
+	Capacity uint64 `json:"capacity,omitempty"`
+	// UniformTables forces fixed 4-level tables on VBI kinds (the §5.2
+	// ablation).
+	UniformTables bool `json:"uniform_tables,omitempty"`
+
+	// HeteroMem, when non-empty ("PCM-DRAM" or "TL-DRAM"), selects a
+	// heterogeneous-memory run under Policy ("Unaware", "VBI" or "IDEAL").
+	HeteroMem string `json:"hetero_mem,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+}
+
+// Result pairs a job with the per-core results of its run.
+type Result struct {
+	Job     Job                `json:"job"`
+	Results []system.RunResult `json:"results"`
+	// Cached reports whether the run was served from the result cache.
+	Cached bool `json:"-"`
+}
+
+// ParseKind resolves a system name (case-insensitive) to its Kind.
+func ParseKind(name string) (system.Kind, error) {
+	for _, k := range system.Kinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown system %q", name)
+}
+
+// ParseHeteroMem resolves a heterogeneous-memory architecture name.
+func ParseHeteroMem(name string) (system.HeteroMem, error) {
+	for _, m := range []system.HeteroMem{system.HeteroPCMDRAM, system.HeteroTLDRAM} {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown heterogeneous memory %q", name)
+}
+
+// ParsePolicy resolves a placement-policy name.
+func ParsePolicy(name string) (system.Policy, error) {
+	switch strings.ToLower(name) {
+	case "unaware", "hotness-unaware":
+		return system.PolicyUnaware, nil
+	case "vbi":
+		return system.PolicyVBI, nil
+	case "ideal":
+		return system.PolicyIdeal, nil
+	}
+	return 0, fmt.Errorf("harness: unknown policy %q", name)
+}
+
+// Validate checks the job without running it.
+func (j Job) Validate() error {
+	if len(j.Workloads) == 0 {
+		return fmt.Errorf("harness: job has no workloads")
+	}
+	for _, w := range j.Workloads {
+		if _, err := workloads.Get(w); err != nil {
+			return err
+		}
+	}
+	if j.HeteroMem != "" {
+		if len(j.Workloads) != 1 {
+			return fmt.Errorf("harness: heterogeneous jobs are single-core")
+		}
+		if _, err := ParseHeteroMem(j.HeteroMem); err != nil {
+			return err
+		}
+		if _, err := ParsePolicy(j.Policy); err != nil {
+			return err
+		}
+		return nil
+	}
+	_, err := ParseKind(j.System)
+	return err
+}
+
+// Describe returns a short label for progress lines.
+func (j Job) Describe() string {
+	apps := strings.Join(j.Workloads, "+")
+	if j.HeteroMem != "" {
+		return fmt.Sprintf("%s/%s/%s", j.HeteroMem, j.Policy, apps)
+	}
+	if j.UniformTables {
+		return fmt.Sprintf("%s(uniform)/%s", j.System, apps)
+	}
+	return fmt.Sprintf("%s/%s", j.System, apps)
+}
+
+// run executes the job on a freshly built machine.
+func (j Job) run() ([]system.RunResult, error) {
+	if j.HeteroMem != "" {
+		mem, err := ParseHeteroMem(j.HeteroMem)
+		if err != nil {
+			return nil, err
+		}
+		pol, err := ParsePolicy(j.Policy)
+		if err != nil {
+			return nil, err
+		}
+		m, err := system.NewHetero(system.HeteroConfig{
+			Mem: mem, Policy: pol, Refs: j.Refs, Warmup: j.Warmup,
+			Seed: j.Seed}, workloads.MustGet(j.Workloads[0]))
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		return []system.RunResult{res}, nil
+	}
+
+	kind, err := ParseKind(j.System)
+	if err != nil {
+		return nil, err
+	}
+	cfg := system.Config{
+		Kind: kind, Refs: j.Refs, Warmup: j.Warmup, Seed: j.Seed,
+		Capacity: j.Capacity, UniformTables: j.UniformTables,
+	}
+	if len(j.Workloads) > 1 {
+		var profs []trace.Profile
+		for _, w := range j.Workloads {
+			profs = append(profs, workloads.MustGet(w))
+		}
+		mc, err := system.NewMulticore(cfg, profs)
+		if err != nil {
+			return nil, err
+		}
+		return mc.Run()
+	}
+	m, err := system.New(cfg, workloads.MustGet(j.Workloads[0]))
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return []system.RunResult{res}, nil
+}
+
+// Runner executes batches of jobs over a worker pool.
+type Runner struct {
+	// Workers bounds concurrent simulations (<=0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, serves unchanged jobs from disk and stores new
+	// results.
+	Cache *Cache
+	// Progress, when non-nil, receives one line per completed job.
+	Progress io.Writer
+
+	mu sync.Mutex // guards Progress
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.Progress, format+"\n", args...)
+}
+
+// Run executes the jobs and returns one Result per job, in job order.
+// Execution order is unspecified (bounded by Workers), but because every
+// job builds its own machine and results are stored positionally, the
+// output is identical for any worker count. The first job error aborts the
+// batch.
+func (r *Runner) Run(jobs []Job) ([]Result, error) {
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d (%s): %w", i, j.Describe(), err)
+		}
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	var stopOnce sync.Once
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+		stopOnce.Do(func() { close(stop) })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := r.runOne(jobs[i])
+				if err != nil {
+					fail(fmt.Errorf("job %d (%s): %w", i, jobs[i].Describe(), err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return results, nil
+}
+
+// runOne serves one job from cache or simulation.
+func (r *Runner) runOne(j Job) (Result, error) {
+	if r.Cache != nil {
+		if res, ok := r.Cache.Get(j); ok {
+			r.logf("  [cache] %s", j.Describe())
+			return Result{Job: j, Results: res, Cached: true}, nil
+		}
+	}
+	res, err := j.run()
+	if err != nil {
+		return Result{}, err
+	}
+	if r.Cache != nil {
+		if err := r.Cache.Put(j, res); err != nil {
+			return Result{}, fmt.Errorf("cache put: %w", err)
+		}
+	}
+	r.logf("  %-34s IPC=%.4f DRAM=%d", j.Describe(), res[0].IPC, res[0].DRAMAccesses)
+	return Result{Job: j, Results: res}, nil
+}

@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vbi/internal/system"
+)
+
+// testGrid is a small (2 systems × 2 workloads × 2 seeds) sweep, cheap
+// enough to run twice at several worker counts.
+var testGrid = Grid{
+	Systems:   []string{"Native", "VBI-Full"},
+	Workloads: []string{"namd", "sjeng"},
+	Seeds:     []uint64{1, 2},
+	Refs:      8_000,
+}
+
+// TestParallelMatchesSerial asserts the harness's core guarantee: a
+// parallel run renders the exact same stats.Table output as workers=1.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs, err := testGrid.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (&Runner{Workers: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 8}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("workers=8 results differ from workers=1")
+	}
+	for _, metric := range []string{MetricIPC, MetricDRAM} {
+		st, err := testGrid.Matrix(serial, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := testGrid.Matrix(parallel, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Render() != pt.Render() {
+			t.Errorf("%s matrix differs:\nserial:\n%s\nparallel:\n%s",
+				metric, st.Render(), pt.Render())
+		}
+	}
+}
+
+// TestCacheServesSecondRun asserts that a re-run of an identical grid is
+// served entirely from the result cache, with identical output.
+func TestCacheServesSecondRun(t *testing.T) {
+	jobs, err := testGrid.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := &Cache{Dir: t.TempDir()}
+	first, err := (&Runner{Workers: 4, Cache: cache}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range first {
+		if r.Cached {
+			t.Errorf("job %d served from cache on a cold run", i)
+		}
+	}
+	if n, err := cache.Len(); err != nil || n != len(jobs) {
+		t.Errorf("cache holds %d entries (err=%v), want %d", n, err, len(jobs))
+	}
+
+	second, err := (&Runner{Workers: 4, Cache: cache}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.Cached {
+			t.Errorf("job %d re-simulated despite a warm cache", i)
+		}
+		if !reflect.DeepEqual(first[i].Results, r.Results) {
+			t.Errorf("job %d: cached results differ from simulated", i)
+		}
+	}
+	ft, err := testGrid.Matrix(first, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := testGrid.Matrix(second, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Render() != st.Render() {
+		t.Error("cached matrix render differs from simulated")
+	}
+}
+
+// TestCacheKeySensitivity asserts distinct jobs get distinct keys and a
+// changed spec misses.
+func TestCacheKeySensitivity(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	base := Job{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
+	variants := []Job{
+		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 1000, Seed: 1},
+		{System: "Native", Workloads: []string{"sjeng"}, Refs: 1000, Seed: 1},
+		{System: "Native", Workloads: []string{"namd"}, Refs: 2000, Seed: 1},
+		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 2},
+		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1, UniformTables: true},
+		{Workloads: []string{"namd"}, Refs: 1000, Seed: 1, HeteroMem: "PCM-DRAM", Policy: "VBI"},
+	}
+	keys := map[string]bool{c.Key(base): true}
+	for _, v := range variants {
+		k := c.Key(v)
+		if keys[k] {
+			t.Errorf("job %+v collides with an earlier key", v)
+		}
+		keys[k] = true
+	}
+	if err := c.Put(base, []system.RunResult{{System: "Native", IPC: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(base); !ok {
+		t.Error("stored job missed")
+	}
+	for _, v := range variants {
+		if _, ok := c.Get(v); ok {
+			t.Errorf("job %+v hit the cache entry of a different spec", v)
+		}
+	}
+}
+
+// TestJobKinds smoke-tests the three job shapes through one runner batch.
+func TestJobKinds(t *testing.T) {
+	jobs := []Job{
+		{System: "VBI-2", Workloads: []string{"namd"}, Refs: 5_000},
+		{System: "Native", Workloads: []string{"namd", "sjeng"}, Refs: 2_000},
+		{Workloads: []string{"namd"}, Refs: 5_000, HeteroMem: "TL-DRAM", Policy: "IDEAL"},
+	}
+	results, err := (&Runner{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Results) != 1 || results[0].Results[0].System != "VBI-2" {
+		t.Errorf("single-core job: got %+v", results[0].Results)
+	}
+	if len(results[1].Results) != 2 {
+		t.Errorf("multicore job returned %d per-core results, want 2", len(results[1].Results))
+	}
+	if len(results[2].Results) != 1 || !strings.Contains(results[2].Results[0].System, "TL-DRAM") {
+		t.Errorf("hetero job: got %+v", results[2].Results)
+	}
+	for i, r := range results {
+		for _, rr := range r.Results {
+			if rr.IPC <= 0 {
+				t.Errorf("job %d: non-positive IPC %f", i, rr.IPC)
+			}
+		}
+	}
+}
+
+// TestValidation asserts bad specs fail before any simulation.
+func TestValidation(t *testing.T) {
+	bad := []Job{
+		{System: "Native"}, // no workloads
+		{System: "NotASystem", Workloads: []string{"namd"}},    // unknown system
+		{System: "Native", Workloads: []string{"nope"}},        // unknown workload
+		{Workloads: []string{"namd"}, HeteroMem: "XX-RAM"},     // unknown memory
+		{Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM"},   // missing policy
+		{Workloads: []string{"a", "b"}, HeteroMem: "PCM-DRAM"}, // hetero multicore
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("job %+v validated", j)
+		}
+		if _, err := (&Runner{}).Run([]Job{j}); err == nil {
+			t.Errorf("runner accepted job %+v", j)
+		}
+	}
+	if _, err := (Grid{Systems: []string{"Native"}}).Jobs(); err == nil {
+		t.Error("grid with no workloads expanded")
+	}
+	if _, err := (Grid{Systems: []string{"Nope"}, Workloads: []string{"namd"}}).Jobs(); err == nil {
+		t.Error("grid with unknown system expanded")
+	}
+}
+
+// TestParseKindRoundTrips pins the name resolution the CLIs depend on.
+func TestParseKindRoundTrips(t *testing.T) {
+	kinds := system.Kinds()
+	if len(kinds) != 10 {
+		t.Fatalf("system.Kinds() returned %d kinds, want 10", len(kinds))
+	}
+	for _, k := range kinds {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v", k, got)
+		}
+		if got, err := ParseKind(strings.ToLower(k.String())); err != nil || got != k {
+			t.Errorf("ParseKind is not case-insensitive for %q", k)
+		}
+	}
+	if _, err := ParseKind("Kind(99)"); err == nil {
+		t.Error("ParseKind accepted a sentinel name")
+	}
+}
+
+// TestRunnerProgress asserts progress lines mark cached runs.
+func TestRunnerProgress(t *testing.T) {
+	job := Job{System: "Native", Workloads: []string{"namd"}, Refs: 2_000}
+	cache := &Cache{Dir: t.TempDir()}
+	var cold, warm bytes.Buffer
+	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &cold}).Run([]Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.String(), "[cache]") {
+		t.Errorf("cold run logged a cache hit: %q", cold.String())
+	}
+	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &warm}).Run([]Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm.String(), "[cache]") {
+		t.Errorf("warm run did not log a cache hit: %q", warm.String())
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}

@@ -310,12 +310,8 @@ func (m *MTL) SwapOutVB(u addr.VBUID) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	regions := make([]uint64, 0, len(vb.regions))
-	for r := range vb.regions {
-		regions = append(regions, r)
-	}
 	n := 0
-	for _, r := range regions {
+	for _, r := range vb.sortedRegions() {
 		ok, err := m.SwapOutRegion(u, r)
 		if err != nil {
 			return n, err

@@ -112,11 +112,7 @@ func (m *MTL) MigrateVB(u addr.VBUID, zone int) (uint64, error) {
 	}
 	vb.zone = zone
 	z := m.zones[zone]
-	regions := make([]uint64, 0, len(vb.regions))
-	for r := range vb.regions {
-		regions = append(regions, r)
-	}
-	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	regions := vb.sortedRegions()
 	var moved uint64
 	for _, region := range regions {
 		frame := vb.regions[region]
@@ -167,8 +163,8 @@ func (m *MTL) rebuildTable(vb *vbState) (uint64, error) {
 		return 0, err
 	}
 	vb.table = t
-	for region, frame := range vb.regions {
-		if err := m.mapRegion(vb, region, frame); err != nil {
+	for _, region := range vb.sortedRegions() {
+		if err := m.mapRegion(vb, region, vb.regions[region]); err != nil {
 			vb.table = old
 			return 0, err
 		}

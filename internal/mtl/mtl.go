@@ -22,6 +22,7 @@ package mtl
 
 import (
 	"fmt"
+	"sort"
 
 	"vbi/internal/addr"
 	"vbi/internal/memdata"
@@ -176,6 +177,19 @@ type vbState struct {
 	// heterogeneous-memory policies (§7.3).
 	accessCount uint64
 	writeCount  uint64
+}
+
+// sortedRegions returns the VB's resident region indices in ascending
+// order. Operations that allocate or free frames per region must iterate
+// this instead of the regions map: map order would randomize allocator
+// state, making otherwise-identical runs nondeterministic.
+func (vb *vbState) sortedRegions() []uint64 {
+	out := make([]uint64, 0, len(vb.regions))
+	for r := range vb.regions {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // New builds an MTL over the given zones. Zones must be non-empty; zone
@@ -335,8 +349,8 @@ func (m *MTL) Disable(u addr.VBUID) error {
 	m.tlbL1.InvalidateRange(base, size)
 	m.tlbL2.InvalidateRange(base, size)
 	m.vitCache.InvalidateIf(func(k uint64) bool { return k == uint64(u) })
-	for _, frame := range vb.regions {
-		m.derefFrame(frame)
+	for _, region := range vb.sortedRegions() {
+		m.derefFrame(vb.regions[region])
 	}
 	if vb.table != nil {
 		m.freeTable(vb)

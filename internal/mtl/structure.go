@@ -527,8 +527,8 @@ func (m *MTL) downgradeToPages(vb *vbState) error {
 			vb.kind = TransSingle
 		}
 	}
-	for region, frame := range vb.regions {
-		if err := m.mapRegion(vb, region, frame); err != nil {
+	for _, region := range vb.sortedRegions() {
+		if err := m.mapRegion(vb, region, vb.regions[region]); err != nil {
 			return err
 		}
 	}

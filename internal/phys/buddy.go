@@ -167,11 +167,30 @@ func (b *Buddy) splitTo(base Addr, from, to int, owner Owner) Addr {
 	return base
 }
 
+// lowestBase returns the smallest address in the set (first-fit). Picking
+// an arbitrary map element here would make allocation placement — and so
+// bank/row timing — vary between otherwise-identical runs. The scan is
+// O(free blocks at this order); the sets stay small (splitting keeps at
+// most a handful of blocks per order until heavy churn), so membership
+// maps plus a scan beat maintaining a sorted mirror of every set.
+func lowestBase[V any](m map[Addr]V, keep func(V) bool) (Addr, bool) {
+	best, found := NoAddr, false
+	for base, v := range m {
+		if keep != nil && !keep(v) {
+			continue
+		}
+		if !found || base < best {
+			best, found = base, true
+		}
+	}
+	return best, found
+}
+
 // takeFreeUnres finds an unreserved free block of order >= want and splits
 // it down. Smallest sufficient order first to limit fragmentation.
 func (b *Buddy) takeFreeUnres(want int) (Addr, bool) {
 	for o := want; o <= MaxOrder; o++ {
-		for base := range b.freeUnres[o] {
+		if base, ok := lowestBase(b.freeUnres[o], nil); ok {
 			return b.splitTo(base, o, want, 0), true
 		}
 	}
@@ -185,7 +204,7 @@ func (b *Buddy) takeFreeOwned(owner Owner, want int) (Addr, bool) {
 		return NoAddr, false
 	}
 	for o := want; o <= MaxOrder; o++ {
-		for base := range m[o] {
+		if base, ok := lowestBase(m[o], nil); ok {
 			return b.splitTo(base, o, want, owner), true
 		}
 	}
@@ -195,10 +214,8 @@ func (b *Buddy) takeFreeOwned(owner Owner, want int) (Addr, bool) {
 // takeFreeStolen finds a free block reserved for any owner other than self.
 func (b *Buddy) takeFreeStolen(self Owner, want int) (Addr, Owner, bool) {
 	for o := want; o <= MaxOrder; o++ {
-		for base, owner := range b.freeRes[o] {
-			if owner == self {
-				continue
-			}
+		if base, ok := lowestBase(b.freeRes[o], func(owner Owner) bool { return owner != self }); ok {
+			owner := b.freeRes[o][base]
 			return b.splitTo(base, o, want, owner), owner, true
 		}
 	}

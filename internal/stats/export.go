@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table as CSV: a header of "workload" plus the series
+// labels, then one record per row. Values are formatted with the shortest
+// representation that round-trips, so the file is canonical for a given
+// table. Rows beyond a series' length (possible for ragged tables) emit
+// empty cells.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"workload"}, labels(t)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		rec := []string{r}
+		for _, s := range t.Series {
+			if i < len(s.Values) {
+				rec = append(rec, strconv.FormatFloat(s.Values[i], 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the table as indented JSON (title, rows, series).
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+func labels(t *Table) []string {
+	out := make([]string, len(t.Series))
+	for i, s := range t.Series {
+		out[i] = s.Label
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportTable() *Table {
+	return &Table{
+		Title: "t",
+		Rows:  []string{"mcf", "namd", "AVG"},
+		Series: []Series{
+			{Label: "Native", Values: []float64{1, 1.25, 1.125}},
+			{Label: "VBI-Full", Values: []float64{2.5, 1.5}}, // ragged
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := exportTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "workload,Native,VBI-Full\n" +
+		"mcf,1,2.5\n" +
+		"namd,1.25,1.5\n" +
+		"AVG,1.125,\n"
+	if b.String() != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var b bytes.Buffer
+	tab := exportTable()
+	if err := tab.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != tab.Title || len(got.Series) != 2 || got.Series[1].Values[0] != 2.5 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if !strings.Contains(b.String(), `"Rows"`) {
+		t.Errorf("JSON missing Rows: %s", b.String())
+	}
+}
+
+// TestCSVDeterministic guards the cache/export contract: identical tables
+// must serialize identically.
+func TestCSVDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := exportTable().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("CSV output is not deterministic")
+	}
+}

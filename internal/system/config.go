@@ -127,6 +127,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Kinds returns every evaluated system configuration, in declaration
+// order. CLI tools use it to enumerate and resolve system names instead of
+// probing String() for out-of-range sentinels.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
 // Kinds4K lists the systems of Figure 6 (4 KB pages), in plot order.
 var Kinds4K = []Kind{Native, Virtual, VIVT, VBI1, VBI2, VBIFull, PerfectTLB}
 

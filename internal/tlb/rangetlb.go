@@ -119,8 +119,11 @@ func (t *RangeTLB) evictIfFull() {
 		fromPage bool
 		bigIdx   = -1
 	)
+	// Ties on the LRU stamp break toward the smaller key: picking the map
+	// iteration's first match would make eviction (and so timing)
+	// nondeterministic across runs.
 	for k, s := range t.pages {
-		if s.used < oldest {
+		if s.used < oldest || (fromPage && s.used == oldest && k < pageKey) {
 			oldest = s.used
 			pageKey = k
 			fromPage = true
