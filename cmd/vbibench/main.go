@@ -8,6 +8,7 @@
 //	vbibench -exp fig6 -refs 400000
 //	vbibench -exp all -out results.txt -workers 8 -cache .vbicache
 //	vbibench -exp fig6 -json fig6.json -csv fig6.csv
+//	vbibench -exp fig6 -param l2_tlb_entries=1024   # figures under altered hardware
 package main
 
 import (
@@ -21,10 +22,12 @@ import (
 	"time"
 
 	"vbi/internal/exp"
+	"vbi/internal/harness"
 	"vbi/internal/stats"
 )
 
 func main() {
+	params := harness.ParamAxes{}
 	var (
 		which   = flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, fig10, dram, ablation, cvt or all")
 		refs    = flag.Int("refs", 400_000, "measured references per run")
@@ -36,7 +39,13 @@ func main() {
 		csvOut  = flag.String("csv", "", "write figure tables as CSV to this file")
 		verbose = flag.Bool("v", false, "log every run")
 	)
+	flag.Var(params, "param", "parameter override name=value applied to every run (repeatable; see vbisweep -list)")
 	flag.Parse()
+
+	overlay, err := params.Overlay()
+	if err != nil {
+		fatal(err)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -55,9 +64,12 @@ func main() {
 		Experiment string       `json:"experiment"`
 		Table      *stats.Table `json:"table"`
 	}
-	var exported []namedTable
+	// Initialized non-nil so -json writes "[]" (not "null") when only the
+	// static tables run.
+	exported := []namedTable{}
 
-	o := exp.Options{Refs: *refs, Seed: *seed, Workers: *workers, CacheDir: *cache}
+	o := exp.Options{Refs: *refs, Seed: *seed, Workers: *workers, CacheDir: *cache,
+		Params: overlay}
 	if *verbose {
 		o.Progress = os.Stderr
 	}
@@ -116,6 +128,9 @@ func main() {
 		}
 	}
 	if *csvOut != "" {
+		if len(exported) == 0 {
+			fmt.Fprintf(os.Stderr, "vbibench: no figure tables ran; %s not written\n", *csvOut)
+		}
 		for _, nt := range exported {
 			path := *csvOut
 			if len(exported) > 1 {

@@ -1,9 +1,12 @@
 // Command vbisim runs one simulated system on one workload and reports
-// IPC, DRAM traffic and the system-specific event counters.
+// IPC, DRAM traffic and the system-specific event counters. The -system
+// flag resolves registered system specs (built-in kinds and declaratively
+// registered variants), and -param overlays individual Table 1 knobs.
 //
 // Usage:
 //
 //	vbisim -system VBI-Full -workload mcf -refs 1000000
+//	vbisim -system Native -param l2_tlb_entries=128 -workload mcf
 //	vbisim -list
 //	vbisim -hetero PCM-DRAM -policy VBI -workload sphinx3
 package main
@@ -12,42 +15,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"vbi/internal/harness"
 	"vbi/internal/system"
 	"vbi/internal/workloads"
 )
 
-var systems = map[string]system.Kind{}
-
-func init() {
-	for _, k := range system.Kinds() {
-		systems[strings.ToLower(k.String())] = k
-	}
-}
-
 func main() {
+	params := harness.ParamAxes{}
 	var (
-		sysName  = flag.String("system", "Native", "system to simulate (see -list)")
+		sysName  = flag.String("system", "Native", "system spec to simulate (see -list)")
 		workload = flag.String("workload", "mcf", "benchmark name (see -list)")
 		refs     = flag.Int("refs", 400_000, "measured memory references")
 		seed     = flag.Uint64("seed", 1, "trace seed")
-		list     = flag.Bool("list", false, "list systems and workloads")
+		list     = flag.Bool("list", false, "list systems, workloads and parameters")
 		hetero   = flag.String("hetero", "", "heterogeneous memory: PCM-DRAM or TL-DRAM")
 		policy   = flag.String("policy", "VBI", "placement policy: Unaware, VBI or IDEAL")
 	)
+	flag.Var(params, "param", "parameter override name=value (repeatable; see -list)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("systems:")
-		for _, k := range system.Kinds() {
-			fmt.Printf("  %s\n", k)
-		}
+		harness.WriteSpecList(os.Stdout)
 		fmt.Println("workloads:")
 		for _, n := range workloads.Names() {
 			p := workloads.MustGet(n)
 			fmt.Printf("  %-14s %4d MB, %d structures\n", n, p.Footprint()>>20, len(p.Structs))
 		}
+		harness.WriteHeteroList(os.Stdout)
+		harness.WriteParamList(os.Stdout)
 		return
 	}
 
@@ -55,22 +51,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	overlay, err := params.Overlay()
+	if err != nil {
+		fatal(err)
+	}
 
 	var res system.RunResult
 	if *hetero != "" {
-		mem := system.HeteroPCMDRAM
-		if strings.EqualFold(*hetero, "TL-DRAM") {
-			mem = system.HeteroTLDRAM
+		// Heterogeneous runs are always VBI-2 over two zones; an explicit
+		// -system would be silently ignored, so reject the combination
+		// (mirroring harness.Job.Validate).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "system" {
+				fatal(fmt.Errorf("-system %s conflicts with -hetero %s: heterogeneous runs are always VBI-2", *sysName, *hetero))
+			}
+		})
+		mem, err := system.ParseHeteroMem(*hetero)
+		if err != nil {
+			fatal(err)
 		}
-		pol := system.PolicyVBI
-		switch strings.ToLower(*policy) {
-		case "unaware":
-			pol = system.PolicyUnaware
-		case "ideal":
-			pol = system.PolicyIdeal
+		pol, err := system.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
 		}
 		m, err := system.NewHetero(system.HeteroConfig{
-			Mem: mem, Policy: pol, Refs: *refs, Seed: *seed}, prof)
+			Mem: mem, Policy: pol, Refs: *refs, Seed: *seed,
+			Params: overlay}, prof)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,11 +84,17 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		kind, ok := systems[strings.ToLower(*sysName)]
-		if !ok {
-			fatal(fmt.Errorf("unknown system %q (try -list)", *sysName))
+		spec, err := system.ResolveSpec(*sysName)
+		if err != nil {
+			fatal(err)
 		}
-		m, err := system.New(system.Config{Kind: kind, Refs: *refs, Seed: *seed}, prof)
+		cfg, err := spec.Config()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Refs, cfg.Seed = *refs, *seed
+		cfg.Params = system.Overlay(cfg.Params, overlay)
+		m, err := system.New(cfg, prof)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,18 +1,28 @@
-// Command vbisweep runs a (systems × workloads × seeds) grid through the
-// experiment harness and emits the result matrix. Grids come from flags or
-// a small JSON config; runs execute across a bounded worker pool, and an
-// optional on-disk cache makes re-runs incremental (only changed cells
-// simulate).
+// Command vbisweep runs a design-space sweep through the experiment
+// harness and emits the result matrix. Sweep axes are (system or
+// hetero-memory/policy) × workload × seed × named parameter overlays ×
+// refs; grids come from flags or a small JSON config. Runs execute across
+// a bounded worker pool, and an optional on-disk cache makes re-runs
+// incremental (only changed cells simulate).
 //
 // Usage:
 //
 //	vbisweep -systems Native,VBI-Full -workloads mcf,graph500 -refs 100000
+//	vbisweep -systems Native -workloads mcf -param l2_tlb_entries=128,512,2048
+//	vbisweep -systems VBI-Full -workloads mcf -refs 50000,100000,200000
+//	vbisweep -hetero PCM-DRAM -policies Unaware,VBI -workloads sphinx3 -param hetero_epoch_refs=10000,25000
 //	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
 //	vbisweep -list
 //
-// A config file holds the same axes as the flags:
+// -param may repeat; each occurrence adds one axis and the grid expands
+// the cross product. Parameter names come from the system spec registry
+// (-list shows them with their Table 1 defaults); system names resolve
+// registered specs, so declaratively registered variants (e.g.
+// "Native-128TLB") sweep like built-ins. A config file holds the same
+// axes as the flags and cannot be combined with them:
 //
-//	{"systems": ["Native", "VBI-Full"], "workloads": ["mcf"], "seeds": [1, 2], "refs": 100000}
+//	{"systems": ["Native"], "workloads": ["mcf"], "seeds": [1, 2],
+//	 "refs": 100000, "params": {"l2_tlb_entries": [256, 512]}}
 package main
 
 import (
@@ -23,64 +33,91 @@ import (
 	"strings"
 
 	"vbi/internal/harness"
-	"vbi/internal/system"
 	"vbi/internal/workloads"
 )
 
 func main() {
+	params := harness.ParamAxes{}
 	var (
-		systemsF   = flag.String("systems", "Native,VBI-Full", "comma-separated system names (see -list)")
-		workloadsF = flag.String("workloads", "mcf,graph500", "comma-separated workload names (see -list)")
-		seedsF     = flag.String("seeds", "1", "comma-separated trace seeds")
-		refs       = flag.Int("refs", 100_000, "measured references per run")
-		config     = flag.String("config", "", "JSON grid config (overrides the axis flags)")
+		systemsF   = flag.String("systems", "", "comma-separated system/spec names (default Native,VBI-Full; see -list)")
+		workloadsF = flag.String("workloads", "", "comma-separated workload names (default mcf,graph500; see -list)")
+		seedsF     = flag.String("seeds", "", "comma-separated trace seeds (default 1)")
+		refsF      = flag.String("refs", "", "measured references per run; a comma list sweeps refs as an axis (default 100000)")
+		heteroF    = flag.String("hetero", "", "comma-separated heterogeneous memories (replaces -systems; see -list)")
+		policiesF  = flag.String("policies", "", "comma-separated placement policies for -hetero (default all; see -list)")
+		config     = flag.String("config", "", "JSON grid config (exclusive with the axis flags)")
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "result-cache directory (empty = no cache)")
-		metric     = flag.String("metric", harness.MetricIPC, "matrix metric: ipc or dram")
+		metric     = flag.String("metric", harness.MetricIPC, "matrix metric: "+strings.Join(harness.Metrics(), " or "))
 		jsonOut    = flag.String("json", "", "write the matrix as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the matrix as CSV to this file")
-		list       = flag.Bool("list", false, "list systems and workloads")
+		list       = flag.Bool("list", false, "list systems, specs, workloads, memories, policies and parameters")
 		verbose    = flag.Bool("v", false, "log every run")
 	)
+	flag.Var(params, "param", "parameter axis name=v1,v2,... (repeatable; see -list)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println("systems:")
-		for _, k := range system.Kinds() {
-			fmt.Printf("  %s\n", k)
-		}
-		fmt.Println("workloads:")
-		for _, n := range workloads.Names() {
-			fmt.Printf("  %s\n", n)
-		}
+		printList()
 		return
 	}
 
-	if *metric != harness.MetricIPC && *metric != harness.MetricDRAM {
-		fatal(fmt.Errorf("unknown metric %q (want %s or %s)",
-			*metric, harness.MetricIPC, harness.MetricDRAM))
+	if err := harness.ValidateMetric(*metric); err != nil {
+		fatal(err)
 	}
 
 	var grid harness.Grid
 	if *config != "" {
+		// The axis flags silently losing to -config was a footgun; make
+		// the conflict explicit.
+		axisFlags := map[string]bool{
+			"systems": true, "workloads": true, "seeds": true, "refs": true,
+			"param": true, "hetero": true, "policies": true,
+		}
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			if axisFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fatal(fmt.Errorf("-config is exclusive with the axis flags (%s); put the axes in the config file",
+				strings.Join(conflict, ", ")))
+		}
 		g, err := harness.LoadGrid(*config)
 		if err != nil {
 			fatal(err)
 		}
 		grid = g
-		if grid.Refs == 0 {
-			grid.Refs = *refs
+		if grid.Refs == 0 && len(grid.RefsAxis) == 0 {
+			grid.Refs = 100_000
 		}
 	} else {
-		seeds, err := parseSeeds(*seedsF)
+		seeds, err := parseSeeds(orDefault(*seedsF, "1"))
 		if err != nil {
 			fatal(err)
 		}
+		refsAxis, err := parseInts(orDefault(*refsF, "100000"))
+		if err != nil {
+			fatal(fmt.Errorf("bad -refs: %w", err))
+		}
 		grid = harness.Grid{
-			Systems:   splitList(*systemsF),
-			Workloads: splitList(*workloadsF),
+			Workloads: splitList(orDefault(*workloadsF, "mcf,graph500")),
 			Seeds:     seeds,
-			Refs:      *refs,
+			RefsAxis:  refsAxis,
+			Params:    params,
+		}
+		if *heteroF != "" {
+			if *systemsF != "" {
+				fatal(fmt.Errorf("-hetero replaces -systems; give one or the other"))
+			}
+			grid.HeteroMems = splitList(*heteroF)
+			grid.Policies = splitList(*policiesF)
+		} else {
+			if *policiesF != "" {
+				fatal(fmt.Errorf("-policies only applies to -hetero grids"))
+			}
+			grid.Systems = splitList(orDefault(*systemsF, "Native,VBI-Full"))
 		}
 	}
 
@@ -143,6 +180,24 @@ func main() {
 	}
 }
 
+// printList enumerates everything a sweep axis can name.
+func printList() {
+	harness.WriteSpecList(os.Stdout)
+	fmt.Println("workloads:")
+	for _, n := range workloads.Names() {
+		fmt.Printf("  %s\n", n)
+	}
+	harness.WriteHeteroList(os.Stdout)
+	harness.WriteParamList(os.Stdout)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -159,6 +214,18 @@ func parseSeeds(s string) ([]uint64, error) {
 		v, err := strconv.ParseUint(p, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, v)
 	}

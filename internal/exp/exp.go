@@ -35,6 +35,10 @@ type Options struct {
 	Workers int
 	// CacheDir, when non-empty, enables the on-disk result cache there.
 	CacheDir string
+	// Params overlays tunable hardware/OS knobs on every run of the
+	// experiment (vbibench -param), regenerating the figures under an
+	// altered configuration; zero fields keep Table 1 defaults.
+	Params system.Params
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +89,7 @@ func runSingles(o Options, keys []runKey) (map[runKey]system.RunResult, error) {
 		jobs[i] = harness.Job{
 			System: k.kind.String(), Workloads: []string{k.app},
 			Refs: o.Refs, Seed: o.Seed, UniformTables: k.uniform,
+			Params: o.Params,
 		}
 	}
 	results, err := o.runner().Run(jobs)
@@ -245,7 +250,7 @@ func Fig8(o Options) (*stats.Table, error) {
 			jobs = append(jobs, harness.Job{
 				System:    k.String(),
 				Workloads: append([]string{}, workloads.Bundles[name]...),
-				Refs:      o.Refs, Seed: o.Seed,
+				Refs:      o.Refs, Seed: o.Seed, Params: o.Params,
 			})
 		}
 	}
@@ -308,7 +313,7 @@ func figHetero(mem system.HeteroMem, title, vbiLabel string, o Options) (*stats.
 		for _, pol := range policies {
 			jobs = append(jobs, harness.Job{
 				Workloads: []string{app}, Refs: o.Refs, Seed: o.Seed,
-				HeteroMem: mem.String(), Policy: pol.String(),
+				HeteroMem: mem.String(), Policy: pol.String(), Params: o.Params,
 			})
 		}
 	}

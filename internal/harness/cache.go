@@ -17,8 +17,10 @@ import (
 
 // Version invalidates every cached result when the simulators change in a
 // way that alters outputs for an identical job spec. Bump it whenever a
-// timing model, workload profile or default constant moves.
-const Version = "vbi-harness-v1"
+// timing model, workload profile or default constant moves, and whenever
+// the Job schema changes shape (v2: the Params overlay joined the
+// canonical job JSON).
+const Version = "vbi-harness-v2"
 
 // Cache is an on-disk result store keyed by a SHA-256 of the canonical
 // job JSON plus Version. Entries are written atomically (temp file +
@@ -41,7 +43,10 @@ type entry struct {
 	Results []system.RunResult `json:"results"`
 }
 
-// Key returns the cache key for a job.
+// Key returns the cache key for a job. Jobs name their system by
+// registered spec name, so the key also folds in the *resolved* spec: a
+// cache directory shared across processes that register the same variant
+// name with a different overlay must miss, not serve stale results.
 func (c *Cache) Key(j Job) string {
 	b, err := json.Marshal(j)
 	if err != nil {
@@ -52,6 +57,13 @@ func (c *Cache) Key(j Job) string {
 	h.Write([]byte(Version))
 	h.Write([]byte{'\n'})
 	h.Write(b)
+	if j.HeteroMem == "" && j.System != "" {
+		if spec, err := system.ResolveSpec(j.System); err == nil {
+			sb, _ := json.Marshal(spec)
+			h.Write([]byte{'\n'})
+			h.Write(sb)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,23 +1,49 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"vbi/internal/stats"
+	"vbi/internal/system"
 )
 
-// Grid is a declarative sweep over (system × workload × seed), the
-// design-space-exploration shape of cmd/vbisweep. It expands to one
-// single-core Job per cell in a fixed order (seed-major, then workload,
-// then system), so Matrix can consume the results positionally.
+// Grid is a declarative sweep, the design-space-exploration shape of
+// cmd/vbisweep. Beyond the original (system × workload × seed) axes it
+// expands arbitrary parameter axes (named Params values, cross-producted),
+// a refs scaling axis, and heterogeneous-memory policy grids. It expands
+// to one single-core Job per cell in a fixed order (seed-major, then refs,
+// then workload, then series), so Matrix can consume the results
+// positionally.
+//
+// The series dimension is (system × parameter combination) — or, for
+// hetero grids, (memory × policy × parameter combination); Systems and
+// HeteroMems are mutually exclusive.
 type Grid struct {
-	Systems   []string `json:"systems"`
+	Systems   []string `json:"systems,omitempty"`
 	Workloads []string `json:"workloads"`
 	Seeds     []uint64 `json:"seeds,omitempty"`
 	Refs      int      `json:"refs,omitempty"`
 	Warmup    int      `json:"warmup,omitempty"`
+
+	// RefsAxis sweeps the measured reference count as a row axis (refs
+	// scaling curves). When empty, every cell uses Refs.
+	RefsAxis []int `json:"refs_axis,omitempty"`
+
+	// Params maps parameter names (system.ParamNames) to axis values; the
+	// grid expands their cross product, in sorted name order, as extra
+	// series.
+	Params map[string][]int `json:"params,omitempty"`
+
+	// HeteroMems, when non-empty, makes this a heterogeneous-memory grid:
+	// the series are (memory × policy) combinations instead of systems.
+	// Policies defaults to all three placement policies.
+	HeteroMems []string `json:"hetero_mems,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
 }
 
 // LoadGrid reads a Grid from a JSON config file.
@@ -27,7 +53,9 @@ func LoadGrid(path string) (Grid, error) {
 		return Grid{}, err
 	}
 	var g Grid
-	if err := json.Unmarshal(b, &g); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields() // catch typo'd axis names instead of silently dropping them
+	if err := dec.Decode(&g); err != nil {
 		return Grid{}, fmt.Errorf("harness: parse grid %s: %w", path, err)
 	}
 	return g, nil
@@ -38,28 +66,193 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Seeds) == 0 {
 		g.Seeds = []uint64{1}
 	}
+	if len(g.RefsAxis) == 0 {
+		g.RefsAxis = []int{g.Refs}
+	}
+	if len(g.HeteroMems) > 0 && len(g.Policies) == 0 {
+		g.Policies = make([]string, 0, len(system.Policies()))
+		for _, p := range system.Policies() {
+			g.Policies = append(g.Policies, p.String())
+		}
+	}
 	return g
 }
 
-// Jobs expands the grid. It fails fast on unknown system or workload
-// names.
-func (g Grid) Jobs() ([]Job, error) {
-	g = g.withDefaults()
-	if len(g.Systems) == 0 || len(g.Workloads) == 0 {
-		return nil, fmt.Errorf("harness: grid needs at least one system and one workload")
+// paramCombo is one point of the parameter-axis cross product.
+type paramCombo struct {
+	label  string // "l2_tlb_entries=512" (axis names sorted), "" when no axes
+	params system.Params
+}
+
+// paramCombos expands the parameter axes into their cross product, sorted
+// axis-name-major so the expansion order is deterministic regardless of
+// map iteration order. With no axes it returns the single empty combo.
+func (g Grid) paramCombos() ([]paramCombo, error) {
+	if len(g.Params) == 0 {
+		return []paramCombo{{}}, nil
 	}
-	var jobs []Job
-	for _, seed := range g.Seeds {
-		for _, w := range g.Workloads {
-			for _, s := range g.Systems {
-				j := Job{System: s, Workloads: []string{w}, Refs: g.Refs,
-					Warmup: g.Warmup, Seed: seed}
-				if err := j.Validate(); err != nil {
+	names := make([]string, 0, len(g.Params))
+	for name := range g.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vals := g.Params[name]
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("harness: parameter axis %q has no values", name)
+		}
+		if _, err := (system.Params{}).Get(name); err != nil {
+			return nil, err
+		}
+		if err := noDups("param "+name, vals); err != nil {
+			return nil, err
+		}
+	}
+	combos := []paramCombo{{}}
+	for _, name := range names {
+		var next []paramCombo
+		for _, c := range combos {
+			for _, v := range g.Params[name] {
+				p := c.params
+				if err := p.Set(name, v); err != nil {
 					return nil, err
 				}
-				jobs = append(jobs, j)
+				label := fmt.Sprintf("%s=%d", name, v)
+				if c.label != "" {
+					label = c.label + "," + label
+				}
+				next = append(next, paramCombo{label: label, params: p})
 			}
 		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// cell is one grid point: its job plus the row/series labels Matrix uses.
+type cell struct {
+	job    Job
+	row    string
+	series string
+}
+
+// noDups rejects repeated axis values: a duplicate entry would produce
+// two cells with identical labels, silently misaligning Matrix rows
+// against series values.
+func noDups[T comparable](axis string, vals []T) error {
+	seen := make(map[T]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Errorf("harness: duplicate %s entry %v", axis, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// cells expands the grid in its fixed order: rows are seed-major, then
+// refs, then workload; within a row, series iterate (system or mem/policy)
+// × parameter combination. Every entry point (Jobs, Matrix) derives from
+// this one expansion, so labels and positions cannot drift apart.
+func (g Grid) cells() ([]cell, error) {
+	if g.Refs != 0 && len(g.RefsAxis) > 0 {
+		return nil, fmt.Errorf("harness: refs and refs_axis are mutually exclusive")
+	}
+	g = g.withDefaults()
+	if len(g.Workloads) == 0 {
+		return nil, fmt.Errorf("harness: grid needs at least one workload")
+	}
+	if len(g.Systems) > 0 && len(g.HeteroMems) > 0 {
+		return nil, fmt.Errorf("harness: systems and hetero_mems are mutually exclusive axes")
+	}
+	if len(g.Systems) == 0 && len(g.HeteroMems) == 0 {
+		return nil, fmt.Errorf("harness: grid needs at least one system (or hetero_mems entry)")
+	}
+	for _, err := range []error{
+		noDups("systems", g.Systems),
+		noDups("workloads", g.Workloads),
+		noDups("seeds", g.Seeds),
+		noDups("refs_axis", g.RefsAxis),
+		noDups("hetero_mems", g.HeteroMems),
+		noDups("policies", g.Policies),
+	} {
+		if err != nil {
+			return nil, err
+		}
+	}
+	combos, err := g.paramCombos()
+	if err != nil {
+		return nil, err
+	}
+
+	// The series templates: jobs missing only workload/refs/seed.
+	type seriesTmpl struct {
+		label string
+		job   Job
+	}
+	var series []seriesTmpl
+	addSeries := func(label string, job Job, combo paramCombo) {
+		if combo.label != "" {
+			label = fmt.Sprintf("%s[%s]", label, combo.label)
+		}
+		job.Params = combo.params
+		series = append(series, seriesTmpl{label: label, job: job})
+	}
+	if len(g.HeteroMems) > 0 {
+		for _, mem := range g.HeteroMems {
+			for _, pol := range g.Policies {
+				for _, c := range combos {
+					addSeries(fmt.Sprintf("%s/%s", mem, pol),
+						Job{HeteroMem: mem, Policy: pol}, c)
+				}
+			}
+		}
+	} else {
+		for _, s := range g.Systems {
+			for _, c := range combos {
+				addSeries(s, Job{System: s}, c)
+			}
+		}
+	}
+
+	var cells []cell
+	for _, seed := range g.Seeds {
+		for _, refs := range g.RefsAxis {
+			for _, w := range g.Workloads {
+				row := w
+				if len(g.RefsAxis) > 1 {
+					row = fmt.Sprintf("%s/r%d", row, refs)
+				}
+				if len(g.Seeds) > 1 {
+					row = fmt.Sprintf("%s/s%d", row, seed)
+				}
+				for _, st := range series {
+					j := st.job
+					j.Workloads = []string{w}
+					j.Refs = refs
+					j.Warmup = g.Warmup
+					j.Seed = seed
+					if err := j.Validate(); err != nil {
+						return nil, err
+					}
+					cells = append(cells, cell{job: j, row: row, series: st.label})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Jobs expands the grid. It fails fast on unknown system, workload or
+// parameter names.
+func (g Grid) Jobs() ([]Job, error) {
+	cells, err := g.cells()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, len(cells))
+	for i, c := range cells {
+		jobs[i] = c.job
 	}
 	return jobs, nil
 }
@@ -70,45 +263,50 @@ const (
 	MetricDRAM = "dram"
 )
 
+// Metrics lists the selectable matrix metrics.
+func Metrics() []string { return []string{MetricIPC, MetricDRAM} }
+
+// ValidateMetric rejects unknown metric names. Grid.Matrix calls it; CLI
+// front-ends call it too for fail-fast flag validation, so the metric list
+// lives in exactly one place.
+func ValidateMetric(metric string) error {
+	for _, m := range Metrics() {
+		if metric == m {
+			return nil
+		}
+	}
+	return fmt.Errorf("harness: unknown metric %q (want %s)",
+		metric, strings.Join(Metrics(), " or "))
+}
+
 // Matrix folds the results of a Jobs() run into a table: one row per
-// (workload, seed) cell, one series per system, values taken from the
-// named metric.
+// (workload, refs, seed) cell, one series per (system or mem/policy,
+// parameter combination), values taken from the named metric.
 func (g Grid) Matrix(results []Result, metric string) (*stats.Table, error) {
-	g = g.withDefaults()
-	if want := len(g.Seeds) * len(g.Workloads) * len(g.Systems); len(results) != want {
-		return nil, fmt.Errorf("harness: grid expects %d results, got %d", want, len(results))
+	if err := ValidateMetric(metric); err != nil {
+		return nil, err
 	}
-	value := func(r Result) (float64, error) {
+	cells, err := g.cells()
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(cells) {
+		return nil, fmt.Errorf("harness: grid expects %d results, got %d", len(cells), len(results))
+	}
+	value := func(r Result) float64 {
 		switch metric {
-		case MetricIPC:
-			return r.Results[0].IPC, nil
 		case MetricDRAM:
-			return float64(r.Results[0].DRAMAccesses), nil
+			return float64(r.Results[0].DRAMAccesses)
+		default:
+			return r.Results[0].IPC
 		}
-		return 0, fmt.Errorf("harness: unknown metric %q (want %s or %s)",
-			metric, MetricIPC, MetricDRAM)
 	}
-	t := &stats.Table{
-		Title: fmt.Sprintf("Sweep: %s over %d systems x %d workloads x %d seeds",
-			metric, len(g.Systems), len(g.Workloads), len(g.Seeds)),
-	}
-	i := 0
-	for _, seed := range g.Seeds {
-		for _, w := range g.Workloads {
-			row := w
-			if len(g.Seeds) > 1 {
-				row = fmt.Sprintf("%s/s%d", w, seed)
-			}
-			t.Rows = append(t.Rows, row)
-			for _, s := range g.Systems {
-				v, err := value(results[i])
-				if err != nil {
-					return nil, err
-				}
-				t.Add(s, v)
-				i++
-			}
+	t := &stats.Table{Title: fmt.Sprintf("Sweep: %s over %d cells", metric, len(cells))}
+	for i, c := range cells {
+		if len(t.Rows) == 0 || t.Rows[len(t.Rows)-1] != c.row {
+			t.Rows = append(t.Rows, c.row)
 		}
+		t.Add(c.series, value(results[i]))
 	}
 	return t, nil
 }

@@ -1,0 +1,305 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vbi/internal/system"
+)
+
+// TestParamAxisExpansion pins the deterministic expansion order of
+// parameter axes: sorted axis-name-major, value order as given, series
+// labels carrying the combination.
+func TestParamAxisExpansion(t *testing.T) {
+	g := Grid{
+		Systems:   []string{"Native"},
+		Workloads: []string{"namd"},
+		Refs:      1000,
+		Params: map[string][]int{
+			"l2_tlb_entries": {256, 512},
+			"l2_tlb_latency": {7, 9},
+		},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expanded %d jobs, want 4 (2x2 cross product)", len(jobs))
+	}
+	want := []system.Params{
+		{L2TLBEntries: 256, L2TLBLatency: 7},
+		{L2TLBEntries: 256, L2TLBLatency: 9},
+		{L2TLBEntries: 512, L2TLBLatency: 7},
+		{L2TLBEntries: 512, L2TLBLatency: 9},
+	}
+	for i, j := range jobs {
+		if j.Params != want[i] {
+			t.Errorf("job %d params = %+v, want %+v", i, j.Params, want[i])
+		}
+		if j.System != "Native" || j.Refs != 1000 {
+			t.Errorf("job %d lost its non-param fields: %+v", i, j)
+		}
+	}
+
+	cells, err := g.cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cells[0].series; got != "Native[l2_tlb_entries=256,l2_tlb_latency=7]" {
+		t.Errorf("series label = %q", got)
+	}
+}
+
+// TestParamSweepChangesResults runs a real one-axis sweep end to end and
+// asserts the overlay reaches the simulator: shrinking the L2 TLB must
+// not improve IPC, and the matrix carries one labelled series per value.
+func TestParamSweepChangesResults(t *testing.T) {
+	g := Grid{
+		Systems:   []string{"Native"},
+		Workloads: []string{"mcf"},
+		Refs:      12_000,
+		Params:    map[string][]int{"l2_tlb_entries": {64, 2048}},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := (&Runner{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := results[0].Results[0], results[1].Results[0]
+	if small.IPC >= big.IPC {
+		t.Errorf("IPC with a 64-entry L2 TLB (%.4f) not below 2048-entry (%.4f)",
+			small.IPC, big.IPC)
+	}
+	m, err := g.Matrix(results, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Series) != 2 || m.Series[0].Label != "Native[l2_tlb_entries=64]" {
+		t.Errorf("matrix series = %+v", m.Series)
+	}
+}
+
+// TestRefsAxis sweeps the reference count as a row axis.
+func TestRefsAxis(t *testing.T) {
+	g := Grid{
+		Systems:   []string{"Native"},
+		Workloads: []string{"namd"},
+		RefsAxis:  []int{2000, 4000},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Refs != 2000 || jobs[1].Refs != 4000 {
+		t.Fatalf("refs axis expanded wrong: %+v", jobs)
+	}
+	results, err := (&Runner{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.Matrix(results, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 2 || m.Rows[0] != "namd/r2000" || m.Rows[1] != "namd/r4000" {
+		t.Errorf("refs-axis rows = %v", m.Rows)
+	}
+	if results[1].Results[0].MemRefs != 4000 {
+		t.Errorf("second cell measured %d refs", results[1].Results[0].MemRefs)
+	}
+}
+
+// TestHeteroGrid expands a heterogeneous policy grid: series are
+// (memory × policy), policies defaulting to all three.
+func TestHeteroGrid(t *testing.T) {
+	g := Grid{
+		HeteroMems: []string{"PCM-DRAM"},
+		Workloads:  []string{"namd"},
+		Refs:       1000,
+	}
+	cells, err := g.cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("expanded %d cells, want 3 (one per default policy)", len(cells))
+	}
+	for i, pol := range []string{"Hotness-Unaware", "VBI", "IDEAL"} {
+		if cells[i].job.Policy != pol || cells[i].job.HeteroMem != "PCM-DRAM" {
+			t.Errorf("cell %d = %+v, want policy %s", i, cells[i].job, pol)
+		}
+		if cells[i].job.System != "" {
+			t.Errorf("cell %d carries a System on a hetero job", i)
+		}
+		if want := "PCM-DRAM/" + pol; cells[i].series != want {
+			t.Errorf("cell %d series = %q, want %q", i, cells[i].series, want)
+		}
+	}
+}
+
+// TestGridConfigRoundTrip exercises LoadGrid with the new axes, including
+// rejection of unknown fields.
+func TestGridConfigRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	g := Grid{
+		Systems:   []string{"Native", "VBI-Full"},
+		Workloads: []string{"namd"},
+		Seeds:     []uint64{1, 2},
+		Refs:      5000,
+		Params:    map[string][]int{"pwc_entries": {16, 32}},
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, g) {
+		t.Errorf("LoadGrid round trip: got %+v, want %+v", got, g)
+	}
+	if _, err := got.Jobs(); err != nil {
+		t.Errorf("round-tripped grid does not expand: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"systems": ["Native"], "wrkloads": ["namd"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGrid(bad); err == nil || !strings.Contains(err.Error(), "wrkloads") {
+		t.Errorf("LoadGrid accepted a typo'd axis name (err=%v)", err)
+	}
+}
+
+// TestCacheKeySensitivityToParams asserts the canonical job JSON (and so
+// the cache key) distinguishes parameter overlays and spec names.
+func TestCacheKeySensitivityToParams(t *testing.T) {
+	c := &Cache{Dir: t.TempDir()}
+	base := Job{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
+	variants := []Job{
+		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+			Params: system.Params{L2TLBEntries: 256}},
+		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+			Params: system.Params{L2TLBEntries: 512}},
+		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+			Params: system.Params{PWCEntries: 16}},
+	}
+	keys := map[string]bool{c.Key(base): true}
+	for _, v := range variants {
+		k := c.Key(v)
+		if keys[k] {
+			t.Errorf("job %s collides with an earlier key", v.Describe())
+		}
+		keys[k] = true
+	}
+}
+
+// TestSpecNameJob runs a job naming a registered variant spec and asserts
+// it matches the equivalent base-kind job with an explicit overlay.
+func TestSpecNameJob(t *testing.T) {
+	if err := system.Register(system.Spec{
+		Name:   "Native-HarnessTest-128TLB",
+		Base:   "Native",
+		Params: system.Params{L2TLBEntries: 128},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{System: "Native-HarnessTest-128TLB", Workloads: []string{"mcf"}, Refs: 8000},
+		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000,
+			Params: system.Params{L2TLBEntries: 128}},
+		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000},
+	}
+	results, err := (&Runner{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].Results, results[1].Results) {
+		t.Error("spec-name job differs from the equivalent base+overlay job")
+	}
+	if reflect.DeepEqual(results[0].Results, results[2].Results) {
+		t.Error("variant spec ran identically to the default Native (overlay not applied)")
+	}
+	// A job-level overlay on a variant spec wins field-by-field.
+	over := Job{System: "Native-HarnessTest-128TLB", Workloads: []string{"mcf"}, Refs: 8000,
+		Params: system.Params{L2TLBEntries: 2048}}
+	r2, err := (&Runner{Workers: 1}).Run([]Job{over,
+		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000,
+			Params: system.Params{L2TLBEntries: 2048}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2[0].Results, r2[1].Results) {
+		t.Error("job overlay did not override the spec's params")
+	}
+}
+
+// TestDefaultParamsAreByteIdentical asserts a zero overlay and an explicit
+// Table 1 overlay produce identical results — the compatibility guarantee
+// for the pre-registry job schema.
+func TestDefaultParamsAreByteIdentical(t *testing.T) {
+	jobs := []Job{
+		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 6000},
+		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 6000,
+			Params: system.DefaultParams()},
+	}
+	results, err := (&Runner{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(results[0].Results)
+	b, _ := json.Marshal(results[1].Results)
+	if string(a) != string(b) {
+		t.Errorf("explicit Table 1 params changed results:\nzero:    %s\nexplicit: %s", a, b)
+	}
+}
+
+// TestParamAxesFlag pins the CLI flag parsing: K/M/G suffixes only on
+// size/entry parameters, unknown names and repeats rejected.
+func TestParamAxesFlag(t *testing.T) {
+	a := ParamAxes{}
+	if err := a.Set("l2_tlb_entries=2K,512"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a["l2_tlb_entries"]; len(got) != 2 || got[0] != 2048 || got[1] != 512 {
+		t.Errorf("l2_tlb_entries = %v", got)
+	}
+	if err := a.Set("llc_size=16M"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a["llc_size"]; got[0] != 16<<20 {
+		t.Errorf("llc_size = %v", got)
+	}
+	if err := a.Set("l2_tlb_latency=8k"); err == nil {
+		t.Error("K suffix accepted on a cycle-count parameter")
+	}
+	if err := a.Set("no_such=1"); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+	if err := a.Set("llc_size=32M"); err == nil {
+		t.Error("repeated parameter accepted")
+	}
+	if err := a.Set("l2_tlb_ways"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	over, err := ParamAxes{"pwc_entries": {16}}.Overlay()
+	if err != nil || over.PWCEntries != 16 {
+		t.Errorf("Overlay = %+v, %v", over, err)
+	}
+	if _, err := (ParamAxes{"pwc_entries": {16, 32}}).Overlay(); err == nil {
+		t.Error("multi-valued axis accepted as a single-run overlay")
+	}
+}

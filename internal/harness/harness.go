@@ -1,15 +1,17 @@
 // Package harness orchestrates experiment runs. It turns declarative Job
-// specs — system kind, workload(s), reference count, seed, heterogeneous
-// memory and placement policy — into simulations executed across a bounded
-// worker pool, with results guaranteed identical to a serial run: every
-// job owns its own system.Machine, and aggregation is positional, so the
-// worker count only changes wall-clock time, never output.
+// specs — system spec name, parameter overlay, workload(s), reference
+// count, seed, heterogeneous memory and placement policy — into
+// simulations executed across a bounded worker pool, with results
+// guaranteed identical to a serial run: every job owns its own
+// system.Machine, and aggregation is positional, so the worker count only
+// changes wall-clock time, never output.
 //
 // The harness also provides an on-disk result cache (see Cache) keyed by a
 // hash of the job spec, so re-running a sweep only simulates what changed,
 // and grid-sweep expansion (see Grid) for design-space exploration over
-// (system × workload × seed). internal/exp, cmd/vbibench and cmd/vbisweep
-// all run on top of it; DESIGN.md describes the architecture.
+// (system × workload × seed × parameter axes × refs × hetero policy).
+// internal/exp, cmd/vbibench and cmd/vbisweep all run on top of it;
+// DESIGN.md describes the architecture.
 package harness
 
 import (
@@ -29,8 +31,10 @@ import (
 // would. Jobs are plain data: they marshal to canonical JSON, which is
 // what the result cache hashes.
 type Job struct {
-	// System is the system.Kind name (e.g. "VBI-Full"). Ignored for
-	// heterogeneous-memory jobs, which are always VBI-2 over two zones.
+	// System names a registered system spec (a built-in kind like
+	// "VBI-Full" or a registered variant like "Native-128TLB"; see
+	// system.Register). Must be empty for heterogeneous-memory jobs, which
+	// are always VBI-2 over two zones.
 	System string `json:"system,omitempty"`
 	// Workloads lists benchmark names: one element is a single-core run,
 	// several are a multiprogrammed run with one core per workload.
@@ -46,6 +50,10 @@ type Job struct {
 	// UniformTables forces fixed 4-level tables on VBI kinds (the §5.2
 	// ablation).
 	UniformTables bool `json:"uniform_tables,omitempty"`
+	// Params overlays tunable hardware/OS knobs on top of the resolved
+	// spec's parameters (the job wins field-by-field); zero fields keep
+	// the spec's values, and the spec's zero fields keep Table 1 defaults.
+	Params system.Params `json:"params,omitempty"`
 
 	// HeteroMem, when non-empty ("PCM-DRAM" or "TL-DRAM"), selects a
 	// heterogeneous-memory run under Policy ("Unaware", "VBI" or "IDEAL").
@@ -61,39 +69,6 @@ type Result struct {
 	Cached bool `json:"-"`
 }
 
-// ParseKind resolves a system name (case-insensitive) to its Kind.
-func ParseKind(name string) (system.Kind, error) {
-	for _, k := range system.Kinds() {
-		if strings.EqualFold(k.String(), name) {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("harness: unknown system %q", name)
-}
-
-// ParseHeteroMem resolves a heterogeneous-memory architecture name.
-func ParseHeteroMem(name string) (system.HeteroMem, error) {
-	for _, m := range []system.HeteroMem{system.HeteroPCMDRAM, system.HeteroTLDRAM} {
-		if strings.EqualFold(m.String(), name) {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("harness: unknown heterogeneous memory %q", name)
-}
-
-// ParsePolicy resolves a placement-policy name.
-func ParsePolicy(name string) (system.Policy, error) {
-	switch strings.ToLower(name) {
-	case "unaware", "hotness-unaware":
-		return system.PolicyUnaware, nil
-	case "vbi":
-		return system.PolicyVBI, nil
-	case "ideal":
-		return system.PolicyIdeal, nil
-	}
-	return 0, fmt.Errorf("harness: unknown policy %q", name)
-}
-
 // Validate checks the job without running it.
 func (j Job) Validate() error {
 	if len(j.Workloads) == 0 {
@@ -104,48 +79,61 @@ func (j Job) Validate() error {
 			return err
 		}
 	}
+	if err := j.Params.Validate(); err != nil {
+		return err
+	}
 	if j.HeteroMem != "" {
+		if j.System != "" {
+			return fmt.Errorf("harness: heterogeneous jobs are always VBI-2; System %q conflicts with HeteroMem %q",
+				j.System, j.HeteroMem)
+		}
 		if len(j.Workloads) != 1 {
 			return fmt.Errorf("harness: heterogeneous jobs are single-core")
 		}
-		if _, err := ParseHeteroMem(j.HeteroMem); err != nil {
+		if _, err := system.ParseHeteroMem(j.HeteroMem); err != nil {
 			return err
 		}
-		if _, err := ParsePolicy(j.Policy); err != nil {
+		if _, err := system.ParsePolicy(j.Policy); err != nil {
 			return err
 		}
 		return nil
 	}
-	_, err := ParseKind(j.System)
-	return err
+	spec, err := system.ResolveSpec(j.System)
+	if err != nil {
+		return err
+	}
+	return system.Overlay(spec.Params, j.Params).Validate()
 }
 
 // Describe returns a short label for progress lines.
 func (j Job) Describe() string {
 	apps := strings.Join(j.Workloads, "+")
+	name := j.System
 	if j.HeteroMem != "" {
-		return fmt.Sprintf("%s/%s/%s", j.HeteroMem, j.Policy, apps)
+		name = fmt.Sprintf("%s/%s", j.HeteroMem, j.Policy)
+	} else if j.UniformTables {
+		name += "(uniform)"
 	}
-	if j.UniformTables {
-		return fmt.Sprintf("%s(uniform)/%s", j.System, apps)
+	if !j.Params.IsZero() {
+		name = fmt.Sprintf("%s[%s]", name, j.Params)
 	}
-	return fmt.Sprintf("%s/%s", j.System, apps)
+	return fmt.Sprintf("%s/%s", name, apps)
 }
 
 // run executes the job on a freshly built machine.
 func (j Job) run() ([]system.RunResult, error) {
 	if j.HeteroMem != "" {
-		mem, err := ParseHeteroMem(j.HeteroMem)
+		mem, err := system.ParseHeteroMem(j.HeteroMem)
 		if err != nil {
 			return nil, err
 		}
-		pol, err := ParsePolicy(j.Policy)
+		pol, err := system.ParsePolicy(j.Policy)
 		if err != nil {
 			return nil, err
 		}
 		m, err := system.NewHetero(system.HeteroConfig{
 			Mem: mem, Policy: pol, Refs: j.Refs, Warmup: j.Warmup,
-			Seed: j.Seed}, workloads.MustGet(j.Workloads[0]))
+			Seed: j.Seed, Params: j.Params}, workloads.MustGet(j.Workloads[0]))
 		if err != nil {
 			return nil, err
 		}
@@ -156,14 +144,17 @@ func (j Job) run() ([]system.RunResult, error) {
 		return []system.RunResult{res}, nil
 	}
 
-	kind, err := ParseKind(j.System)
+	spec, err := system.ResolveSpec(j.System)
 	if err != nil {
 		return nil, err
 	}
-	cfg := system.Config{
-		Kind: kind, Refs: j.Refs, Warmup: j.Warmup, Seed: j.Seed,
-		Capacity: j.Capacity, UniformTables: j.UniformTables,
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
 	}
+	cfg.Refs, cfg.Warmup, cfg.Seed = j.Refs, j.Warmup, j.Seed
+	cfg.Capacity, cfg.UniformTables = j.Capacity, j.UniformTables
+	cfg.Params = system.Overlay(cfg.Params, j.Params)
 	if len(j.Workloads) > 1 {
 		var profs []trace.Profile
 		for _, w := range j.Workloads {

@@ -164,12 +164,21 @@ func TestJobKinds(t *testing.T) {
 // TestValidation asserts bad specs fail before any simulation.
 func TestValidation(t *testing.T) {
 	bad := []Job{
-		{System: "Native"}, // no workloads
+		{System: "Native"},                                     // no workloads
+		{Workloads: []string{"namd"}},                          // neither System nor HeteroMem
 		{System: "NotASystem", Workloads: []string{"namd"}},    // unknown system
 		{System: "Native", Workloads: []string{"nope"}},        // unknown workload
 		{Workloads: []string{"namd"}, HeteroMem: "XX-RAM"},     // unknown memory
 		{Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM"},   // missing policy
 		{Workloads: []string{"a", "b"}, HeteroMem: "PCM-DRAM"}, // hetero multicore
+		// A hetero job naming a System used to be silently ignored (the
+		// run is always VBI-2); it must now be a validation error.
+		{System: "Native", Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM", Policy: "VBI"},
+		// Geometry the cache/TLB constructors would panic on.
+		{System: "Native", Workloads: []string{"namd"},
+			Params: system.Params{L2TLBEntries: 100}},
+		{System: "Native", Workloads: []string{"namd"},
+			Params: system.Params{L1Size: 1000}},
 	}
 	for _, j := range bad {
 		if err := j.Validate(); err == nil {
@@ -185,27 +194,59 @@ func TestValidation(t *testing.T) {
 	if _, err := (Grid{Systems: []string{"Nope"}, Workloads: []string{"namd"}}).Jobs(); err == nil {
 		t.Error("grid with unknown system expanded")
 	}
+	if _, err := (Grid{Systems: []string{"Native"}, HeteroMems: []string{"PCM-DRAM"},
+		Workloads: []string{"namd"}}).Jobs(); err == nil {
+		t.Error("grid with both systems and hetero_mems expanded")
+	}
+	if _, err := (Grid{Systems: []string{"Native"}, Workloads: []string{"namd"},
+		Params: map[string][]int{"no_such_param": {1}}}).Jobs(); err == nil {
+		t.Error("grid with unknown parameter axis expanded")
+	}
+	// Duplicate axis entries would misalign Matrix rows against series.
+	if _, err := (Grid{Systems: []string{"Native"}, Workloads: []string{"namd", "namd"}}).Jobs(); err == nil {
+		t.Error("grid with a duplicate workload expanded")
+	}
+	if _, err := (Grid{Systems: []string{"Native", "Native"}, Workloads: []string{"namd"}}).Jobs(); err == nil {
+		t.Error("grid with a duplicate system expanded")
+	}
+	if _, err := (Grid{Systems: []string{"Native"}, Workloads: []string{"namd"},
+		Params: map[string][]int{"pwc_entries": {16, 16}}}).Jobs(); err == nil {
+		t.Error("grid with duplicate parameter-axis values expanded")
+	}
+	if _, err := (Grid{Systems: []string{"Native"}, Workloads: []string{"namd"},
+		Refs: 1000, RefsAxis: []int{2000}}).Jobs(); err == nil {
+		t.Error("grid with both refs and refs_axis expanded")
+	}
+	if err := ValidateMetric("watts"); err == nil {
+		t.Error("ValidateMetric accepted an unknown metric")
+	}
+	for _, m := range Metrics() {
+		if err := ValidateMetric(m); err != nil {
+			t.Errorf("ValidateMetric(%q): %v", m, err)
+		}
+	}
 }
 
-// TestParseKindRoundTrips pins the name resolution the CLIs depend on.
+// TestParseKindRoundTrips pins the name resolution the CLIs depend on
+// (now provided by the system spec registry).
 func TestParseKindRoundTrips(t *testing.T) {
 	kinds := system.Kinds()
 	if len(kinds) != 10 {
 		t.Fatalf("system.Kinds() returned %d kinds, want 10", len(kinds))
 	}
 	for _, k := range kinds {
-		got, err := ParseKind(k.String())
+		got, err := system.ParseKind(k.String())
 		if err != nil {
 			t.Errorf("ParseKind(%q): %v", k, err)
 		}
 		if got != k {
 			t.Errorf("ParseKind(%q) = %v", k, got)
 		}
-		if got, err := ParseKind(strings.ToLower(k.String())); err != nil || got != k {
+		if got, err := system.ParseKind(strings.ToLower(k.String())); err != nil || got != k {
 			t.Errorf("ParseKind is not case-insensitive for %q", k)
 		}
 	}
-	if _, err := ParseKind("Kind(99)"); err == nil {
+	if _, err := system.ParseKind("Kind(99)"); err == nil {
 		t.Error("ParseKind accepted a sentinel name")
 	}
 }

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"vbi/internal/system"
+)
+
+// The Write*List helpers render the registry-backed sections of the CLIs'
+// -list output, so vbisim and vbisweep cannot drift apart on spelling or
+// formatting.
+
+// WriteSpecList lists the registered system specs with their overlays.
+func WriteSpecList(w io.Writer) {
+	fmt.Fprintln(w, "systems (registered specs; base + parameter overlay):")
+	for _, s := range system.Specs() {
+		if s.Params.IsZero() {
+			fmt.Fprintf(w, "  %s\n", s.Name)
+		} else {
+			fmt.Fprintf(w, "  %-14s = %s[%s]\n", s.Name, s.Base, s.Params)
+		}
+	}
+}
+
+// WriteHeteroList lists the heterogeneous memories and placement policies.
+func WriteHeteroList(w io.Writer) {
+	fmt.Fprintln(w, "hetero memories (-hetero):")
+	for _, m := range system.HeteroMems() {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+	fmt.Fprintln(w, "policies:")
+	for _, p := range system.Policies() {
+		fmt.Fprintf(w, "  %s\n", p)
+	}
+}
+
+// WriteParamList lists every sweepable parameter with its Table 1 default.
+func WriteParamList(w io.Writer) {
+	fmt.Fprintln(w, "parameters (-param name=value[,value...]; default in parentheses):")
+	defaults := system.DefaultParams()
+	for _, name := range system.ParamNames() {
+		v, _ := defaults.Get(name)
+		fmt.Fprintf(w, "  %-20s (%d) %s\n", name, v, system.ParamDoc(name))
+	}
+}

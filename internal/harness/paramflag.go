@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vbi/internal/system"
+)
+
+// ParamAxes collects repeatable "-param name=v1,v2,..." CLI flags into
+// grid parameter axes. It implements flag.Value; the three CLIs share it
+// so parameter spelling and validation live in one place.
+type ParamAxes map[string][]int
+
+// String renders the axes deterministically (sorted by name).
+func (a ParamAxes) String() string {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		vals := make([]string, len(a[n]))
+		for i, v := range a[n] {
+			vals[i] = strconv.Itoa(v)
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", n, strings.Join(vals, ",")))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one "name=v1,v2,..." occurrence. Size- and entry-count
+// parameters (*_size, *_entries) accept K/M/G suffixes (powers of 1024);
+// cycle counts and the other knobs take plain integers, so a typo like
+// l2_tlb_latency=8k errors instead of silently meaning 8192 cycles.
+func (a ParamAxes) Set(s string) error {
+	name, list, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=v1,v2,... (see -list for names), got %q", s)
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if _, err := (system.Params{}).Get(name); err != nil {
+		return err
+	}
+	if _, dup := a[name]; dup {
+		return fmt.Errorf("parameter %q given twice", name)
+	}
+	suffixOK := strings.HasSuffix(name, "_size") || strings.HasSuffix(name, "_entries")
+	var vals []int
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		var v int
+		var err error
+		if suffixOK {
+			v, err = parseSize(p)
+		} else {
+			v, err = strconv.Atoi(p)
+		}
+		if err != nil {
+			return fmt.Errorf("parameter %s: bad value %q: %w", name, p, err)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return fmt.Errorf("parameter %q has no values", name)
+	}
+	a[name] = vals
+	return nil
+}
+
+// Overlay folds the axes into a single Params overlay; every axis must
+// hold exactly one value (the single-run CLIs use it).
+func (a ParamAxes) Overlay() (system.Params, error) {
+	var p system.Params
+	for name, vals := range a {
+		if len(vals) != 1 {
+			return system.Params{}, fmt.Errorf(
+				"parameter %s has %d values; a single run takes one", name, len(vals))
+		}
+		if err := p.Set(name, vals[0]); err != nil {
+			return system.Params{}, err
+		}
+	}
+	return p, nil
+}
+
+// parseSize parses an integer with an optional K/M/G binary suffix.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

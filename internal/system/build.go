@@ -11,8 +11,11 @@ import (
 // New builds a single-core machine for the configuration.
 func New(cfg Config, prof trace.Profile) (*Machine, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
 	mem := dram.NewUniform(cfg.Capacity)
-	llc := cache.New("LLC", LLCSize, LLCWays)
+	llc := cache.New("LLC", cfg.Params.LLCSize, cfg.Params.LLCWays)
 	runner, err := newRunner(cfg.Kind, prof, cfg, mem, llc, nil, nil)
 	if err != nil {
 		return nil, err

@@ -53,7 +53,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Table 1 parameters shared by every system.
+// Table 1 default parameters shared by every system. These are the values
+// a zero Params field resolves to; runs override individual knobs through
+// Config.Params (see params.go).
 const (
 	// Caches.
 	L1Size, L1Ways   = 32 << 10, 8
@@ -109,9 +111,13 @@ type Config struct {
 	// structures of §5.2, giving every VB a fixed 4-level table — the
 	// ablation isolating the flexible-structure benefit.
 	UniformTables bool
+	// Params overlays the tunable hardware/OS knobs; zero fields take the
+	// Table 1 defaults above.
+	Params Params
 }
 
 func (c Config) withDefaults() Config {
+	c.Params = c.Params.withDefaults()
 	if c.Refs == 0 {
 		c.Refs = 1_000_000
 	}

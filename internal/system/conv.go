@@ -54,19 +54,20 @@ type convCounters struct {
 
 func newConvRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, shared *cache.Hierarchy, share *convShared) (*convRunner, error) {
 	r := &convRunner{
-		coreKit: newCoreKit(prof, cfg.Seed, mem, llc, shared),
+		coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, shared),
 		kind:    kind,
 	}
+	p := r.p
 	geo := pagetable.Page4K
-	l1Entries := L1TLB4KEntries
+	l1Entries := p.L1TLB4KEntries
 	if kind == Native2M || kind == Virtual2M {
 		geo = pagetable.Page2M
-		l1Entries = L1TLB2MEntries
+		l1Entries = p.L1TLB2MEntries
 	}
 	r.pageShift = geo.PageShift
 	r.l1tlb = tlb.New("L1TLB", 1, l1Entries)
-	r.l2tlb = tlb.New("L2TLB", L2TLBEntries/L2TLBWays, L2TLBWays)
-	r.pwc = tlb.NewPWC("PWC", PWCEntries)
+	r.l2tlb = tlb.New("L2TLB", p.L2TLBEntries/p.L2TLBWays, p.L2TLBWays)
+	r.pwc = tlb.NewPWC("PWC", p.PWCEntries)
 
 	switch kind {
 	case Virtual, Virtual2M:
@@ -87,7 +88,7 @@ func newConvRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, 
 		// Hardware paging-structure caches cover the guest dimension in
 		// virtualized mode too; Virtual-2M's additional 2D PWC (footnote
 		// 4) is modelled by its host-dimension cache below.
-		r.guestPWC = tlb.NewPWC("gPWC", PWCEntries)
+		r.guestPWC = tlb.NewPWC("gPWC", p.PWCEntries)
 		for si, s := range prof.Structs {
 			base := vm.Mmap(s.Size)
 			r.bases = append(r.bases, base)
@@ -226,7 +227,7 @@ func (r *convRunner) translate(va uint64, at uint64) (uint64, phys.Addr, error) 
 	if base, ok := r.l1tlb.Lookup(key); ok {
 		return 0, phys.Addr(base) + offset, nil
 	}
-	t := uint64(L2TLBLatency)
+	t := uint64(r.p.L2TLBLatency)
 	if base, ok := r.l2tlb.Lookup(key); ok {
 		r.l1tlb.Insert(key, base)
 		return t, phys.Addr(base) + offset, nil
@@ -282,9 +283,9 @@ func (r *convRunner) touch(va uint64) (uint64, error) {
 		var t uint64
 		if fault {
 			r.c.faults++
-			t += GuestFaultCost
+			t += uint64(r.p.GuestFaultCost)
 		}
-		t += (r.vmHost.Stats.HostFaults - hostBefore) * HostFaultCost
+		t += (r.vmHost.Stats.HostFaults - hostBefore) * uint64(r.p.HostFaultCost)
 		return t, nil
 	}
 	fault, err := r.proc.Touch(va)
@@ -293,7 +294,7 @@ func (r *convRunner) touch(va uint64) (uint64, error) {
 	}
 	if fault {
 		r.c.faults++
-		return MinorFaultCost, nil
+		return uint64(r.p.MinorFaultCost), nil
 	}
 	return 0, nil
 }

@@ -27,7 +27,7 @@ type enigmaCounters struct {
 }
 
 func newEnigmaRunner(prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, sharedHier *cache.Hierarchy, shared *enigma.Enigma) (*enigmaRunner, error) {
-	r := &enigmaRunner{coreKit: newCoreKit(prof, cfg.Seed, mem, llc, sharedHier)}
+	r := &enigmaRunner{coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, sharedHier)}
 	if shared != nil {
 		r.eng = shared
 	} else {
@@ -79,7 +79,7 @@ func (r *enigmaRunner) access(op cpu.Op, at uint64) (uint64, error) {
 	if err != nil {
 		return t, err
 	}
-	lat := uint64(CTCLookupLat)
+	lat := uint64(r.p.CTCLookupLat)
 	cur := at + t + lat
 	if !ev.CTCHit {
 		r.c.ctcMisses++
@@ -87,7 +87,7 @@ func (r *enigmaRunner) access(op cpu.Op, at uint64) (uint64, error) {
 	}
 	if ev.Allocated {
 		r.c.pageAllocs++
-		cur += MCAllocCost
+		cur += uint64(r.p.MCAllocCost)
 	}
 	mcLat := cur - (at + t)
 	if mcLat > cache.DefaultLatencies.LLC {

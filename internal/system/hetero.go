@@ -72,12 +72,17 @@ type HeteroConfig struct {
 	// ChunkSize segments large structures into VBs of at most this size
 	// (default 64 MB), giving placement its granularity.
 	ChunkSize uint64
-	// EpochRefs is the migration-policy period (default 25k references;
-	// scaled to simulation length, see DESIGN.md).
+	// EpochRefs is the migration-policy period (default
+	// Params.HeteroEpochRefs, i.e. 25k references; scaled to simulation
+	// length, see DESIGN.md).
 	EpochRefs int
+	// Params overlays the tunable hardware/OS knobs, including the
+	// hetero-specific epoch length and migration amortization.
+	Params Params
 }
 
 func (c HeteroConfig) withDefaults() HeteroConfig {
+	c.Params = c.Params.withDefaults()
 	if c.Refs == 0 {
 		c.Refs = 1_000_000
 	}
@@ -91,7 +96,7 @@ func (c HeteroConfig) withDefaults() HeteroConfig {
 		c.ChunkSize = 16 << 20
 	}
 	if c.EpochRefs == 0 {
-		c.EpochRefs = 25_000
+		c.EpochRefs = c.Params.HeteroEpochRefs
 	}
 	return c
 }
@@ -137,6 +142,9 @@ type HeteroMachine struct {
 // NewHetero builds the machine.
 func NewHetero(hc HeteroConfig, prof trace.Profile) (*HeteroMachine, error) {
 	hc = hc.withDefaults()
+	if err := hc.Params.Validate(); err != nil {
+		return nil, err
+	}
 	var mem *dram.Memory
 	var fast, slow uint64
 	var names = []string{"fast", "slow"}
@@ -153,15 +161,15 @@ func NewHetero(hc HeteroConfig, prof trace.Profile) (*HeteroMachine, error) {
 	sys := core.NewSystem(m)
 	vbios := osmodel.NewVBIOS(sys)
 
-	llc := cache.New("LLC", LLCSize, LLCWays)
+	llc := cache.New("LLC", hc.Params.LLCSize, hc.Params.LLCWays)
 	r := &vbiRunner{
-		coreKit:   newCoreKit(prof, hc.Seed, mem, llc, nil),
-		kind:      VBI2,
-		nodeCache: tlb.New("MTLwalk", 1, PWCEntries),
-		sys:       sys,
-		vbios:     vbios,
-		chunk:     hc.ChunkSize,
+		coreKit: newCoreKit(prof, hc.Seed, hc.Params, mem, llc, nil),
+		kind:    VBI2,
+		sys:     sys,
+		vbios:   vbios,
+		chunk:   hc.ChunkSize,
 	}
+	r.nodeCache = tlb.New("MTLwalk", 1, r.p.PWCEntries)
 	r.vcore = core.NewCore(sys)
 	r.proc = vbios.CreateProcess()
 	r.vcore.SwitchClient(r.proc.Client)
@@ -395,6 +403,6 @@ func (h *HeteroMachine) migrationEpoch() {
 			}
 		}
 	}
-	h.runner.pendingPenalty += (moved / 64) * migPenalty / migAmortize
+	h.runner.pendingPenalty += (moved / 64) * migPenalty / uint64(h.cfg.Params.MigAmortize)
 	h.m.ResetAccessCounts()
 }

@@ -78,6 +78,9 @@ type coreKit struct {
 	gen  *trace.Generator
 	prof trace.Profile
 	mem  *dram.Memory
+	// p holds the fully resolved parameters (no zero fields) the runner's
+	// timing paths read.
+	p Params
 
 	// measurement snapshots
 	startCycles uint64
@@ -87,9 +90,10 @@ type coreKit struct {
 	dramStart   dram.Stats
 }
 
-func newCoreKit(prof trace.Profile, seed uint64, mem *dram.Memory, llc *cache.Cache, shared *cache.Hierarchy) *coreKit {
-	l1 := cache.New("L1", L1Size, L1Ways)
-	l2 := cache.New("L2", L2Size, L2Ways)
+func newCoreKit(prof trace.Profile, seed uint64, p Params, mem *dram.Memory, llc *cache.Cache, shared *cache.Hierarchy) *coreKit {
+	p = p.withDefaults()
+	l1 := cache.New("L1", p.L1Size, p.L1Ways)
+	l2 := cache.New("L2", p.L2Size, p.L2Ways)
 	var hier *cache.Hierarchy
 	if shared != nil {
 		hier = shared.ShareLLC(l1, l2)
@@ -102,6 +106,7 @@ func newCoreKit(prof trace.Profile, seed uint64, mem *dram.Memory, llc *cache.Ca
 		gen:  trace.NewGenerator(prof, seed),
 		prof: prof,
 		mem:  mem,
+		p:    p,
 	}
 }
 

@@ -19,11 +19,14 @@ type Multicore struct {
 // NewMulticore builds a machine with one core per profile.
 func NewMulticore(cfg Config, profs []trace.Profile) (*Multicore, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Capacity == 16<<30 {
 		cfg.Capacity = 32 << 30 // four residents need more physical memory
 	}
 	mem := dram.NewUniform(cfg.Capacity)
-	llc := cache.New("LLC", LLCSize, LLCWays)
+	llc := cache.New("LLC", cfg.Params.LLCSize, cfg.Params.LLCWays)
 	ss := &sharedState{}
 
 	m := &Multicore{cfg: cfg}

@@ -1,0 +1,147 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Spec is a named system configuration: a built-in base Kind plus a typed
+// parameter overlay. The ten evaluated kinds are pre-registered with empty
+// overlays; variants ("Native-128TLB") are registered declaratively with
+// Register and become resolvable everywhere a system name is accepted
+// (harness jobs, vbisweep/vbisim flags, grid configs). Spec is plain data
+// and round-trips through JSON.
+type Spec struct {
+	// Name resolves the spec in the registry (case-insensitive).
+	Name string `json:"name"`
+	// Base is the built-in Kind name the spec starts from.
+	Base string `json:"base"`
+	// Params overlays the tunable knobs; zero fields keep Table 1
+	// defaults.
+	Params Params `json:"params,omitempty"`
+}
+
+// Config resolves the spec into a runnable Config (base kind + params);
+// the caller fills the run-shape fields (refs, seed, ...).
+func (s Spec) Config() (Config, error) {
+	kind, err := ParseKind(s.Base)
+	if err != nil {
+		return Config{}, fmt.Errorf("system: spec %q: %w", s.Name, err)
+	}
+	return Config{Kind: kind, Params: s.Params}, nil
+}
+
+var specRegistry = struct {
+	sync.RWMutex
+	byName map[string]Spec // lowercased name -> spec
+	order  []string        // registration order, original spelling
+}{byName: map[string]Spec{}}
+
+func init() {
+	for _, k := range Kinds() {
+		if err := Register(Spec{Name: k.String(), Base: k.String()}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register adds a spec to the registry. The name must be new and the base
+// must resolve to a built-in kind; the overlay must validate.
+func Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("system: spec has no name")
+	}
+	if _, err := ParseKind(s.Base); err != nil {
+		return fmt.Errorf("system: spec %q: %w", s.Name, err)
+	}
+	if err := s.Params.Validate(); err != nil {
+		return fmt.Errorf("system: spec %q: %w", s.Name, err)
+	}
+	specRegistry.Lock()
+	defer specRegistry.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, dup := specRegistry.byName[key]; dup {
+		return fmt.Errorf("system: spec %q already registered", s.Name)
+	}
+	specRegistry.byName[key] = s
+	specRegistry.order = append(specRegistry.order, s.Name)
+	return nil
+}
+
+// LookupSpec resolves a registered spec by name (case-insensitive).
+func LookupSpec(name string) (Spec, bool) {
+	specRegistry.RLock()
+	defer specRegistry.RUnlock()
+	s, ok := specRegistry.byName[strings.ToLower(name)]
+	return s, ok
+}
+
+// ResolveSpec resolves a system name to its spec, with a suggestion list
+// on failure. Every name-accepting entry point (harness jobs, the CLIs)
+// funnels through it.
+func ResolveSpec(name string) (Spec, error) {
+	if s, ok := LookupSpec(name); ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("system: unknown system %q (known: %s)",
+		name, strings.Join(SpecNames(), ", "))
+}
+
+// Specs returns every registered spec in registration order (the ten
+// built-in kinds first).
+func Specs() []Spec {
+	specRegistry.RLock()
+	defer specRegistry.RUnlock()
+	out := make([]Spec, 0, len(specRegistry.order))
+	for _, name := range specRegistry.order {
+		out = append(out, specRegistry.byName[strings.ToLower(name)])
+	}
+	return out
+}
+
+// SpecNames returns every registered spec name in registration order.
+func SpecNames() []string {
+	specRegistry.RLock()
+	defer specRegistry.RUnlock()
+	return append([]string(nil), specRegistry.order...)
+}
+
+// ParseKind resolves a built-in kind name (case-insensitive).
+func ParseKind(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown kind %q", name)
+}
+
+// HeteroMems returns the heterogeneous-memory architectures of §7.3.
+func HeteroMems() []HeteroMem { return []HeteroMem{HeteroPCMDRAM, HeteroTLDRAM} }
+
+// ParseHeteroMem resolves a heterogeneous-memory architecture name.
+func ParseHeteroMem(name string) (HeteroMem, error) {
+	for _, m := range HeteroMems() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown heterogeneous memory %q", name)
+}
+
+// Policies returns the data-placement policies of §7.3.
+func Policies() []Policy { return []Policy{PolicyUnaware, PolicyVBI, PolicyIdeal} }
+
+// ParsePolicy resolves a placement-policy name.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "unaware", "hotness-unaware":
+		return PolicyUnaware, nil
+	case "vbi":
+		return PolicyVBI, nil
+	case "ideal":
+		return PolicyIdeal, nil
+	}
+	return 0, fmt.Errorf("system: unknown policy %q", name)
+}

@@ -1,0 +1,189 @@
+package system
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vbi/internal/workloads"
+)
+
+// TestBuiltinSpecsRegistered asserts the registry pre-registers every
+// evaluated kind, resolvable case-insensitively.
+func TestBuiltinSpecsRegistered(t *testing.T) {
+	specs := Specs()
+	if len(specs) < len(Kinds()) {
+		t.Fatalf("registry holds %d specs, want at least the %d kinds", len(specs), len(Kinds()))
+	}
+	for i, k := range Kinds() {
+		s := specs[i]
+		if s.Name != k.String() || s.Base != k.String() || !s.Params.IsZero() {
+			t.Errorf("built-in spec %d = %+v, want bare %q", i, s, k)
+		}
+		got, err := ResolveSpec(strings.ToUpper(k.String()))
+		if err != nil || got.Name != k.String() {
+			t.Errorf("ResolveSpec(%q) = %+v, %v", strings.ToUpper(k.String()), got, err)
+		}
+	}
+	if _, err := ResolveSpec("no-such-system"); err == nil ||
+		!strings.Contains(err.Error(), "Native") {
+		t.Errorf("ResolveSpec miss should list known specs, got %v", err)
+	}
+}
+
+// TestBuiltinSpecsRoundTripAndBuild: every registered built-in spec
+// marshals to JSON, unmarshals back identically, and builds a runnable
+// machine from its Config.
+func TestBuiltinSpecsRoundTripAndBuild(t *testing.T) {
+	prof := cacheFriendly()
+	for _, s := range Specs()[:len(Kinds())] {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", s.Name, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", s.Name, b, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Errorf("%s: round trip changed the spec: %+v -> %+v", s.Name, s, back)
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			t.Fatalf("%s: Config: %v", s.Name, err)
+		}
+		cfg.Refs, cfg.Warmup = 500, 200
+		m, err := New(cfg, prof)
+		if err != nil {
+			t.Fatalf("%s: New: %v", s.Name, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: Run: %v", s.Name, err)
+		}
+		if res.IPC <= 0 {
+			t.Errorf("%s: degenerate IPC %f", s.Name, res.IPC)
+		}
+	}
+}
+
+// TestRegisterVariant registers a declarative variant and exercises the
+// registry's error paths.
+func TestRegisterVariant(t *testing.T) {
+	v := Spec{Name: "Native-SpecTest-128TLB", Base: "Native",
+		Params: Params{L2TLBEntries: 128}}
+	if err := Register(v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResolveSpec("native-spectest-128tlb")
+	if err != nil || !reflect.DeepEqual(got, v) {
+		t.Errorf("ResolveSpec = %+v, %v", got, err)
+	}
+	if err := Register(v); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := Register(Spec{Name: "x", Base: "NotAKind"}); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if err := Register(Spec{Base: "Native"}); err == nil {
+		t.Error("nameless spec accepted")
+	}
+	if err := Register(Spec{Name: "bad-geom", Base: "Native",
+		Params: Params{L2TLBEntries: 100}}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	names := SpecNames()
+	found := false
+	for _, n := range names {
+		if n == v.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SpecNames() missing %q: %v", v.Name, names)
+	}
+}
+
+// TestParamsNameTable pins the name <-> field mapping.
+func TestParamsNameTable(t *testing.T) {
+	names := ParamNames()
+	if len(names) == 0 {
+		t.Fatal("no parameter names")
+	}
+	defaults := DefaultParams()
+	for _, n := range names {
+		v, err := defaults.Get(n)
+		if err != nil {
+			t.Errorf("Get(%q): %v", n, err)
+		}
+		if v == 0 {
+			t.Errorf("default for %q is zero; zero must mean 'default'", n)
+		}
+		if ParamDoc(n) == "" {
+			t.Errorf("parameter %q has no doc line", n)
+		}
+		var p Params
+		if err := p.Set(n, v+1); err != nil {
+			t.Errorf("Set(%q): %v", n, err)
+		}
+		if got, _ := p.Get(n); got != v+1 {
+			t.Errorf("Set/Get(%q) = %d, want %d", n, got, v+1)
+		}
+	}
+	var p Params
+	if err := p.Set("no_such_param", 1); err == nil {
+		t.Error("Set accepted an unknown name")
+	}
+	// DefaultParams must cover every field: overlaying it leaves nothing
+	// at zero, so withDefaults can never half-resolve.
+	if reflect.ValueOf(defaults).NumField() != len(paramFields) {
+		t.Errorf("Params has %d fields but the name table has %d entries",
+			reflect.ValueOf(defaults).NumField(), len(paramFields))
+	}
+}
+
+// TestOverlayPrecedence asserts field-by-field overlay semantics.
+func TestOverlayPrecedence(t *testing.T) {
+	base := Params{L2TLBEntries: 256, PWCEntries: 16}
+	over := Params{L2TLBEntries: 1024}
+	got := Overlay(base, over)
+	if got.L2TLBEntries != 1024 || got.PWCEntries != 16 {
+		t.Errorf("Overlay = %+v", got)
+	}
+	if !((Params{}).IsZero()) || base.IsZero() {
+		t.Error("IsZero broken")
+	}
+	if s := over.String(); s != "l2_tlb_entries=1024" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestParamsOverlayChangesBehavior is the satellite regression: halving
+// the L2 TLB on mcf must increase L2 TLB misses, and the default overlay
+// must reproduce the zero-overlay results byte-for-byte.
+func TestParamsOverlayChangesBehavior(t *testing.T) {
+	prof := workloads.MustGet("mcf")
+	run := func(p Params) RunResult {
+		t.Helper()
+		m, err := New(Config{Kind: Native, Refs: 12_000, Params: p}, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	def := run(Params{})
+	half := run(Params{L2TLBEntries: L2TLBEntries / 2})
+	if half.Extra["tlb.misses"] <= def.Extra["tlb.misses"] {
+		t.Errorf("halving the L2 TLB did not increase L2 TLB misses: %d -> %d",
+			def.Extra["tlb.misses"], half.Extra["tlb.misses"])
+	}
+	explicit := run(DefaultParams())
+	if !reflect.DeepEqual(def, explicit) {
+		t.Errorf("explicit Table 1 params differ from zero params:\n%+v\n%+v", def, explicit)
+	}
+}

@@ -92,10 +92,10 @@ func mtlConfigFor(kind Kind) mtl.Config {
 
 func newVBIRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, sharedHier *cache.Hierarchy, share *vbiShared) (*vbiRunner, error) {
 	r := &vbiRunner{
-		coreKit:   newCoreKit(prof, cfg.Seed, mem, llc, sharedHier),
-		kind:      kind,
-		nodeCache: tlb.New("MTLwalk", 1, PWCEntries),
+		coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, sharedHier),
+		kind:    kind,
 	}
+	r.nodeCache = tlb.New("MTLwalk", 1, r.p.PWCEntries)
 	if share != nil && share.sys != nil {
 		r.sys, r.vbios = share.sys, share.vbios
 	} else {
@@ -242,9 +242,9 @@ func (r *vbiRunner) access(op cpu.Op, at uint64) (uint64, error) {
 // but upper-level nodes hit the MC-side walk cache).
 func (r *vbiRunner) chargeMTL(ev mtl.Event, start uint64) (uint64, error) {
 	r.c.translations++
-	cur := start + MTLLookupMin
+	cur := start + uint64(r.p.MTLLookupMin)
 	if !ev.TLBL1Hit {
-		cur += L2TLBLatency
+		cur += uint64(r.p.L2TLBLatency)
 	}
 	if !ev.TLBL1Hit && !ev.TLBL2Hit {
 		r.c.mtlTLBMisses++
@@ -255,11 +255,11 @@ func (r *vbiRunner) chargeMTL(ev mtl.Event, start uint64) (uint64, error) {
 	cur = r.chargeWalk(ev.WalkAccesses, cur)
 	if ev.AllocatedRegion {
 		r.c.regionAllocs++
-		cur += MCAllocCost
+		cur += uint64(r.p.MCAllocCost)
 	}
 	if ev.OSFault {
 		r.c.osFaults++
-		cur += SwapFaultCost
+		cur += uint64(r.p.SwapFaultCost)
 	}
 	if ev.ZeroLine {
 		r.c.zeroLines++
@@ -278,7 +278,7 @@ func (r *vbiRunner) chargeWalk(accesses []phys.Addr, at uint64) uint64 {
 		if i < len(accesses)-1 {
 			node := uint64(a) >> 12
 			if _, ok := r.nodeCache.Lookup(node); ok {
-				cur += MTLCacheLat
+				cur += uint64(r.p.MTLCacheLat)
 				continue
 			}
 			r.nodeCache.Insert(node, 1)
