@@ -11,6 +11,7 @@
 package vbi
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -194,7 +195,7 @@ func BenchmarkHarnessWorkers(b *testing.B) {
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := (&harness.Runner{Workers: workers}).Run(jobs); err != nil {
+				if _, err := (&harness.Runner{Workers: workers}).Run(context.Background(), jobs); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,12 +7,14 @@
 //
 //	tracegen -workload mcf -n 1000000
 //	tracegen -workload milc -n 1000 -dump
+//	tracegen -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vbi/internal/trace"
 	"vbi/internal/workloads"
@@ -20,16 +22,26 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "mcf", "benchmark name")
+		workload = flag.String("workload", "mcf", "benchmark name (see -list)")
 		n        = flag.Int("n", 1_000_000, "references to generate")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		dump     = flag.Bool("dump", false, "dump raw references (struct, offset, W/R, dep) instead of a summary")
+		list     = flag.Bool("list", false, "list registered workload profiles")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, name := range workloads.Names() {
+			p := workloads.MustGet(name)
+			fmt.Printf("%-16s %5d MB  %2d structures\n", name, p.Footprint()>>20, len(p.Structs))
+		}
+		return
+	}
+
 	prof, err := workloads.Get(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		fmt.Fprintf(os.Stderr, "tracegen: %v\nvalid workloads: %s\n",
+			err, strings.Join(workloads.Names(), ", "))
 		os.Exit(1)
 	}
 	g := trace.NewGenerator(prof, *seed)

@@ -9,6 +9,7 @@
 //	vbibench -exp all -out results.txt -workers 8 -cache .vbicache
 //	vbibench -exp fig6 -json fig6.json -csv fig6.csv
 //	vbibench -exp fig6 -param l2_tlb_entries=1024   # figures under altered hardware
+//	vbibench -exp all -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"vbi/internal/dist"
 	"vbi/internal/exp"
 	"vbi/internal/harness"
 	"vbi/internal/stats"
@@ -35,6 +37,7 @@ func main() {
 		out     = flag.String("out", "", "also write results to this file")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache   = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		remote  = flag.String("remote", "", "comma-separated vbiworker endpoints host:port; shards every figure's batch across them")
 		jsonOut = flag.String("json", "", "write figure tables as JSON to this file")
 		csvOut  = flag.String("csv", "", "write figure tables as CSV to this file")
 		verbose = flag.Bool("v", false, "log every run")
@@ -72,6 +75,13 @@ func main() {
 		Params: overlay}
 	if *verbose {
 		o.Progress = os.Stderr
+	}
+	if *remote != "" {
+		coord := &dist.Coordinator{Endpoints: dist.SplitEndpoints(*remote), Progress: o.Progress}
+		if *cache != "" {
+			coord.Cache = &harness.Cache{Dir: *cache}
+		}
+		o.Executor = coord
 	}
 
 	figures := map[string]func(exp.Options) (*stats.Table, error){

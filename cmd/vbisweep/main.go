@@ -12,7 +12,15 @@
 //	vbisweep -systems VBI-Full -workloads mcf -refs 50000,100000,200000
 //	vbisweep -hetero PCM-DRAM -policies Unaware,VBI -workloads sphinx3 -param hetero_epoch_refs=10000,25000
 //	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
+//	vbisweep -config grid.json -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
+//	vbisweep -cache .vbicache -cache-stats
 //	vbisweep -list
+//
+// -remote shards the expanded job batch across vbiworker daemons
+// (internal/dist): results merge positionally and every completed shard
+// lands in -cache, so the matrix is byte-identical to a local run and an
+// interrupted sweep resumes incrementally. -cache-stats and -cache-prune
+// inspect and clean the cache directory without running anything.
 //
 // -param may repeat; each occurrence adds one axis and the grid expands
 // the cross product. Parameter names come from the system spec registry
@@ -26,12 +34,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"vbi/internal/dist"
 	"vbi/internal/harness"
 	"vbi/internal/workloads"
 )
@@ -48,6 +61,9 @@ func main() {
 		config     = flag.String("config", "", "JSON grid config (exclusive with the axis flags)")
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		remote     = flag.String("remote", "", "comma-separated vbiworker endpoints host:port; shards the sweep across them (empty = local pool)")
+		cacheStats = flag.Bool("cache-stats", false, "print entry/byte/version stats for -cache and exit")
+		cachePrune = flag.Bool("cache-prune", false, "delete -cache entries from other schema versions and exit")
 		metric     = flag.String("metric", harness.MetricIPC, "matrix metric: "+strings.Join(harness.Metrics(), " or "))
 		jsonOut    = flag.String("json", "", "write the matrix as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the matrix as CSV to this file")
@@ -59,6 +75,14 @@ func main() {
 
 	if *list {
 		printList()
+		return
+	}
+
+	if *cacheStats || *cachePrune {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-cache-stats/-cache-prune need -cache"))
+		}
+		maintainCache(&harness.Cache{Dir: *cacheDir}, *cachePrune)
 		return
 	}
 
@@ -133,8 +157,31 @@ func main() {
 	if *verbose {
 		runner.Progress = os.Stderr
 	}
+	var exec harness.Executor = runner
+	if *remote != "" {
+		coord := &dist.Coordinator{
+			Endpoints: dist.SplitEndpoints(*remote),
+			Cache:     runner.Cache,
+			Local:     runner,
+		}
+		if *verbose {
+			coord.Progress = os.Stderr
+		}
+		exec = coord
+	}
 
-	results, err := runner.Run(jobs)
+	// Ctrl-C stops feeding the pool (or sharding): in-flight jobs finish
+	// and cached results stay, so the next invocation resumes from there.
+	// Once cancelled the handler unregisters, so a second Ctrl-C kills the
+	// process instead of waiting out the in-flight simulations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	results, err := exec.Run(ctx, jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,6 +224,34 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// maintainCache implements -cache-stats and -cache-prune.
+func maintainCache(cache *harness.Cache, prune bool) {
+	if prune {
+		removed, err := cache.Prune(harness.Version)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pruned %d entries not matching %s\n", removed, harness.Version)
+	}
+	st, err := cache.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cache %s: %d entries, %d bytes\n", cache.Dir, st.Entries, st.Bytes)
+	versions := make([]string, 0, len(st.Versions))
+	for v := range st.Versions {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	for _, v := range versions {
+		note := ""
+		if v != harness.Version {
+			note = "  (stale: -cache-prune reclaims)"
+		}
+		fmt.Printf("  %-20s %d%s\n", v, st.Versions[v], note)
 	}
 }
 

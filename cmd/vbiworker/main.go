@@ -1,0 +1,65 @@
+// Command vbiworker serves harness job batches to a remote coordinator
+// (vbisweep -remote / vbibench -remote). It wraps the ordinary local
+// worker pool in the internal/dist HTTP protocol: POST /run takes a batch
+// of canonical job specs and returns positional results; GET /healthz
+// advertises the binary's harness version and pool width (the
+// coordinator's shard-planning weight). A worker whose version differs
+// from the coordinator's refuses every shard, so a stale binary can never
+// contribute results from a different timing model.
+//
+// Usage:
+//
+//	vbiworker -addr :9471
+//	vbiworker -addr 10.0.0.7:9471 -workers 16 -cache /var/tmp/vbicache -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vbi/internal/dist"
+	"vbi/internal/harness"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9471", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		verbose  = flag.Bool("v", false, "also log every individual run (shard activity is always logged)")
+	)
+	flag.Parse()
+
+	runner := &harness.Runner{Workers: *workers}
+	if *cacheDir != "" {
+		runner.Cache = &harness.Cache{Dir: *cacheDir}
+	}
+	w := &dist.Worker{Runner: runner, Log: os.Stderr}
+	if *verbose {
+		runner.Progress = os.Stderr
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: w.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Unregister the handler first so a second signal force-kills,
+		// then drop every connection: in-flight shards are abandoned (the
+		// coordinator requeues them) because a worker shutdown must never
+		// block on a long simulation.
+		stop()
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "vbiworker: %s listening on %s\n", harness.Version, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "vbiworker:", err)
+		os.Exit(1)
+	}
+}

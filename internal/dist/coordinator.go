@@ -1,0 +1,464 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vbi/internal/harness"
+)
+
+// Coordinator executes job batches by sharding them across remote Worker
+// endpoints. It implements harness.Executor, so every sweep front-end
+// that takes an executor can run distributed unchanged.
+//
+// Scheduling is work-pulling: the batch is cut into fixed-size shards of
+// job indices, and each live endpoint repeatedly pulls up to its
+// advertised worker count of shards per request, so faster and wider
+// workers naturally take more of the batch. A failed or timed-out
+// request requeues its shards for the survivors; an endpoint that fails
+// Retries consecutive times is dropped. Results merge positionally and
+// completed shards stream into Cache as they arrive, so the output is
+// byte-identical to a serial local run and an aborted sweep resumes
+// incrementally from the cache.
+type Coordinator struct {
+	// Endpoints lists workers as "host:port" (or full base URLs). Empty
+	// means local fallback: the batch runs on Local (or a default runner).
+	Endpoints []string
+	// Cache, when non-nil, serves jobs before any network traffic and
+	// stores every remote result, giving distributed sweeps the same
+	// incremental re-run behavior as local ones.
+	Cache *harness.Cache
+	// Local runs the batch when Endpoints is empty.
+	Local *harness.Runner
+	// ShardSize is the number of jobs per shard, the requeue granularity
+	// (<=0 = 4).
+	ShardSize int
+	// Timeout bounds one /run request (<=0 = 10m). It must cover a full
+	// shard's simulation time, not one job's.
+	Timeout time.Duration
+	// Retries is how many consecutive failures drop an endpoint (<=0 =
+	// default 2; 1 = drop on the first failure).
+	Retries int
+	// Progress, when non-nil, receives shard-level progress lines.
+	Progress io.Writer
+	// Client, when non-nil, overrides the HTTP client (tests).
+	Client *http.Client
+
+	mu sync.Mutex // guards Progress
+}
+
+var _ harness.Executor = (*Coordinator)(nil)
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Progress == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.Progress, format+"\n", args...)
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+func (c *Coordinator) shardSize() int {
+	if c.ShardSize <= 0 {
+		return 4
+	}
+	return c.ShardSize
+}
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 10 * time.Minute
+	}
+	return c.Timeout
+}
+
+func (c *Coordinator) retries() int {
+	if c.Retries <= 0 {
+		return 2
+	}
+	return c.Retries
+}
+
+// SplitEndpoints parses a comma-separated -remote flag value into an
+// endpoint list, dropping empty entries. Both CLIs use it so -remote
+// parsing cannot diverge between them.
+func SplitEndpoints(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// baseURL normalizes a configured endpoint to a scheme-qualified base.
+func baseURL(ep string) string {
+	if strings.Contains(ep, "://") {
+		return strings.TrimSuffix(ep, "/")
+	}
+	return "http://" + ep
+}
+
+// endpoint is a handshaken worker.
+type endpoint struct {
+	name   string // as configured, for messages
+	base   string
+	weight int // advertised pool width: shards pulled per round
+}
+
+// shardQueue holds unassigned shards (slices of job indices). Endpoints
+// pull from it and push failed shards back; order is irrelevant because
+// the merge is positional.
+type shardQueue struct {
+	mu     sync.Mutex
+	shards [][]int
+}
+
+func (q *shardQueue) push(shards ...[]int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.shards = append(q.shards, shards...)
+}
+
+// popUpTo removes and returns at most n shards.
+func (q *shardQueue) popUpTo(n int) [][]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n > len(q.shards) {
+		n = len(q.shards)
+	}
+	out := make([][]int, n)
+	copy(out, q.shards[:n])
+	q.shards = q.shards[n:]
+	return out
+}
+
+// Run implements harness.Executor. With no endpoints it delegates to the
+// local runner; otherwise it validates, serves what it can from Cache,
+// handshakes every endpoint, and dispatches the remaining jobs as shards.
+// The first fatal condition (version mismatch, every endpoint dead,
+// context cancelled) aborts the batch; already-completed shards remain in
+// Cache.
+func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Result, error) {
+	if len(c.Endpoints) == 0 {
+		r := c.Local
+		if r == nil {
+			r = &harness.Runner{Cache: c.Cache, Progress: c.Progress}
+		}
+		return r.Run(ctx, jobs)
+	}
+	// Fail fast before any network traffic, exactly like the local pool.
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d (%s): %w", i, j.Describe(), err)
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	// Cache pre-pass: only misses travel. A fully warmed sweep never
+	// contacts a worker at all.
+	results := make([]harness.Result, len(jobs))
+	var miss []int
+	for i, j := range jobs {
+		if c.Cache != nil {
+			if res, ok := c.Cache.Get(j); ok {
+				c.logf("  [cache] %s", j.Describe())
+				results[i] = harness.Result{Job: j, Results: res, Cached: true}
+				continue
+			}
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return results, nil
+	}
+
+	eps, err := c.handshake(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	q := &shardQueue{}
+	size := c.shardSize()
+	nshards := 0
+	for lo := 0; lo < len(miss); lo += size {
+		hi := lo + size
+		if hi > len(miss) {
+			hi = len(miss)
+		}
+		q.push(miss[lo:hi])
+		nshards++
+	}
+	c.logf("dist: %d jobs in %d shards across %d workers", len(miss), nshards, len(eps))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		remaining atomic.Int64
+		live      atomic.Int64
+		fatalMu   sync.Mutex
+		fatalErr  error
+	)
+	remaining.Store(int64(len(miss)))
+	live.Store(int64(len(eps)))
+	fail := func(err error) {
+		fatalMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		fatalMu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep endpoint) {
+			defer wg.Done()
+			c.serve(runCtx, ep, q, jobs, results, &remaining, &live, fail)
+		}(ep)
+	}
+	wg.Wait()
+
+	fatalMu.Lock()
+	err = fatalErr
+	fatalMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n := remaining.Load(); n != 0 {
+		return nil, fmt.Errorf("dist: %d jobs left unexecuted", n)
+	}
+	return results, nil
+}
+
+// handshake probes every configured endpoint. Unreachable endpoints are
+// dropped with a warning (the rest of the fleet absorbs their share); a
+// version mismatch is fatal for the whole run, because a stale worker
+// binary means the operator's fleet disagrees about the timing model and
+// silently excluding it would hide that. No endpoints left is fatal too:
+// distributed execution never silently degrades to local.
+func (c *Coordinator) handshake(ctx context.Context) ([]endpoint, error) {
+	// Probe concurrently: a fleet with a few unroutable hosts must not
+	// serialize their dial timeouts in front of the live workers.
+	hellos := make([]Hello, len(c.Endpoints))
+	errs := make([]error, len(c.Endpoints))
+	var wg sync.WaitGroup
+	for i, name := range c.Endpoints {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			hellos[i], errs[i] = c.hello(ctx, baseURL(name))
+		}(i, name)
+	}
+	wg.Wait()
+	// A cancelled batch is a cancellation, not a fleet of unreachable
+	// workers.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var eps []endpoint
+	for i, name := range c.Endpoints {
+		if errs[i] != nil {
+			c.logf("dist: dropping unreachable worker %s: %v", name, errs[i])
+			continue
+		}
+		h := hellos[i]
+		if h.Version != harness.Version {
+			return nil, fmt.Errorf("dist: worker %s runs %s, coordinator runs %s: refusing to mix timing models",
+				name, h.Version, harness.Version)
+		}
+		w := h.Workers
+		if w <= 0 {
+			w = 1
+		}
+		eps = append(eps, endpoint{name: name, base: baseURL(name), weight: w})
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("dist: no live workers among %s", strings.Join(c.Endpoints, ","))
+	}
+	return eps, nil
+}
+
+// hello fetches an endpoint's handshake, retrying briefly so a worker
+// still binding its socket (the loopback-smoke race) is not dropped.
+func (c *Coordinator) hello(ctx context.Context, base string) (Hello, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, 300*time.Millisecond); err != nil {
+				return Hello{}, err
+			}
+		}
+		h, err := c.helloOnce(ctx, base)
+		if err == nil {
+			return h, nil
+		}
+		lastErr = err
+	}
+	return Hello{}, lastErr
+}
+
+func (c *Coordinator) helloOnce(ctx context.Context, base string) (Hello, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+PathHealthz, nil)
+	if err != nil {
+		return Hello{}, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return Hello{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Hello{}, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	var h Hello
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Hello{}, fmt.Errorf("healthz: %w", err)
+	}
+	return h, nil
+}
+
+// serve is one endpoint's dispatch loop: pull up to weight shards, send
+// them as one request, merge or requeue.
+func (c *Coordinator) serve(ctx context.Context, ep endpoint, q *shardQueue,
+	jobs []harness.Job, results []harness.Result,
+	remaining, live *atomic.Int64, fail func(error)) {
+	consecutive := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		shards := q.popUpTo(ep.weight)
+		if len(shards) == 0 {
+			if remaining.Load() == 0 {
+				return
+			}
+			// Another endpoint holds the rest in flight; it may requeue.
+			if sleepCtx(ctx, 25*time.Millisecond) != nil {
+				return
+			}
+			continue
+		}
+		var indices []int
+		for _, s := range shards {
+			indices = append(indices, s...)
+		}
+		resp, fatal, err := c.runShard(ctx, ep, indices, jobs)
+		if fatal != nil {
+			q.push(shards...)
+			fail(fatal)
+			return
+		}
+		if err != nil {
+			q.push(shards...)
+			consecutive++
+			if consecutive >= c.retries() {
+				c.logf("dist: dropping worker %s after %d consecutive failures: %v", ep.name, consecutive, err)
+				if live.Add(-1) == 0 {
+					fail(fmt.Errorf("dist: every worker failed; last error from %s: %w", ep.name, err))
+				}
+				return
+			}
+			c.logf("dist: %s failed (attempt %d, %d jobs requeued): %v", ep.name, consecutive, len(indices), err)
+			if sleepCtx(ctx, time.Duration(consecutive)*100*time.Millisecond) != nil {
+				return
+			}
+			continue
+		}
+		consecutive = 0
+		for k, idx := range indices {
+			jr := resp.Results[k]
+			results[idx] = harness.Result{Job: jobs[idx], Results: jr.Results, Cached: jr.Cached}
+			if c.Cache != nil {
+				if err := c.Cache.Put(jobs[idx], jr.Results); err != nil {
+					fail(fmt.Errorf("cache put: %w", err))
+					return
+				}
+			}
+			remaining.Add(-1)
+		}
+		c.logf("dist: %s completed %d jobs (%d remaining)", ep.name, len(indices), remaining.Load())
+	}
+}
+
+// runShard sends one batch to one endpoint. The second return is a fatal
+// error (version mismatch: abort the run), the third a retryable one
+// (requeue the shards).
+func (c *Coordinator) runShard(ctx context.Context, ep endpoint, indices []int,
+	jobs []harness.Job) (RunResponse, error, error) {
+	batch := make([]harness.Job, len(indices))
+	for k, idx := range indices {
+		batch[k] = jobs[idx]
+	}
+	body, err := json.Marshal(RunRequest{Version: harness.Version, Jobs: batch})
+	if err != nil {
+		return RunResponse{}, nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep.base+PathRun, bytes.NewReader(body))
+	if err != nil {
+		return RunResponse{}, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return RunResponse{}, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		if resp.StatusCode == http.StatusPreconditionFailed {
+			return RunResponse{}, fmt.Errorf("dist: worker %s: %s", ep.name, eb.Error), nil
+		}
+		return RunResponse{}, nil, fmt.Errorf("run: %s: %s", resp.Status, eb.Error)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return RunResponse{}, nil, fmt.Errorf("run: decode: %w", err)
+	}
+	if len(rr.Results) != len(indices) {
+		return RunResponse{}, nil, fmt.Errorf("run: %d results for %d jobs", len(rr.Results), len(indices))
+	}
+	return rr, nil, nil
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,72 @@
+// Package dist shards harness job batches across machines. A
+// Coordinator implements harness.Executor by partitioning a batch into
+// shards and dispatching them over HTTP/JSON to Worker daemons
+// (cmd/vbiworker), each of which wraps an ordinary local harness.Runner
+// (own worker pool, own optional result cache).
+//
+// The design goal is the same determinism contract the local pool gives:
+// a distributed run is byte-identical to a serial local run. Two
+// mechanisms carry that guarantee across the network:
+//
+//   - Positional merge. Shards are sets of job indices; a shard's results
+//     land at those indices in the output slice, so scheduling, worker
+//     speed, retries and requeues cannot reorder anything.
+//   - Version handshake. Workers advertise the harness.Version baked into
+//     their binary, and every /run request repeats the coordinator's. A
+//     mismatch on either side aborts instead of degrading, so a stale
+//     worker binary can never contribute results from a different timing
+//     model or job schema.
+//
+// Failure handling is shard-granular: a failed or timed-out request
+// requeues its shard for the surviving endpoints, and completed shards
+// stream into the coordinator's on-disk cache as they arrive, so even an
+// aborted sweep resumes incrementally.
+package dist
+
+import (
+	"vbi/internal/harness"
+	"vbi/internal/system"
+)
+
+// URL paths of the worker protocol.
+const (
+	PathHealthz = "/healthz"
+	PathRun     = "/run"
+)
+
+// Hello is the handshake response served on /healthz. The coordinator
+// refuses endpoints whose Version differs from its own harness.Version
+// and uses Workers as the shard-planning weight.
+type Hello struct {
+	Service string `json:"service"` // always "vbiworker"
+	Version string `json:"version"` // harness.Version of the worker binary
+	Workers int    `json:"workers"` // local pool width
+}
+
+// RunRequest carries one shard: a batch of canonical harness job specs.
+// Version must equal the worker's harness.Version; it is re-checked on
+// every request (not just the handshake) so a worker binary swapped
+// mid-sweep cannot silently serve results from a different model.
+type RunRequest struct {
+	Version string        `json:"version"`
+	Jobs    []harness.Job `json:"jobs"`
+}
+
+// JobResult is one job's result on the wire, positionally aligned with
+// RunRequest.Jobs. (harness.Result repeats the job and strips the cached
+// flag from JSON; the wire format is positional and keeps the flag so
+// simulated-vs-cached accounting survives the hop.)
+type JobResult struct {
+	Results []system.RunResult `json:"results"`
+	Cached  bool               `json:"cached"`
+}
+
+// RunResponse answers a RunRequest.
+type RunResponse struct {
+	Results []JobResult `json:"results"`
+}
+
+// errorBody is the JSON body of every non-200 worker response.
+type errorBody struct {
+	Error string `json:"error"`
+}

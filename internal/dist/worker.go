@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"vbi/internal/harness"
+)
+
+// Worker serves harness job batches over the dist protocol. It wraps a
+// local harness.Runner: /run executes a shard through the runner's pool
+// (and cache, when configured) and returns positional results; /healthz
+// serves the version handshake. cmd/vbiworker is the daemon around it,
+// but any http server can mount Handler (the tests use httptest).
+type Worker struct {
+	// Runner executes the shards. A nil Runner means a default local pool
+	// (GOMAXPROCS workers, no cache).
+	Runner *harness.Runner
+	// Log, when non-nil, receives one line per request.
+	Log io.Writer
+
+	mu sync.Mutex // guards Log
+}
+
+// poolWidth is the worker count advertised in the handshake: the
+// runner's, defaulted the same way the runner itself defaults it.
+func (w *Worker) poolWidth() int {
+	n := 0
+	if w.Runner != nil {
+		n = w.Runner.Workers
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprintf(w.Log, format+"\n", args...)
+}
+
+// Handler returns the worker's HTTP handler, serving PathHealthz and
+// PathRun.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealthz, w.handleHealthz)
+	mux.HandleFunc(PathRun, w.handleRun)
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(v)
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(rw, http.StatusOK, Hello{
+		Service: "vbiworker",
+		Version: harness.Version,
+		Workers: w.poolWidth(),
+	})
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var rr RunRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	// The version gate: serving a shard under a different harness.Version
+	// would merge results from a different timing model or job schema into
+	// the coordinator's matrix. 412 tells the coordinator this is fatal,
+	// not retryable.
+	if rr.Version != harness.Version {
+		w.logf("dist: refused shard: coordinator is %s, worker is %s", rr.Version, harness.Version)
+		writeJSON(rw, http.StatusPreconditionFailed, errorBody{
+			Error: fmt.Sprintf("version mismatch: coordinator %s, worker %s", rr.Version, harness.Version)})
+		return
+	}
+	r := w.Runner
+	if r == nil {
+		r = &harness.Runner{}
+	}
+	// The request context cancels the shard when the coordinator hangs up
+	// (timeout, abort): in-flight jobs finish, queued jobs are skipped.
+	results, err := r.Run(req.Context(), rr.Jobs)
+	if err != nil {
+		w.logf("dist: shard of %d failed: %v", len(rr.Jobs), err)
+		writeJSON(rw, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	resp := RunResponse{Results: make([]JobResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = JobResult{Results: res.Results, Cached: res.Cached}
+	}
+	w.logf("dist: shard of %d done", len(rr.Jobs))
+	writeJSON(rw, http.StatusOK, resp)
+}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -39,6 +40,12 @@ type Options struct {
 	// experiment (vbibench -param), regenerating the figures under an
 	// altered configuration; zero fields keep Table 1 defaults.
 	Params system.Params
+	// Executor, when non-nil, replaces the local worker pool for every
+	// figure's job batch (vbibench -remote wires a dist.Coordinator here).
+	// When nil, a local harness.Runner is built from Workers/CacheDir/
+	// Progress. Positional aggregation makes the figures identical either
+	// way.
+	Executor harness.Executor
 }
 
 func (o Options) withDefaults() Options {
@@ -57,8 +64,12 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// runner builds the harness runner the figure functions share.
-func (o Options) runner() *harness.Runner {
+// exec returns the executor the figure functions share: the configured
+// Executor, or a local harness runner.
+func (o Options) exec() harness.Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
 	r := &harness.Runner{Workers: o.Workers, Progress: o.Progress}
 	if o.CacheDir != "" {
 		r.Cache = &harness.Cache{Dir: o.CacheDir}
@@ -92,7 +103,7 @@ func runSingles(o Options, keys []runKey) (map[runKey]system.RunResult, error) {
 			Params: o.Params,
 		}
 	}
-	results, err := o.runner().Run(jobs)
+	results, err := o.exec().Run(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +265,7 @@ func Fig8(o Options) (*stats.Table, error) {
 			})
 		}
 	}
-	results, err := o.runner().Run(jobs)
+	results, err := o.exec().Run(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +328,7 @@ func figHetero(mem system.HeteroMem, title, vbiLabel string, o Options) (*stats.
 			})
 		}
 	}
-	results, err := o.runner().Run(jobs)
+	results, err := o.exec().Run(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -120,9 +120,87 @@ func (c *Cache) Put(j Job, results []system.RunResult) error {
 	return os.Rename(tmp.Name(), c.path(c.Key(j)))
 }
 
-// Stats reports hits and misses since the Cache was created.
-func (c *Cache) Stats() (hits, misses int64) {
+// Counters reports in-process hits and misses since the Cache was
+// created. (Disk-wide occupancy is Stats.)
+func (c *Cache) Counters() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// CacheStats summarizes the on-disk contents of a cache directory.
+type CacheStats struct {
+	// Entries counts the entry files, readable or not.
+	Entries int `json:"entries"`
+	// Bytes is their total size.
+	Bytes int64 `json:"bytes"`
+	// Versions breaks Entries down by stored schema version; files that
+	// fail to parse count under "corrupt". Any key other than the current
+	// Version is dead weight — those entries can never hit again.
+	Versions map[string]int `json:"versions"`
+}
+
+// Stats scans the cache directory. A missing directory is an empty cache.
+func (c *Cache) Stats() (CacheStats, error) {
+	st := CacheStats{Versions: map[string]int{}}
+	err := c.scan(func(path string, size int64, version string) error {
+		st.Entries++
+		st.Bytes += size
+		st.Versions[version]++
+		return nil
+	})
+	return st, err
+}
+
+// Prune deletes every entry whose stored schema version differs from
+// keep (normally the current Version), including unreadable files —
+// neither can ever hit again. It returns the number of files removed.
+func (c *Cache) Prune(keep string) (int, error) {
+	removed := 0
+	err := c.scan(func(path string, size int64, version string) error {
+		if version == keep {
+			return nil
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		removed++
+		return nil
+	})
+	return removed, err
+}
+
+// scan visits every entry file with its size and stored version
+// ("corrupt" when the envelope does not parse).
+func (c *Cache) scan(visit func(path string, size int64, version string) error) error {
+	ents, err := os.ReadDir(c.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, de := range ents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(c.Dir, de.Name())
+		info, err := de.Info()
+		if err != nil {
+			return err
+		}
+		version := "corrupt"
+		if b, err := os.ReadFile(path); err == nil {
+			var e struct {
+				Version string `json:"version"`
+			}
+			if json.Unmarshal(b, &e) == nil && e.Version != "" {
+				version = e.Version
+			}
+		}
+		if err := visit(path, info.Size(), version); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Len counts the entries currently on disk.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -69,7 +70,7 @@ func TestParamSweepChangesResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := (&Runner{Workers: 2}).Run(jobs)
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRefsAxis(t *testing.T) {
 	if len(jobs) != 2 || jobs[0].Refs != 2000 || jobs[1].Refs != 4000 {
 		t.Fatalf("refs axis expanded wrong: %+v", jobs)
 	}
-	results, err := (&Runner{Workers: 2}).Run(jobs)
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestSpecNameJob(t *testing.T) {
 			Params: system.Params{L2TLBEntries: 128}},
 		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000},
 	}
-	results, err := (&Runner{Workers: 2}).Run(jobs)
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestSpecNameJob(t *testing.T) {
 	// A job-level overlay on a variant spec wins field-by-field.
 	over := Job{System: "Native-HarnessTest-128TLB", Workloads: []string{"mcf"}, Refs: 8000,
 		Params: system.Params{L2TLBEntries: 2048}}
-	r2, err := (&Runner{Workers: 1}).Run([]Job{over,
+	r2, err := (&Runner{Workers: 1}).Run(context.Background(), []Job{over,
 		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000,
 			Params: system.Params{L2TLBEntries: 2048}}})
 	if err != nil {
@@ -256,7 +257,7 @@ func TestDefaultParamsAreByteIdentical(t *testing.T) {
 		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 6000,
 			Params: system.DefaultParams()},
 	}
-	results, err := (&Runner{Workers: 2}).Run(jobs)
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,11 +10,14 @@
 // hash of the job spec, so re-running a sweep only simulates what changed,
 // and grid-sweep expansion (see Grid) for design-space exploration over
 // (system × workload × seed × parameter axes × refs × hetero policy).
+// Execution sits behind the Executor seam: *Runner is the local worker
+// pool, internal/dist's Coordinator shards batches across machines.
 // internal/exp, cmd/vbibench and cmd/vbisweep all run on top of it;
 // DESIGN.md describes the architecture.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -177,6 +180,15 @@ func (j Job) run() ([]system.RunResult, error) {
 	return []system.RunResult{res}, nil
 }
 
+// Executor runs batches of jobs. It is the seam between sweep front-ends
+// and execution backends: *Runner executes on the local worker pool,
+// dist.Coordinator shards the batch across remote vbiworker daemons.
+// Every implementation returns one Result per job, in job order, with
+// output independent of how the batch was scheduled.
+type Executor interface {
+	Run(ctx context.Context, jobs []Job) ([]Result, error)
+}
+
 // Runner executes batches of jobs over a worker pool.
 type Runner struct {
 	// Workers bounds concurrent simulations (<=0 = GOMAXPROCS).
@@ -199,12 +211,16 @@ func (r *Runner) logf(format string, args ...any) {
 	fmt.Fprintf(r.Progress, format+"\n", args...)
 }
 
+var _ Executor = (*Runner)(nil)
+
 // Run executes the jobs and returns one Result per job, in job order.
 // Execution order is unspecified (bounded by Workers), but because every
 // job builds its own machine and results are stored positionally, the
 // output is identical for any worker count. The first job error aborts the
-// batch.
-func (r *Runner) Run(jobs []Job) ([]Result, error) {
+// batch. Cancelling ctx stops the batch at job granularity: in-flight
+// simulations run to completion (and still land in the cache), queued jobs
+// are never started, and Run returns ctx.Err().
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	for i, j := range jobs {
 		if err := j.Validate(); err != nil {
 			return nil, fmt.Errorf("job %d (%s): %w", i, j.Describe(), err)
@@ -250,9 +266,19 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 	}
 feed:
 	for i := range jobs {
+		// Checked before the select too: when both a worker and Done are
+		// ready the select picks randomly, and a cancelled batch must not
+		// keep feeding.
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break feed
+		}
 		select {
 		case idx <- i:
 		case <-stop:
+			break feed
+		case <-ctx.Done():
+			fail(ctx.Err())
 			break feed
 		}
 	}

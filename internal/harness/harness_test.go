@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -25,11 +26,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := (&Runner{Workers: 1}).Run(jobs)
+	serial, err := (&Runner{Workers: 1}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := (&Runner{Workers: 8}).Run(jobs)
+	parallel, err := (&Runner{Workers: 8}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestCacheServesSecondRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	cache := &Cache{Dir: t.TempDir()}
-	first, err := (&Runner{Workers: 4, Cache: cache}).Run(jobs)
+	first, err := (&Runner{Workers: 4, Cache: cache}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestCacheServesSecondRun(t *testing.T) {
 		t.Errorf("cache holds %d entries (err=%v), want %d", n, err, len(jobs))
 	}
 
-	second, err := (&Runner{Workers: 4, Cache: cache}).Run(jobs)
+	second, err := (&Runner{Workers: 4, Cache: cache}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestJobKinds(t *testing.T) {
 		{System: "Native", Workloads: []string{"namd", "sjeng"}, Refs: 2_000},
 		{Workloads: []string{"namd"}, Refs: 5_000, HeteroMem: "TL-DRAM", Policy: "IDEAL"},
 	}
-	results, err := (&Runner{Workers: 2}).Run(jobs)
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestValidation(t *testing.T) {
 		if err := j.Validate(); err == nil {
 			t.Errorf("job %+v validated", j)
 		}
-		if _, err := (&Runner{}).Run([]Job{j}); err == nil {
+		if _, err := (&Runner{}).Run(context.Background(), []Job{j}); err == nil {
 			t.Errorf("runner accepted job %+v", j)
 		}
 	}
@@ -256,19 +257,19 @@ func TestRunnerProgress(t *testing.T) {
 	job := Job{System: "Native", Workloads: []string{"namd"}, Refs: 2_000}
 	cache := &Cache{Dir: t.TempDir()}
 	var cold, warm bytes.Buffer
-	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &cold}).Run([]Job{job}); err != nil {
+	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &cold}).Run(context.Background(), []Job{job}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(cold.String(), "[cache]") {
 		t.Errorf("cold run logged a cache hit: %q", cold.String())
 	}
-	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &warm}).Run([]Job{job}); err != nil {
+	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &warm}).Run(context.Background(), []Job{job}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(warm.String(), "[cache]") {
 		t.Errorf("warm run did not log a cache hit: %q", warm.String())
 	}
-	hits, misses := cache.Stats()
+	hits, misses := cache.Counters()
 	if hits != 1 || misses != 1 {
 		t.Errorf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
 	}
