@@ -11,8 +11,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -44,25 +46,41 @@ func main() {
 			err, strings.Join(workloads.Names(), ", "))
 		os.Exit(1)
 	}
-	g := trace.NewGenerator(prof, *seed)
 
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
 	if *dump {
-		for i := 0; i < *n; i++ {
-			r := g.Next()
-			rw := "R"
-			if r.Op.Write {
-				rw = "W"
-			}
-			dep := ""
-			if r.Op.Dep {
-				dep = " dep"
-			}
-			fmt.Printf("%s %#x %s gap=%d%s\n",
-				prof.Structs[r.StructIdx].Name, r.Offset, rw, r.Op.Gap, dep)
-		}
+		dumpTrace(w, prof, *seed, *n)
 		return
 	}
+	summarize(w, prof, *seed, *n)
+}
 
+// dumpTrace writes n raw references of the profile's seeded stream, one
+// per line. The output is a pure function of (profile, seed, n): trace
+// generation is deterministic, which is what makes every simulated system
+// see the identical reference stream (and what the determinism regression
+// test pins).
+func dumpTrace(w io.Writer, prof trace.Profile, seed uint64, n int) {
+	g := trace.NewGenerator(prof, seed)
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		rw := "R"
+		if r.Op.Write {
+			rw = "W"
+		}
+		dep := ""
+		if r.Op.Dep {
+			dep = " dep"
+		}
+		fmt.Fprintf(w, "%s %#x %s gap=%d%s\n",
+			prof.Structs[r.StructIdx].Name, r.Offset, rw, r.Op.Gap, dep)
+	}
+}
+
+// summarize writes the per-structure character summary of n references.
+func summarize(w io.Writer, prof trace.Profile, seed uint64, n int) {
+	g := trace.NewGenerator(prof, seed)
 	type sstat struct {
 		refs   int
 		writes int
@@ -76,7 +94,7 @@ func main() {
 		perStruct[i].lines = make(map[uint64]bool)
 	}
 	var gapTotal uint64
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		r := g.Next()
 		st := &perStruct[r.StructIdx]
 		st.refs++
@@ -91,20 +109,20 @@ func main() {
 		gapTotal += uint64(r.Op.Gap)
 	}
 
-	fmt.Printf("workload:  %s (%d MB footprint, %d structures)\n",
+	fmt.Fprintf(w, "workload:  %s (%d MB footprint, %d structures)\n",
 		prof.Name, prof.Footprint()>>20, len(prof.Structs))
-	fmt.Printf("refs:      %d  (%.0f per 1000 instrs)\n", *n,
-		float64(*n)*1000/float64(uint64(*n)+gapTotal))
-	fmt.Printf("%-16s %8s %7s %7s %10s %10s %9s\n",
+	fmt.Fprintf(w, "refs:      %d  (%.0f per 1000 instrs)\n", n,
+		float64(n)*1000/float64(uint64(n)+gapTotal))
+	fmt.Fprintf(w, "%-16s %8s %7s %7s %10s %10s %9s\n",
 		"structure", "share", "writes", "deps", "pages", "lines", "size")
 	for i, s := range prof.Structs {
 		st := perStruct[i]
 		if st.refs == 0 {
 			continue
 		}
-		fmt.Printf("%-16s %7.1f%% %6.1f%% %6.1f%% %10d %10d %6d MB\n",
+		fmt.Fprintf(w, "%-16s %7.1f%% %6.1f%% %6.1f%% %10d %10d %6d MB\n",
 			s.Name,
-			100*float64(st.refs)/float64(*n),
+			100*float64(st.refs)/float64(n),
 			100*float64(st.writes)/float64(st.refs),
 			100*float64(st.deps)/float64(st.refs),
 			len(st.pages), len(st.lines), s.Size>>20)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"vbi/internal/workloads"
+)
+
+// TestDumpDeterministic is the tracegen determinism regression: two
+// invocations with the same -workload and -seed must emit byte-identical
+// trace dumps. Every simulated system replays the same profile stream, so
+// any nondeterminism here would silently break the harness's
+// byte-identical-results contract (and the result cache) one layer down.
+func TestDumpDeterministic(t *testing.T) {
+	for _, name := range []string{"mcf", "graph500"} {
+		prof := workloads.MustGet(name)
+		for _, seed := range []uint64{1, 7} {
+			var a, b bytes.Buffer
+			dumpTrace(&a, prof, seed, 20_000)
+			dumpTrace(&b, prof, seed, 20_000)
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("%s seed %d: two dumps of the same stream differ", name, seed)
+			}
+			if a.Len() == 0 {
+				t.Errorf("%s seed %d: empty dump", name, seed)
+			}
+		}
+		// Different seeds must give different streams — otherwise the
+		// seeds axis of a sweep would be six copies of one column.
+		var s1, s2 bytes.Buffer
+		dumpTrace(&s1, prof, 1, 20_000)
+		dumpTrace(&s2, prof, 2, 20_000)
+		if bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Errorf("%s: seeds 1 and 2 emitted identical streams", name)
+		}
+	}
+}
+
+// TestSummaryDeterministic pins the summary path the same way: identical
+// (workload, seed, n) must render identical bytes.
+func TestSummaryDeterministic(t *testing.T) {
+	prof := workloads.MustGet("sphinx3")
+	var a, b bytes.Buffer
+	summarize(&a, prof, 3, 20_000)
+	summarize(&b, prof, 3, 20_000)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two summaries of the same stream differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

@@ -10,16 +10,20 @@
 //	vbibench -exp fig6 -json fig6.json -csv fig6.csv
 //	vbibench -exp fig6 -param l2_tlb_entries=1024   # figures under altered hardware
 //	vbibench -exp all -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
+//	vbibench -exp all -fleet :9600 -auth-token secret -cache .vbicache
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"vbi/internal/dist"
@@ -38,6 +42,8 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cache   = flag.String("cache", "", "result-cache directory (empty = no cache)")
 		remote  = flag.String("remote", "", "comma-separated vbiworker endpoints host:port; shards every figure's batch across them")
+		fleet   = flag.String("fleet", "", "listen address for dynamic worker registration (vbiworker -join); may combine with -remote")
+		authTok = flag.String("auth-token", "", "shared fleet token for -remote/-fleet (default $"+dist.AuthEnv+")")
 		jsonOut = flag.String("json", "", "write figure tables as JSON to this file")
 		csvOut  = flag.String("csv", "", "write figure tables as CSV to this file")
 		verbose = flag.Bool("v", false, "log every run")
@@ -71,15 +77,37 @@ func main() {
 	// static tables run.
 	exported := []namedTable{}
 
+	// Ctrl-C stops the current figure at job (or shard) granularity:
+	// completed work stays cached, so the next invocation resumes there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	o := exp.Options{Refs: *refs, Seed: *seed, Workers: *workers, CacheDir: *cache,
-		Params: overlay}
+		Params: overlay, Context: ctx}
 	if *verbose {
 		o.Progress = os.Stderr
 	}
-	if *remote != "" {
-		coord := &dist.Coordinator{Endpoints: dist.SplitEndpoints(*remote), Progress: o.Progress}
+	if *remote != "" || *fleet != "" {
+		token := dist.ResolveToken(*authTok)
+		coord := &dist.Coordinator{Endpoints: dist.SplitEndpoints(*remote),
+			AuthToken: token, Progress: o.Progress}
 		if *cache != "" {
 			coord.Cache = &harness.Cache{Dir: *cache}
+		}
+		// Local fallback mirrors vbisweep: an effectively empty -remote
+		// (e.g. ",") still honors -workers/-cache instead of a default pool.
+		coord.Local = &harness.Runner{Workers: *workers, Cache: coord.Cache, Progress: o.Progress}
+		if *fleet != "" {
+			reg, closer, err := dist.ServeFleet(*fleet, token, "vbibench", os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			defer closer.Close()
+			coord.Fleet = reg
 		}
 		o.Executor = coord
 	}

@@ -13,14 +13,19 @@
 //	vbisweep -hetero PCM-DRAM -policies Unaware,VBI -workloads sphinx3 -param hetero_epoch_refs=10000,25000
 //	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
 //	vbisweep -config grid.json -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
+//	vbisweep -config grid.json -fleet :9600 -auth-token secret -cache .vbicache
 //	vbisweep -cache .vbicache -cache-stats
 //	vbisweep -list
 //
 // -remote shards the expanded job batch across vbiworker daemons
 // (internal/dist): results merge positionally and every completed shard
 // lands in -cache, so the matrix is byte-identical to a local run and an
-// interrupted sweep resumes incrementally. -cache-stats and -cache-prune
-// inspect and clean the cache directory without running anything.
+// interrupted sweep resumes incrementally. -fleet instead (or as well)
+// listens for workers: vbiworker -join daemons register and heartbeat
+// there, may join mid-sweep, and are evicted (their shards requeued) when
+// their heartbeats stop. -auth-token (or $VBI_AUTH_TOKEN) authenticates
+// both directions. -cache-stats and -cache-prune inspect and clean the
+// cache directory without running anything.
 //
 // -param may repeat; each occurrence adds one axis and the grid expands
 // the cross product. Parameter names come from the system spec registry
@@ -62,6 +67,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache", "", "result-cache directory (empty = no cache)")
 		remote     = flag.String("remote", "", "comma-separated vbiworker endpoints host:port; shards the sweep across them (empty = local pool)")
+		fleet      = flag.String("fleet", "", "listen address for dynamic worker registration (vbiworker -join); may combine with -remote")
+		authToken  = flag.String("auth-token", "", "shared fleet token for -remote/-fleet (default $"+dist.AuthEnv+")")
 		cacheStats = flag.Bool("cache-stats", false, "print entry/byte/version stats for -cache and exit")
 		cachePrune = flag.Bool("cache-prune", false, "delete -cache entries from other schema versions and exit")
 		metric     = flag.String("metric", harness.MetricIPC, "matrix metric: "+strings.Join(harness.Metrics(), " or "))
@@ -158,14 +165,24 @@ func main() {
 		runner.Progress = os.Stderr
 	}
 	var exec harness.Executor = runner
-	if *remote != "" {
+	if *remote != "" || *fleet != "" {
+		token := dist.ResolveToken(*authToken)
 		coord := &dist.Coordinator{
 			Endpoints: dist.SplitEndpoints(*remote),
+			AuthToken: token,
 			Cache:     runner.Cache,
 			Local:     runner,
 		}
 		if *verbose {
 			coord.Progress = os.Stderr
+		}
+		if *fleet != "" {
+			reg, closer, err := dist.ServeFleet(*fleet, token, "vbisweep", os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+			defer closer.Close()
+			coord.Fleet = reg
 		}
 		exec = coord
 	}

@@ -1,16 +1,23 @@
 // Command vbiworker serves harness job batches to a remote coordinator
-// (vbisweep -remote / vbibench -remote). It wraps the ordinary local
-// worker pool in the internal/dist HTTP protocol: POST /run takes a batch
-// of canonical job specs and returns positional results; GET /healthz
-// advertises the binary's harness version and pool width (the
-// coordinator's shard-planning weight). A worker whose version differs
-// from the coordinator's refuses every shard, so a stale binary can never
-// contribute results from a different timing model.
+// (vbisweep -remote / -fleet, vbibench -remote / -fleet). It wraps the
+// ordinary local worker pool in the internal/dist HTTP protocol: POST
+// /run takes a batch of canonical job specs and returns positional
+// results; GET /healthz advertises the binary's harness version and pool
+// width (the coordinator's shard-planning weight). A worker whose version
+// differs from the coordinator's refuses every shard, so a stale binary
+// can never contribute results from a different timing model.
+//
+// With -join the worker also registers itself against a coordinator's
+// fleet listener and heartbeats there, so it can join a sweep already in
+// flight and rejoin after a restart; without -join it only serves the
+// static -remote path. -auth-token (or $VBI_AUTH_TOKEN) gates the
+// worker's own endpoints and authenticates its registrations.
 //
 // Usage:
 //
 //	vbiworker -addr :9471
 //	vbiworker -addr 10.0.0.7:9471 -workers 16 -cache /var/tmp/vbicache -v
+//	vbiworker -addr :9471 -join 10.0.0.1:9600 -auth-token secret
 package main
 
 import (
@@ -28,18 +35,26 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":9471", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache", "", "result-cache directory (empty = no cache)")
-		verbose  = flag.Bool("v", false, "also log every individual run (shard activity is always logged)")
+		addr      = flag.String("addr", ":9471", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", "", "result-cache directory (empty = no cache)")
+		join      = flag.String("join", "", "coordinator fleet address (vbisweep -fleet) to register with and heartbeat")
+		advertise = flag.String("advertise", "", "address advertised on -join for shard requests (default -addr; an empty host is filled in by the coordinator)")
+		authToken = flag.String("auth-token", "", "shared fleet token gating this worker's endpoints and sent on -join (default $"+dist.AuthEnv+")")
+		verbose   = flag.Bool("v", false, "also log every individual run (shard activity is always logged)")
 	)
 	flag.Parse()
+	token := dist.ResolveToken(*authToken)
+
+	if token == "" && dist.NonLoopbackBind(*addr) {
+		fmt.Fprintf(os.Stderr, "vbiworker: warning: %s is reachable beyond loopback with no -auth-token; any host can submit shards\n", *addr)
+	}
 
 	runner := &harness.Runner{Workers: *workers}
 	if *cacheDir != "" {
 		runner.Cache = &harness.Cache{Dir: *cacheDir}
 	}
-	w := &dist.Worker{Runner: runner, Log: os.Stderr}
+	w := &dist.Worker{Runner: runner, AuthToken: token, Log: os.Stderr}
 	if *verbose {
 		runner.Progress = os.Stderr
 	}
@@ -56,6 +71,29 @@ func main() {
 		stop()
 		srv.Close()
 	}()
+
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = *addr
+		}
+		j := &dist.Joiner{
+			Coordinator: *join,
+			Advertise:   adv,
+			Workers:     w.PoolWidth(),
+			AuthToken:   token,
+			Log:         os.Stderr,
+		}
+		go func() {
+			if err := j.Run(ctx); err != nil {
+				// A 401/412 rejection is operator error; surface it and die
+				// instead of serving a fleet that will never use us.
+				fmt.Fprintln(os.Stderr, "vbiworker:", err)
+				srv.Close()
+				os.Exit(1)
+			}
+		}()
+	}
 
 	fmt.Fprintf(os.Stderr, "vbiworker: %s listening on %s\n", harness.Version, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

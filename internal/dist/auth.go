@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"crypto/subtle"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// AuthEnv is the environment variable both CLIs fall back to when
+// -auth-token is not given, so a fleet-wide token can live in the
+// environment instead of on process command lines.
+const AuthEnv = "VBI_AUTH_TOKEN"
+
+// ResolveToken returns the -auth-token flag value, or $VBI_AUTH_TOKEN when
+// the flag is empty.
+func ResolveToken(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	return os.Getenv(AuthEnv)
+}
+
+// setAuth attaches the shared fleet token to an outgoing request.
+func setAuth(req *http.Request, token string) {
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+}
+
+// checkAuth reports whether a request carries the shared token as a
+// bearer credential (the scheme is required — a malformed header is a
+// 401, not a second accepted form). The token comparison is
+// constant-time so the token cannot be guessed byte by byte from
+// response timing. An empty configured token means auth is off.
+func checkAuth(token string, req *http.Request) bool {
+	if token == "" {
+		return true
+	}
+	const scheme = "Bearer "
+	h := req.Header.Get("Authorization")
+	if !strings.HasPrefix(h, scheme) {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(h[len(scheme):]), []byte(token)) == 1
+}
+
+// requireAuth wraps a handler with the shared-token gate: when token is
+// non-empty, every request without the exact bearer token gets 401. Both
+// sides of the protocol are gated — the worker's /healthz and /run, and
+// the coordinator's /register — so neither an unauthenticated coordinator
+// can hand shards to a fleet nor an unauthenticated host can join one.
+func requireAuth(token string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if !checkAuth(token, req) {
+			writeJSON(rw, http.StatusUnauthorized, errorBody{Error: "missing or wrong auth token"})
+			return
+		}
+		next.ServeHTTP(rw, req)
+	})
+}
+
+// NonLoopbackBind reports whether a listen address accepts connections
+// from beyond the loopback interface. The CLIs use it to warn when a
+// worker or fleet listener is reachable from the network without an auth
+// token configured.
+func NonLoopbackBind(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr
+	}
+	if host == "" {
+		return true // ":9471" binds every interface
+	}
+	if host == "localhost" {
+		return false
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return true // a hostname: assume routable
+	}
+	return !ip.IsLoopback()
+}

@@ -19,24 +19,42 @@ import (
 // endpoints. It implements harness.Executor, so every sweep front-end
 // that takes an executor can run distributed unchanged.
 //
+// The fleet can be static, dynamic, or both. Endpoints lists workers
+// known up front (the -remote flag); they are handshaken and
+// pre-registered. Fleet, when non-nil, is a membership registry whose
+// /register endpoint the coordinator's front-end serves (-fleet): workers
+// join and leave while the sweep runs, a joiner immediately starts
+// pulling queued shards, and a worker that dies — detected by request
+// failure or missed heartbeats — has its in-flight shards requeued for
+// the survivors.
+//
 // Scheduling is work-pulling: the batch is cut into fixed-size shards of
-// job indices, and each live endpoint repeatedly pulls up to its
-// advertised worker count of shards per request, so faster and wider
-// workers naturally take more of the batch. A failed or timed-out
-// request requeues its shards for the survivors; an endpoint that fails
-// Retries consecutive times is dropped. Results merge positionally and
-// completed shards stream into Cache as they arrive, so the output is
-// byte-identical to a serial local run and an aborted sweep resumes
-// incrementally from the cache.
+// job indices, and each live member repeatedly pulls up to its advertised
+// worker count of shards per request, so faster and wider workers
+// naturally take more of the batch. A member that fails Retries
+// consecutive times is dropped (and, for dynamic members, quarantined in
+// the registry). Results merge positionally and completed shards stream
+// into Cache as they arrive, so the output is byte-identical to a serial
+// local run regardless of membership history, and an aborted sweep
+// resumes incrementally.
 type Coordinator struct {
-	// Endpoints lists workers as "host:port" (or full base URLs). Empty
-	// means local fallback: the batch runs on Local (or a default runner).
+	// Endpoints lists workers as "host:port" (or full base URLs), known up
+	// front. With no Endpoints and no Fleet, the batch runs on Local (or a
+	// default runner).
 	Endpoints []string
+	// Fleet, when non-nil, supplies dynamically joining workers. The
+	// front-end mounts Fleet.Handler() on a listener; the coordinator only
+	// reads membership. A sweep with a dynamic fleet and no live workers
+	// waits for a join instead of failing.
+	Fleet *Registry
+	// AuthToken, when non-empty, is sent (bearer) on every worker request.
+	// It must match the workers' configured token.
+	AuthToken string
 	// Cache, when non-nil, serves jobs before any network traffic and
 	// stores every remote result, giving distributed sweeps the same
 	// incremental re-run behavior as local ones.
 	Cache *harness.Cache
-	// Local runs the batch when Endpoints is empty.
+	// Local runs the batch when no endpoints or fleet are configured.
 	Local *harness.Runner
 	// ShardSize is the number of jobs per shard, the requeue granularity
 	// (<=0 = 4).
@@ -47,6 +65,9 @@ type Coordinator struct {
 	// Retries is how many consecutive failures drop an endpoint (<=0 =
 	// default 2; 1 = drop on the first failure).
 	Retries int
+	// PollInterval is the membership-churn poll cadence: how often the
+	// scheduler looks for joined, evicted or failed members (<=0 = 250ms).
+	PollInterval time.Duration
 	// Progress, when non-nil, receives shard-level progress lines.
 	Progress io.Writer
 	// Client, when non-nil, overrides the HTTP client (tests).
@@ -94,6 +115,13 @@ func (c *Coordinator) retries() int {
 	return c.Retries
 }
 
+func (c *Coordinator) pollInterval() time.Duration {
+	if c.PollInterval <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.PollInterval
+}
+
 // SplitEndpoints parses a comma-separated -remote flag value into an
 // endpoint list, dropping empty entries. Both CLIs use it so -remote
 // parsing cannot diverge between them.
@@ -115,14 +143,7 @@ func baseURL(ep string) string {
 	return "http://" + ep
 }
 
-// endpoint is a handshaken worker.
-type endpoint struct {
-	name   string // as configured, for messages
-	base   string
-	weight int // advertised pool width: shards pulled per round
-}
-
-// shardQueue holds unassigned shards (slices of job indices). Endpoints
+// shardQueue holds unassigned shards (slices of job indices). Members
 // pull from it and push failed shards back; order is irrelevant because
 // the merge is positional.
 type shardQueue struct {
@@ -149,14 +170,15 @@ func (q *shardQueue) popUpTo(n int) [][]int {
 	return out
 }
 
-// Run implements harness.Executor. With no endpoints it delegates to the
-// local runner; otherwise it validates, serves what it can from Cache,
-// handshakes every endpoint, and dispatches the remaining jobs as shards.
-// The first fatal condition (version mismatch, every endpoint dead,
-// context cancelled) aborts the batch; already-completed shards remain in
-// Cache.
+// Run implements harness.Executor. With no endpoints and no fleet it
+// delegates to the local runner; otherwise it validates, serves what it
+// can from Cache, handshakes the static endpoints, and dispatches the
+// remaining jobs as shards across the (possibly churning) membership.
+// The first fatal condition (version mismatch, a static-only fleet fully
+// dead, context cancelled) aborts the batch; already-completed shards
+// remain in Cache.
 func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Result, error) {
-	if len(c.Endpoints) == 0 {
+	if len(c.Endpoints) == 0 && c.Fleet == nil {
 		r := c.Local
 		if r == nil {
 			r = &harness.Runner{Cache: c.Cache, Progress: c.Progress}
@@ -191,9 +213,24 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 		return results, nil
 	}
 
-	eps, err := c.handshake(ctx)
+	reg := c.Fleet
+	if reg == nil {
+		// The static -remote path is a degenerate fleet: every member is
+		// pre-registered, nothing ever joins, and running dry is fatal.
+		// No Log: the coordinator already narrates the handshake, and two
+		// independently-locked writers to one Progress stream could
+		// interleave.
+		reg = &Registry{}
+	}
+	statics, err := c.handshake(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if len(statics) == 0 && len(c.Endpoints) > 0 && !reg.Dynamic() {
+		return nil, fmt.Errorf("dist: no live workers among %s", strings.Join(c.Endpoints, ","))
+	}
+	for _, h := range statics {
+		reg.Add(h.base, h.workers, true, "")
 	}
 
 	q := &shardQueue{}
@@ -207,18 +244,18 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 		q.push(miss[lo:hi])
 		nshards++
 	}
-	c.logf("dist: %d jobs in %d shards across %d workers", len(miss), nshards, len(eps))
+	c.logf("dist: %d jobs in %d shards across %d workers", len(miss), nshards, len(reg.Live()))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
 		remaining atomic.Int64
-		live      atomic.Int64
 		fatalMu   sync.Mutex
 		fatalErr  error
+		doneOnce  sync.Once
 	)
+	done := make(chan struct{})
 	remaining.Store(int64(len(miss)))
-	live.Store(int64(len(eps)))
 	fail := func(err error) {
 		fatalMu.Lock()
 		if fatalErr == nil {
@@ -227,16 +264,13 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 		fatalMu.Unlock()
 		cancel()
 	}
-
-	var wg sync.WaitGroup
-	for _, ep := range eps {
-		wg.Add(1)
-		go func(ep endpoint) {
-			defer wg.Done()
-			c.serve(runCtx, ep, q, jobs, results, &remaining, &live, fail)
-		}(ep)
+	merged := func(n int64) {
+		if remaining.Add(-n) == 0 {
+			doneOnce.Do(func() { close(done) })
+		}
 	}
-	wg.Wait()
+
+	c.schedule(runCtx, reg, q, jobs, results, &remaining, merged, done, fail)
 
 	fatalMu.Lock()
 	err = fatalErr
@@ -253,13 +287,124 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 	return results, nil
 }
 
-// handshake probes every configured endpoint. Unreachable endpoints are
-// dropped with a warning (the rest of the fleet absorbs their share); a
-// version mismatch is fatal for the whole run, because a stale worker
-// binary means the operator's fleet disagrees about the timing model and
-// silently excluding it would hide that. No endpoints left is fatal too:
-// distributed execution never silently degrades to local.
-func (c *Coordinator) handshake(ctx context.Context) ([]endpoint, error) {
+// memberLoop tracks one member's running serve goroutine.
+type memberLoop struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// schedule runs serve loops for the registry's live members until every
+// missing job has merged, a fatal error occurs, or ctx is cancelled.
+// Membership is re-polled every PollInterval: a joined member gets a
+// serve loop immediately, an evicted or quarantined member has its loop
+// cancelled (in-flight shards requeue through the normal failure path),
+// and a static-only fleet running dry fails the batch.
+func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue,
+	jobs []harness.Job, results []harness.Result,
+	remaining *atomic.Int64, merged func(int64), done <-chan struct{}, fail func(error)) {
+
+	active := map[string]*memberLoop{}
+	var (
+		errMu   sync.Mutex
+		lastErr error
+	)
+	recordErr := func(err error) {
+		errMu.Lock()
+		lastErr = err
+		errMu.Unlock()
+	}
+
+	stopAll := func() {
+		for _, l := range active {
+			l.cancel()
+		}
+		for _, l := range active {
+			<-l.done
+		}
+	}
+
+	ticker := time.NewTicker(c.pollInterval())
+	defer ticker.Stop()
+	waiting := false
+	for {
+		// Reap exited loops so a rejoined member can be re-served.
+		for id, l := range active {
+			select {
+			case <-l.done:
+				delete(active, id)
+			default:
+			}
+		}
+		live := reg.Live()
+		alive := map[string]bool{}
+		for _, m := range live {
+			alive[m.ID] = true
+		}
+		// Cancel loops whose member was evicted (missed heartbeats) or
+		// quarantined: a dead worker's loop must not sit on the queue.
+		for id, l := range active {
+			if !alive[id] {
+				l.cancel()
+			}
+		}
+		for _, m := range live {
+			if _, ok := active[m.ID]; ok {
+				continue
+			}
+			mctx, mcancel := context.WithCancel(ctx)
+			l := &memberLoop{cancel: mcancel, done: make(chan struct{})}
+			active[m.ID] = l
+			go func(m Member) {
+				defer close(l.done)
+				defer mcancel()
+				c.serve(mctx, m, reg, q, jobs, results, remaining, merged, fail, recordErr)
+			}(m)
+		}
+		if len(active) == 0 && remaining.Load() > 0 {
+			if !reg.Dynamic() {
+				errMu.Lock()
+				err := lastErr
+				errMu.Unlock()
+				if err == nil {
+					err = fmt.Errorf("dist: no live workers")
+				}
+				fail(fmt.Errorf("dist: every worker failed: %w", err))
+				return
+			}
+			if !waiting {
+				waiting = true
+				c.logf("dist: no live workers; waiting for joins (%d jobs queued)", remaining.Load())
+			}
+		} else {
+			waiting = false
+		}
+		select {
+		case <-ctx.Done():
+			stopAll()
+			return
+		case <-done:
+			stopAll()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// staticHello is one handshaken -remote endpoint.
+type staticHello struct {
+	base    string
+	workers int
+}
+
+// handshake probes every configured static endpoint. Unreachable
+// endpoints are dropped with a warning (the rest of the fleet absorbs
+// their share); a version mismatch is fatal for the whole run, because a
+// stale worker binary means the operator's fleet disagrees about the
+// timing model and silently excluding it would hide that.
+func (c *Coordinator) handshake(ctx context.Context) ([]staticHello, error) {
+	if len(c.Endpoints) == 0 {
+		return nil, nil
+	}
 	// Probe concurrently: a fleet with a few unroutable hosts must not
 	// serialize their dial timeouts in front of the live workers.
 	hellos := make([]Hello, len(c.Endpoints))
@@ -278,7 +423,7 @@ func (c *Coordinator) handshake(ctx context.Context) ([]endpoint, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var eps []endpoint
+	var out []staticHello
 	for i, name := range c.Endpoints {
 		if errs[i] != nil {
 			c.logf("dist: dropping unreachable worker %s: %v", name, errs[i])
@@ -289,16 +434,9 @@ func (c *Coordinator) handshake(ctx context.Context) ([]endpoint, error) {
 			return nil, fmt.Errorf("dist: worker %s runs %s, coordinator runs %s: refusing to mix timing models",
 				name, h.Version, harness.Version)
 		}
-		w := h.Workers
-		if w <= 0 {
-			w = 1
-		}
-		eps = append(eps, endpoint{name: name, base: baseURL(name), weight: w})
+		out = append(out, staticHello{base: baseURL(name), workers: h.Workers})
 	}
-	if len(eps) == 0 {
-		return nil, fmt.Errorf("dist: no live workers among %s", strings.Join(c.Endpoints, ","))
-	}
-	return eps, nil
+	return out, nil
 }
 
 // hello fetches an endpoint's handshake, retrying briefly so a worker
@@ -327,6 +465,7 @@ func (c *Coordinator) helloOnce(ctx context.Context, base string) (Hello, error)
 	if err != nil {
 		return Hello{}, err
 	}
+	setAuth(req, c.AuthToken)
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return Hello{}, err
@@ -342,22 +481,27 @@ func (c *Coordinator) helloOnce(ctx context.Context, base string) (Hello, error)
 	return h, nil
 }
 
-// serve is one endpoint's dispatch loop: pull up to weight shards, send
-// them as one request, merge or requeue.
-func (c *Coordinator) serve(ctx context.Context, ep endpoint, q *shardQueue,
+// serve is one member's dispatch loop: pull up to weight shards, send
+// them as one request, merge or requeue. It exits when the member's
+// context is cancelled (eviction, or the run ending) or when the member
+// is dropped for consecutive failures.
+func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *shardQueue,
 	jobs []harness.Job, results []harness.Result,
-	remaining, live *atomic.Int64, fail func(error)) {
+	remaining *atomic.Int64, merged func(int64), fail, recordErr func(error)) {
 	consecutive := 0
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		shards := q.popUpTo(ep.weight)
+		// Re-read the weight each round: a member that re-registered with a
+		// different pool width (restarted on different hardware) pulls at
+		// its new width immediately.
+		shards := q.popUpTo(reg.WeightOf(m.ID, m.Weight))
 		if len(shards) == 0 {
 			if remaining.Load() == 0 {
 				return
 			}
-			// Another endpoint holds the rest in flight; it may requeue.
+			// Another member holds the rest in flight; it may requeue.
 			if sleepCtx(ctx, 25*time.Millisecond) != nil {
 				return
 			}
@@ -367,7 +511,7 @@ func (c *Coordinator) serve(ctx context.Context, ep endpoint, q *shardQueue,
 		for _, s := range shards {
 			indices = append(indices, s...)
 		}
-		resp, fatal, err := c.runShard(ctx, ep, indices, jobs)
+		resp, fatal, err := c.runShard(ctx, m, indices, jobs)
 		if fatal != nil {
 			q.push(shards...)
 			fail(fatal)
@@ -375,15 +519,19 @@ func (c *Coordinator) serve(ctx context.Context, ep endpoint, q *shardQueue,
 		}
 		if err != nil {
 			q.push(shards...)
-			consecutive++
-			if consecutive >= c.retries() {
-				c.logf("dist: dropping worker %s after %d consecutive failures: %v", ep.name, consecutive, err)
-				if live.Add(-1) == 0 {
-					fail(fmt.Errorf("dist: every worker failed; last error from %s: %w", ep.name, err))
-				}
+			// A cancelled member (evicted mid-request, or the run ending)
+			// is not a worker failure: requeue and leave quietly.
+			if ctx.Err() != nil {
 				return
 			}
-			c.logf("dist: %s failed (attempt %d, %d jobs requeued): %v", ep.name, consecutive, len(indices), err)
+			consecutive++
+			if consecutive >= c.retries() {
+				c.logf("dist: dropping worker %s after %d consecutive failures: %v", m.ID, consecutive, err)
+				recordErr(fmt.Errorf("last error from %s: %w", m.ID, err))
+				reg.Remove(m.ID)
+				return
+			}
+			c.logf("dist: %s failed (attempt %d, %d jobs requeued): %v", m.ID, consecutive, len(indices), err)
 			if sleepCtx(ctx, time.Duration(consecutive)*100*time.Millisecond) != nil {
 				return
 			}
@@ -399,16 +547,16 @@ func (c *Coordinator) serve(ctx context.Context, ep endpoint, q *shardQueue,
 					return
 				}
 			}
-			remaining.Add(-1)
+			merged(1)
 		}
-		c.logf("dist: %s completed %d jobs (%d remaining)", ep.name, len(indices), remaining.Load())
+		c.logf("dist: %s completed %d jobs (%d remaining)", m.ID, len(indices), remaining.Load())
 	}
 }
 
-// runShard sends one batch to one endpoint. The second return is a fatal
+// runShard sends one batch to one member. The second return is a fatal
 // error (version mismatch: abort the run), the third a retryable one
 // (requeue the shards).
-func (c *Coordinator) runShard(ctx context.Context, ep endpoint, indices []int,
+func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
 	jobs []harness.Job) (RunResponse, error, error) {
 	batch := make([]harness.Job, len(indices))
 	for k, idx := range indices {
@@ -420,11 +568,12 @@ func (c *Coordinator) runShard(ctx context.Context, ep endpoint, indices []int,
 	}
 	ctx, cancel := context.WithTimeout(ctx, c.timeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep.base+PathRun, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.Base+PathRun, bytes.NewReader(body))
 	if err != nil {
 		return RunResponse{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setAuth(req, c.AuthToken)
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return RunResponse{}, nil, err
@@ -437,7 +586,7 @@ func (c *Coordinator) runShard(ctx context.Context, ep endpoint, indices []int,
 			eb.Error = resp.Status
 		}
 		if resp.StatusCode == http.StatusPreconditionFailed {
-			return RunResponse{}, fmt.Errorf("dist: worker %s: %s", ep.name, eb.Error), nil
+			return RunResponse{}, fmt.Errorf("dist: worker %s: %s", m.ID, eb.Error), nil
 		}
 		return RunResponse{}, nil, fmt.Errorf("run: %s: %s", resp.Status, eb.Error)
 	}

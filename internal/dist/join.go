@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"vbi/internal/harness"
+)
+
+// Joiner maintains a worker's membership in a coordinator's fleet: it
+// registers against the coordinator's /register endpoint and then keeps
+// re-registering at the coordinator-announced heartbeat interval. A
+// coordinator that is down or between sweeps is retried with capped
+// backoff — workers outlive coordinators, so a daemon started before the
+// sweep (or restarted mid-sweep) joins as soon as a fleet listener
+// appears. An auth (401) or version (412) rejection is fatal: both mean
+// operator error that must surface, not be retried into silence.
+type Joiner struct {
+	// Coordinator is the fleet listener's address ("host:port" or URL).
+	Coordinator string
+	// Advertise is the address this worker serves /run on, sent in the
+	// registration. A missing host (":9471") is filled in by the
+	// coordinator from the connection's source address.
+	Advertise string
+	// Workers is the advertised pool width.
+	Workers int
+	// AuthToken, when non-empty, is sent (bearer) on every registration.
+	AuthToken string
+	// Instance identifies this process lifetime; empty means a random id
+	// is generated on first use. A restart therefore presents a new
+	// instance, which lifts any failure quarantine the coordinator holds
+	// against the previous incarnation.
+	Instance string
+	// Log, when non-nil, receives join/retry lines.
+	Log io.Writer
+	// Client, when non-nil, overrides the HTTP client (tests).
+	Client *http.Client
+
+	once sync.Once
+
+	mu sync.Mutex // guards Log
+}
+
+func (j *Joiner) logf(format string, args ...any) {
+	if j.Log == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fmt.Fprintf(j.Log, format+"\n", args...)
+}
+
+func (j *Joiner) client() *http.Client {
+	if j.Client != nil {
+		return j.Client
+	}
+	return http.DefaultClient
+}
+
+// instance returns the per-process id, generating it once.
+func (j *Joiner) instance() string {
+	j.once.Do(func() {
+		if j.Instance == "" {
+			var b [8]byte
+			if _, err := rand.Read(b[:]); err != nil {
+				panic(fmt.Sprintf("dist: generate instance id: %v", err))
+			}
+			j.Instance = hex.EncodeToString(b[:])
+		}
+	})
+	return j.Instance
+}
+
+// Run registers and heartbeats until ctx is cancelled (returning nil) or
+// the coordinator rejects the worker outright (returning the rejection).
+func (j *Joiner) Run(ctx context.Context) error {
+	backoff := 500 * time.Millisecond
+	joined := false
+	for {
+		interval, err := j.registerOnce(ctx)
+		switch {
+		case err == nil:
+			if !joined {
+				joined = true
+				j.logf("dist: joined fleet at %s (heartbeat %s)", j.Coordinator, interval)
+			}
+			backoff = 500 * time.Millisecond
+			if sleepCtx(ctx, interval) != nil {
+				return nil
+			}
+		case isFatalJoin(err):
+			return fmt.Errorf("dist: fleet %s rejected this worker: %w", j.Coordinator, err)
+		default:
+			if ctx.Err() != nil {
+				return nil
+			}
+			if joined {
+				joined = false
+				j.logf("dist: lost fleet at %s (%v); retrying", j.Coordinator, err)
+			}
+			if sleepCtx(ctx, backoff) != nil {
+				return nil
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+	}
+}
+
+// joinRejection marks a 401/412 registration response: retrying cannot
+// help, the operator must fix the token or the binary.
+type joinRejection struct{ msg string }
+
+func (e *joinRejection) Error() string { return e.msg }
+
+func isFatalJoin(err error) bool {
+	_, ok := err.(*joinRejection)
+	return ok
+}
+
+// registerOnce performs one registration round-trip and returns the
+// heartbeat interval the coordinator asked for.
+func (j *Joiner) registerOnce(ctx context.Context) (time.Duration, error) {
+	body, err := json.Marshal(RegisterRequest{
+		Version:  harness.Version,
+		Workers:  j.Workers,
+		Addr:     j.Advertise,
+		Instance: j.instance(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL(j.Coordinator)+PathRegister, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setAuth(req, j.AuthToken)
+	resp, err := j.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusPreconditionFailed {
+			return 0, &joinRejection{msg: eb.Error}
+		}
+		return 0, fmt.Errorf("register: %s: %s", resp.Status, eb.Error)
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return 0, fmt.Errorf("register: decode: %w", err)
+	}
+	interval := time.Duration(rr.HeartbeatMillis) * time.Millisecond
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return interval, nil
+}

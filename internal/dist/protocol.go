@@ -28,10 +28,14 @@ import (
 	"vbi/internal/system"
 )
 
-// URL paths of the worker protocol.
+// URL paths of the fleet protocol. PathHealthz and PathRun are served by
+// workers; PathRegister is served by the coordinator's fleet listener
+// (vbisweep -fleet). When a shared auth token is configured, every route
+// on a gated server requires it (Authorization: Bearer <token>).
 const (
-	PathHealthz = "/healthz"
-	PathRun     = "/run"
+	PathHealthz  = "/healthz"
+	PathRun      = "/run"
+	PathRegister = "/register"
 )
 
 // Hello is the handshake response served on /healthz. The coordinator
@@ -64,6 +68,32 @@ type JobResult struct {
 // RunResponse answers a RunRequest.
 type RunResponse struct {
 	Results []JobResult `json:"results"`
+}
+
+// RegisterRequest is a worker's join — and, repeated periodically, its
+// heartbeat. Version must equal the coordinator's harness.Version (a
+// mismatch is refused with 412 so a stale binary fails at join time).
+type RegisterRequest struct {
+	Version string `json:"version"`
+	// Workers is the advertised pool width (the shard-planning weight).
+	Workers int `json:"workers"`
+	// Addr is the address the worker serves /run on, as "host:port" or a
+	// base URL. An empty or unspecified host is filled in from the
+	// registering connection's source address.
+	Addr string `json:"addr"`
+	// Instance identifies this worker process lifetime (any random string
+	// chosen at startup). A changed instance tells the coordinator the
+	// worker restarted, which readmits it even when its previous
+	// incarnation was dropped for failures.
+	Instance string `json:"instance,omitempty"`
+}
+
+// RegisterResponse answers a RegisterRequest.
+type RegisterResponse struct {
+	Version string `json:"version"` // coordinator's harness.Version
+	// HeartbeatMillis is how often the coordinator expects the worker to
+	// re-register; missing heartbeats for 3× this evicts the worker.
+	HeartbeatMillis int64 `json:"heartbeat_millis"`
 }
 
 // errorBody is the JSON body of every non-200 worker response.

@@ -20,15 +20,20 @@ type Worker struct {
 	// Runner executes the shards. A nil Runner means a default local pool
 	// (GOMAXPROCS workers, no cache).
 	Runner *harness.Runner
+	// AuthToken, when non-empty, gates every route (constant-time bearer
+	// compare, 401 on mismatch), so an unauthenticated coordinator cannot
+	// hand this worker shards. It must match the coordinator's token.
+	AuthToken string
 	// Log, when non-nil, receives one line per request.
 	Log io.Writer
 
 	mu sync.Mutex // guards Log
 }
 
-// poolWidth is the worker count advertised in the handshake: the
-// runner's, defaulted the same way the runner itself defaults it.
-func (w *Worker) poolWidth() int {
+// PoolWidth is the worker count advertised in the handshake (and in
+// -join registrations): the runner's, defaulted the same way the runner
+// itself defaults it.
+func (w *Worker) PoolWidth() int {
 	n := 0
 	if w.Runner != nil {
 		n = w.Runner.Workers
@@ -49,12 +54,12 @@ func (w *Worker) logf(format string, args ...any) {
 }
 
 // Handler returns the worker's HTTP handler, serving PathHealthz and
-// PathRun.
+// PathRun, auth-gated when AuthToken is set.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealthz, w.handleHealthz)
 	mux.HandleFunc(PathRun, w.handleRun)
-	return mux
+	return requireAuth(w.AuthToken, mux)
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {
@@ -71,7 +76,7 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 	writeJSON(rw, http.StatusOK, Hello{
 		Service: "vbiworker",
 		Version: harness.Version,
-		Workers: w.poolWidth(),
+		Workers: w.PoolWidth(),
 	})
 }
 

@@ -46,6 +46,19 @@ type Options struct {
 	// Progress. Positional aggregation makes the figures identical either
 	// way.
 	Executor harness.Executor
+	// Context, when non-nil, cancels every figure's job batch (vbibench
+	// wires its signal context here, so Ctrl-C stops a figure at job — or
+	// shard — granularity with completed work cached). Nil means
+	// context.Background().
+	Context context.Context
+}
+
+// ctx returns the configured context, defaulted.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -103,7 +116,7 @@ func runSingles(o Options, keys []runKey) (map[runKey]system.RunResult, error) {
 			Params: o.Params,
 		}
 	}
-	results, err := o.exec().Run(context.Background(), jobs)
+	results, err := o.exec().Run(o.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +278,7 @@ func Fig8(o Options) (*stats.Table, error) {
 			})
 		}
 	}
-	results, err := o.exec().Run(context.Background(), jobs)
+	results, err := o.exec().Run(o.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +341,7 @@ func figHetero(mem system.HeteroMem, title, vbiLabel string, o Options) (*stats.
 			})
 		}
 	}
-	results, err := o.exec().Run(context.Background(), jobs)
+	results, err := o.exec().Run(o.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"vbi/internal/stats"
+	"vbi/internal/workloads"
+)
+
+// The golden-shape tests pin the structural contract of the figure
+// matrices — exact row and series labels, the averaging-denominator
+// invariants, and byte-identity between a cache-cold and a fully-cached
+// run — table-driven over the figures whose shape downstream plotting
+// scripts consume positionally. (The qualitative who-wins orderings live
+// in exp_test.go; this file is about the matrix shape itself.)
+
+// goldenCase describes one figure's expected matrix shape.
+type goldenCase struct {
+	name string
+	fn   func(Options) (*stats.Table, error)
+	refs int
+	// rows is the exact expected row-label sequence.
+	rows []string
+	// series is the exact expected series-label sequence.
+	series []string
+	// avgOver maps an average row label to the row labels it must be the
+	// arithmetic mean of — the denominator invariant: AVG rows are
+	// recomputable from the per-app rows above them, so a label shift or a
+	// denominator change (more or fewer apps averaged) cannot go unseen.
+	avgOver map[string][]string
+}
+
+func goldenCases() []goldenCase {
+	fig6Rows := append(append([]string{}, workloads.Fig6Apps...), "AVG", "AVG-no-mcf")
+	noMcf := make([]string, 0, len(workloads.Fig6Apps)-1)
+	for _, app := range workloads.Fig6Apps {
+		if app != "mcf" {
+			noMcf = append(noMcf, app)
+		}
+	}
+	fig8Rows := append(append([]string{}, workloads.BundleNames...), "AVG")
+	return []goldenCase{
+		{
+			name: "fig6", fn: Fig6, refs: 20_000,
+			rows:   fig6Rows,
+			series: []string{"Virtual", "VIVT", "VBI-1", "VBI-2", "VBI-Full", "Perfect TLB"},
+			avgOver: map[string][]string{
+				"AVG":        workloads.Fig6Apps,
+				"AVG-no-mcf": noMcf,
+			},
+		},
+		{
+			name: "fig8", fn: Fig8, refs: 10_000,
+			rows:   fig8Rows,
+			series: []string{"Native-2M", "Virtual", "Virtual-2M", "VBI-Full", "Perfect TLB"},
+			avgOver: map[string][]string{
+				"AVG": workloads.BundleNames,
+			},
+		},
+	}
+}
+
+// rowIndex maps a table's row labels to positions.
+func rowIndex(t *stats.Table) map[string]int {
+	idx := make(map[string]int, len(t.Rows))
+	for i, r := range t.Rows {
+		idx[r] = i
+	}
+	return idx
+}
+
+// checkGoldenShape asserts one rendered table against its golden case.
+func checkGoldenShape(t *testing.T, c goldenCase, tab *stats.Table) {
+	t.Helper()
+	if len(tab.Rows) != len(c.rows) {
+		t.Fatalf("%s: %d rows, want %d (%v)", c.name, len(tab.Rows), len(c.rows), tab.Rows)
+	}
+	for i, want := range c.rows {
+		if tab.Rows[i] != want {
+			t.Errorf("%s: row %d = %q, want %q", c.name, i, tab.Rows[i], want)
+		}
+	}
+	if len(tab.Series) != len(c.series) {
+		t.Fatalf("%s: %d series, want %d", c.name, len(tab.Series), len(c.series))
+	}
+	idx := rowIndex(tab)
+	for i, want := range c.series {
+		s := tab.Series[i]
+		if s.Label != want {
+			t.Errorf("%s: series %d = %q, want %q", c.name, i, s.Label, want)
+		}
+		if len(s.Values) != len(c.rows) {
+			t.Fatalf("%s/%s: %d values for %d rows", c.name, s.Label, len(s.Values), len(c.rows))
+		}
+		for j, v := range s.Values {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s/%s row %q: normalized value %v, want finite positive", c.name, s.Label, tab.Rows[j], v)
+			}
+		}
+		// The denominator invariant: every average row must equal the mean
+		// of exactly its per-app rows.
+		for avgRow, over := range c.avgOver {
+			var vals []float64
+			for _, r := range over {
+				vals = append(vals, s.Values[idx[r]])
+			}
+			want := stats.Mean(vals)
+			got := s.Values[idx[avgRow]]
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s/%s: %s = %v, want mean over %d rows = %v",
+					c.name, s.Label, avgRow, got, len(over), want)
+			}
+		}
+	}
+}
+
+// TestFigureGoldenShapes runs each figure cache-cold and then fully
+// cached against the same directory: both runs must satisfy the golden
+// shape and render byte-identical tables, so a cache hit can never change
+// what a figure reports.
+func TestFigureGoldenShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test")
+	}
+	t.Parallel()
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cacheDir := t.TempDir()
+			cold, err := c.fn(Options{Refs: c.refs, CacheDir: cacheDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGoldenShape(t, c, cold)
+
+			cached, err := c.fn(Options{Refs: c.refs, CacheDir: cacheDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGoldenShape(t, c, cached)
+			if cold.Render() != cached.Render() {
+				t.Errorf("%s: fully-cached run renders differently:\ncold:\n%s\ncached:\n%s",
+					c.name, cold.Render(), cached.Render())
+			}
+		})
+	}
+}

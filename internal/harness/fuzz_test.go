@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vbi/internal/system"
+)
+
+// fuzzJob builds a Job from raw fuzz inputs. It deliberately does not
+// validate: the cache key must be well-defined (stable and injective) for
+// any job the marshaller accepts, not only runnable ones, because Key is
+// computed before Validate in some paths (cache tooling, wire decoding).
+func fuzzJob(sys, wls string, refs, warmup int, seed uint64, het, pol string,
+	uniform bool, paramIdx, paramVal int) Job {
+	var workloads []string
+	for _, w := range strings.Split(wls, ",") {
+		if w != "" {
+			workloads = append(workloads, w)
+		}
+	}
+	j := Job{
+		System: sys, Workloads: workloads, Refs: refs, Warmup: warmup,
+		Seed: seed, HeteroMem: het, Policy: pol, UniformTables: uniform,
+	}
+	names := system.ParamNames()
+	if paramIdx >= 0 && paramVal > 0 {
+		j.Params.Set(names[paramIdx%len(names)], paramVal)
+	}
+	return j
+}
+
+// FuzzJobKey fuzzes the result-cache key over pairs of jobs: the key must
+// be a pure, stable function of the canonical job JSON — equal JSON means
+// equal key, distinct JSON means distinct key — because that equivalence
+// is what makes the on-disk cache sound (a hit can never serve a
+// different experiment) and what keeps the dist wire format and the cache
+// from drifting apart (both hash the same canonical bytes).
+func FuzzJobKey(f *testing.F) {
+	f.Add("Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0,
+		"Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0)
+	// Bundle order is significant: one core per workload, so a permuted
+	// bundle is a different experiment and must key differently.
+	f.Add("VBI-Full", "mcf,graph500", 1000, 0, uint64(1), "", "", false, -1, 0,
+		"VBI-Full", "graph500,mcf", 1000, 0, uint64(1), "", "", false, -1, 0)
+	// Hetero jobs and param overlays.
+	f.Add("", "sphinx3", 1000, 500, uint64(2), "PCM-DRAM", "VBI", false, -1, 0,
+		"", "sphinx3", 1000, 500, uint64(2), "TL-DRAM", "VBI", false, -1, 0)
+	f.Add("Native", "namd", 5000, 0, uint64(1), "", "", false, 0, 512,
+		"Native", "namd", 5000, 0, uint64(1), "", "", false, 1, 512)
+	// Zero-value neighbors: Refs 0 (default) vs explicit 0-adjacent values.
+	f.Add("Native", "namd", 0, 0, uint64(0), "", "", false, -1, 0,
+		"Native", "namd", 1, 0, uint64(0), "", "", false, -1, 0)
+
+	f.Fuzz(func(t *testing.T,
+		sys1, wls1 string, refs1, warmup1 int, seed1 uint64, het1, pol1 string, uni1 bool, pIdx1, pVal1 int,
+		sys2, wls2 string, refs2, warmup2 int, seed2 uint64, het2, pol2 string, uni2 bool, pIdx2, pVal2 int) {
+		j1 := fuzzJob(sys1, wls1, refs1, warmup1, seed1, het1, pol1, uni1, pIdx1, pVal1)
+		j2 := fuzzJob(sys2, wls2, refs2, warmup2, seed2, het2, pol2, uni2, pIdx2, pVal2)
+		c := &Cache{}
+
+		// Stability: the key is a pure function — recomputing it cannot
+		// drift (this is what lets concurrent sweeps share a directory).
+		k1, k2 := c.Key(j1), c.Key(j2)
+		if again := c.Key(j1); again != k1 {
+			t.Fatalf("Key not stable: %s then %s for %+v", k1, again, j1)
+		}
+
+		// Injectivity/identity: keys agree exactly when the canonical JSON
+		// does. Marshal cannot fail for plain-data jobs.
+		b1, err := json.Marshal(j1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(j2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if same := bytes.Equal(b1, b2); same != (k1 == k2) {
+			t.Fatalf("key equality diverged from canonical JSON equality:\njson1=%s\njson2=%s\nkey1=%s key2=%s",
+				b1, b2, k1, k2)
+		}
+	})
+}
+
+// TestJobKeyParamOrderInsensitive pins the overlay-order half of the key
+// contract directly: setting the same parameter overlays in different
+// orders yields the same Job, the same canonical JSON, and the same key.
+func TestJobKeyParamOrderInsensitive(t *testing.T) {
+	names := system.ParamNames()
+	if len(names) < 2 {
+		t.Skip("need two parameters")
+	}
+	a, b := names[0], names[1]
+	mk := func(first, second string) Job {
+		j := Job{System: "Native", Workloads: []string{"mcf"}, Refs: 1000}
+		if err := j.Params.Set(first, 128); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Params.Set(second, 256); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	// Same (name, value) pairs, set in both orders.
+	j1 := mk(a, b)
+	j2 := Job{System: "Native", Workloads: []string{"mcf"}, Refs: 1000}
+	if err := j2.Params.Set(b, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Params.Set(a, 128); err != nil {
+		t.Fatal(err)
+	}
+	c := &Cache{}
+	if c.Key(j1) != c.Key(j2) {
+		t.Errorf("overlay set order changed the cache key")
+	}
+}
+
+// TestJobKeyBundleOrderSensitive pins the bundle-order half: a permuted
+// multiprogrammed bundle assigns workloads to different cores, which is a
+// different experiment and must miss, not hit.
+func TestJobKeyBundleOrderSensitive(t *testing.T) {
+	c := &Cache{}
+	j1 := Job{System: "Native", Workloads: []string{"mcf", "graph500"}, Refs: 1000}
+	j2 := Job{System: "Native", Workloads: []string{"graph500", "mcf"}, Refs: 1000}
+	if c.Key(j1) == c.Key(j2) {
+		t.Errorf("permuted bundle produced the same cache key")
+	}
+}
