@@ -1,21 +1,30 @@
 // Command vbisweep runs a design-space sweep through the experiment
 // harness and emits the result matrix. Sweep axes are (system or
-// hetero-memory/policy) × workload × seed × named parameter overlays ×
-// refs; grids come from flags or a small JSON config. Runs execute across
-// a bounded worker pool, and an optional on-disk cache makes re-runs
-// incremental (only changed cells simulate).
+// hetero-memory/policy) × (workload or multiprogrammed bundle) × seed ×
+// named parameter overlays × refs; grids come from flags or a small JSON
+// config. Runs execute across a bounded worker pool, and an optional
+// on-disk cache makes re-runs incremental (only changed cells simulate).
 //
 // Usage:
 //
 //	vbisweep -systems Native,VBI-Full -workloads mcf,graph500 -refs 100000
 //	vbisweep -systems Native -workloads mcf -param l2_tlb_entries=128,512,2048
 //	vbisweep -systems VBI-Full -workloads mcf -refs 50000,100000,200000
+//	vbisweep -systems Native,VBI-Full -bundle wl1,wl2,pair=mcf+graph500 -refs 100000
 //	vbisweep -hetero PCM-DRAM -policies Unaware,VBI -workloads sphinx3 -param hetero_epoch_refs=10000,25000
 //	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
 //	vbisweep -config grid.json -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
 //	vbisweep -config grid.json -fleet :9600 -auth-token secret -cache .vbicache
 //	vbisweep -cache .vbicache -cache-stats
 //	vbisweep -list
+//
+// -bundle adds multiprogrammed rows (one core per workload) alongside any
+// -workloads rows: each entry is a predefined Table 2 bundle name ("wl1")
+// or an inline definition "name=app1+app2+..." (see -list). Bundles sweep
+// like any other axis — cross-producted with systems, seeds, refs and
+// parameter overlays — but conflict with -hetero, whose jobs are
+// single-core. A bundle cell's matrix value aggregates across cores
+// (ipc: total throughput, dram: total accesses).
 //
 // -remote shards the expanded job batch across vbiworker daemons
 // (internal/dist): results merge positionally and every completed shard
@@ -32,10 +41,20 @@
 // (-list shows them with their Table 1 defaults); system names resolve
 // registered specs, so declaratively registered variants (e.g.
 // "Native-128TLB") sweep like built-ins. A config file holds the same
-// axes as the flags and cannot be combined with them:
+// axes as the flags — plus inline variant-spec definitions ("specs") and
+// a base parameter overlay ("overlay") — and cannot be combined with
+// them:
 //
-//	{"systems": ["Native"], "workloads": ["mcf"], "seeds": [1, 2],
-//	 "refs": 100000, "params": {"l2_tlb_entries": [256, 512]}}
+//	{"systems": ["Native", "Native-128TLB"], "workloads": ["mcf"],
+//	 "seeds": [1, 2], "refs": 100000,
+//	 "bundles": [{"name": "wl1"}, {"name": "pair", "workloads": ["mcf", "graph500"]}],
+//	 "specs": [{"name": "Native-128TLB", "base": "Native",
+//	            "params": {"l2_tlb_entries": 128}}],
+//	 "params": {"l2_tlb_entries": [256, 512]}}
+//
+// Expanded jobs are self-describing (they carry their resolved system
+// spec), so a -config sweep defining variant specs runs unchanged on a
+// -remote/-fleet worker fleet: the workers never need the definitions.
 package main
 
 import (
@@ -58,7 +77,8 @@ func main() {
 	params := harness.ParamAxes{}
 	var (
 		systemsF   = flag.String("systems", "", "comma-separated system/spec names (default Native,VBI-Full; see -list)")
-		workloadsF = flag.String("workloads", "", "comma-separated workload names (default mcf,graph500; see -list)")
+		workloadsF = flag.String("workloads", "", "comma-separated workload names (default mcf,graph500 unless -bundle is given; see -list)")
+		bundlesF   = flag.String("bundle", "", "comma-separated multiprogrammed bundles: a Table 2 name (wl1) or name=app1+app2+... (see -list)")
 		seedsF     = flag.String("seeds", "", "comma-separated trace seeds (default 1)")
 		refsF      = flag.String("refs", "", "measured references per run; a comma list sweeps refs as an axis (default 100000)")
 		heteroF    = flag.String("hetero", "", "comma-separated heterogeneous memories (replaces -systems; see -list)")
@@ -103,7 +123,7 @@ func main() {
 		// the conflict explicit.
 		axisFlags := map[string]bool{
 			"systems": true, "workloads": true, "seeds": true, "refs": true,
-			"param": true, "hetero": true, "policies": true,
+			"param": true, "hetero": true, "policies": true, "bundle": true,
 		}
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
@@ -132,8 +152,19 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad -refs: %w", err))
 		}
+		bundles, err := harness.ParseBundles(*bundlesF)
+		if err != nil {
+			fatal(err)
+		}
+		// A bundle-only sweep should not silently grow default single-core
+		// rows; -workloads still adds them explicitly.
+		workloadDefault := "mcf,graph500"
+		if len(bundles) > 0 {
+			workloadDefault = ""
+		}
 		grid = harness.Grid{
-			Workloads: splitList(orDefault(*workloadsF, "mcf,graph500")),
+			Workloads: splitList(orDefault(*workloadsF, workloadDefault)),
+			Bundles:   bundles,
 			Seeds:     seeds,
 			RefsAxis:  refsAxis,
 			Params:    params,
@@ -141,6 +172,9 @@ func main() {
 		if *heteroF != "" {
 			if *systemsF != "" {
 				fatal(fmt.Errorf("-hetero replaces -systems; give one or the other"))
+			}
+			if len(bundles) > 0 {
+				fatal(fmt.Errorf("-bundle conflicts with -hetero: bundles are multiprogrammed, heterogeneous jobs are single-core"))
 			}
 			grid.HeteroMems = splitList(*heteroF)
 			grid.Policies = splitList(*policiesF)
@@ -246,16 +280,27 @@ func main() {
 
 // maintainCache implements -cache-stats and -cache-prune.
 func maintainCache(cache *harness.Cache, prune bool) {
+	st, err := cache.Stats()
+	if err != nil {
+		fatal(err)
+	}
 	if prune {
+		// Say what is about to go before deleting anything: stale entries
+		// and their bytes come from the same Stats scan the -cache-stats
+		// report uses.
+		staleEntries, staleBytes := st.Stale(harness.Version)
+		fmt.Printf("pruning %d stale entries (%d bytes) not matching %s\n",
+			staleEntries, staleBytes, harness.Version)
 		removed, err := cache.Prune(harness.Version)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pruned %d entries not matching %s\n", removed, harness.Version)
-	}
-	st, err := cache.Stats()
-	if err != nil {
-		fatal(err)
+		fmt.Printf("pruned %d entries\n", removed)
+		// Re-scan for the closing report: what is actually on disk after
+		// the mutation, not an inference from the pre-prune scan.
+		if st, err = cache.Stats(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("cache %s: %d entries, %d bytes\n", cache.Dir, st.Entries, st.Bytes)
 	versions := make([]string, 0, len(st.Versions))
@@ -279,6 +324,7 @@ func printList() {
 	for _, n := range workloads.Names() {
 		fmt.Printf("  %s\n", n)
 	}
+	harness.WriteBundleList(os.Stdout)
 	harness.WriteHeteroList(os.Stdout)
 	harness.WriteParamList(os.Stdout)
 }

@@ -95,7 +95,7 @@ func main() {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "vbiworker: %s listening on %s\n", harness.Version, *addr)
+	fmt.Fprintf(os.Stderr, "vbiworker: %s listening on %s\n", dist.ProtocolVersion, *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "vbiworker:", err)
 		os.Exit(1)

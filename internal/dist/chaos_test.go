@@ -150,14 +150,14 @@ func TestChaosMembershipChurn(t *testing.T) {
 	// they re-register fire-and-forget.
 	register := func(addr, instance string) {
 		resp := postRegister(t, regSrv.URL, RegisterRequest{
-			Version: harness.Version, Workers: 1, Addr: addr, Instance: instance}, "")
+			Version: ProtocolVersion, Workers: 1, Addr: addr, Instance: instance}, "")
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("register %s: %s", instance, resp.Status)
 		}
 	}
 	heartbeat := func(addr, instance string) {
 		b, err := json.Marshal(RegisterRequest{
-			Version: harness.Version, Workers: 1, Addr: addr, Instance: instance})
+			Version: ProtocolVersion, Workers: 1, Addr: addr, Instance: instance})
 		if err != nil {
 			return
 		}

@@ -430,9 +430,9 @@ func (c *Coordinator) handshake(ctx context.Context) ([]staticHello, error) {
 			continue
 		}
 		h := hellos[i]
-		if h.Version != harness.Version {
+		if h.Version != ProtocolVersion {
 			return nil, fmt.Errorf("dist: worker %s runs %s, coordinator runs %s: refusing to mix timing models",
-				name, h.Version, harness.Version)
+				name, h.Version, ProtocolVersion)
 		}
 		out = append(out, staticHello{base: baseURL(name), workers: h.Workers})
 	}
@@ -562,7 +562,7 @@ func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
 	for k, idx := range indices {
 		batch[k] = jobs[idx]
 	}
-	body, err := json.Marshal(RunRequest{Version: harness.Version, Jobs: batch})
+	body, err := json.Marshal(RunRequest{Version: ProtocolVersion, Jobs: batch})
 	if err != nil {
 		return RunResponse{}, nil, err
 	}

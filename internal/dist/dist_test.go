@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vbi/internal/harness"
+	"vbi/internal/system"
 )
 
 // testJobs is a small batch (2 systems × 2 workloads), cheap enough to
@@ -77,8 +78,8 @@ func TestWorkerHandshake(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Service != "vbiworker" || h.Version != harness.Version || h.Workers != 3 {
-		t.Errorf("handshake = %+v, want vbiworker/%s/3", h, harness.Version)
+	if h.Service != "vbiworker" || h.Version != ProtocolVersion || h.Workers != 3 {
+		t.Errorf("handshake = %+v, want vbiworker/%s/3", h, ProtocolVersion)
 	}
 }
 
@@ -187,7 +188,7 @@ func TestWorkerDeathRequeues(t *testing.T) {
 func TestAllWorkersDeadFails(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
 		if req.URL.Path == PathHealthz {
-			writeJSON(rw, http.StatusOK, Hello{Service: "vbiworker", Version: harness.Version, Workers: 1})
+			writeJSON(rw, http.StatusOK, Hello{Service: "vbiworker", Version: ProtocolVersion, Workers: 1})
 			return
 		}
 		writeJSON(rw, http.StatusInternalServerError, errorBody{Error: "synthetic failure"})
@@ -263,7 +264,9 @@ func TestCoordinatorStreamsCache(t *testing.T) {
 // batch before any network traffic (the endpoint does not even exist).
 func TestCoordinatorValidatesBeforeDispatch(t *testing.T) {
 	coord := &Coordinator{Endpoints: []string{"127.0.0.1:1"}}
-	_, err := coord.Run(context.Background(), []harness.Job{{System: "NotASystem", Workloads: []string{"namd"}}})
+	_, err := coord.Run(context.Background(), []harness.Job{{
+		Spec:      &system.Spec{Name: "NotASystem", Base: "NotASystem"},
+		Workloads: []string{"namd"}}})
 	if err == nil || !strings.Contains(err.Error(), "NotASystem") {
 		t.Fatalf("invalid job not rejected up front: err = %v", err)
 	}
@@ -278,5 +281,41 @@ func TestCoordinatorHonorsContext(t *testing.T) {
 	_, err := (&Coordinator{Endpoints: []string{srv.URL}}).Run(ctx, testJobs(t))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelfDescribingVariantRunsOnWorker is the regression for the
+// since-PR-3 wire bug: a variant spec known only to the coordinator used
+// to fail on every worker, because jobs travelled as names that each
+// process re-resolved locally. Jobs now carry their resolved spec, so a
+// spec that is registered in NO process at all — materialized inline here
+// — must run on a remote worker and match the equivalent local
+// base+overlay run byte for byte.
+func TestSelfDescribingVariantRunsOnWorker(t *testing.T) {
+	variant := &system.Spec{Name: "Coordinator-Only-128TLB", Base: "Native",
+		Params: system.Params{L2TLBEntries: 128}}
+	jobs := []harness.Job{{Spec: variant, Workloads: []string{"namd"}, Refs: 3_000}}
+
+	srv := newWorkerServer(t, 2)
+	got, err := (&Coordinator{Endpoints: []string{srv.URL}}).
+		Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("unregistered variant failed on the worker: %v", err)
+	}
+
+	// The same configuration spelled as base kind + job overlay, run
+	// locally: the variant's overlay must have reached the remote
+	// simulator (not been dropped or defaulted).
+	equiv := []harness.Job{{Spec: system.MustSpec("Native"), Workloads: []string{"namd"},
+		Refs: 3_000, Params: system.Params{L2TLBEntries: 128}}}
+	want := localResults(t, equiv)
+	if !reflect.DeepEqual(got[0].Results, want[0].Results) {
+		t.Error("worker-run variant results differ from the equivalent local base+overlay run")
+	}
+
+	base := localResults(t, []harness.Job{{Spec: system.MustSpec("Native"),
+		Workloads: []string{"namd"}, Refs: 3_000}})
+	if reflect.DeepEqual(got[0].Results, base[0].Results) {
+		t.Error("variant ran identically to default Native: the overlay never crossed the wire")
 	}
 }

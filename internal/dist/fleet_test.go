@@ -43,7 +43,7 @@ func TestRegistryRegisterHTTP(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	resp := postRegister(t, srv.URL, RegisterRequest{
-		Version: harness.Version, Workers: 3, Addr: ":9876", Instance: "i1"}, "")
+		Version: ProtocolVersion, Workers: 3, Addr: ":9876", Instance: "i1"}, "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("register status = %s, want 200", resp.Status)
 	}
@@ -51,8 +51,8 @@ func TestRegistryRegisterHTTP(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		t.Fatal(err)
 	}
-	if rr.Version != harness.Version {
-		t.Errorf("response version = %q, want %q", rr.Version, harness.Version)
+	if rr.Version != ProtocolVersion {
+		t.Errorf("response version = %q, want %q", rr.Version, ProtocolVersion)
 	}
 	if want := time.Minute.Milliseconds() / 3; rr.HeartbeatMillis != want {
 		t.Errorf("heartbeat = %dms, want %dms", rr.HeartbeatMillis, want)
@@ -218,7 +218,7 @@ func TestRegistryAuth(t *testing.T) {
 	srv := httptest.NewServer(reg.Handler())
 	t.Cleanup(srv.Close)
 
-	req := RegisterRequest{Version: harness.Version, Workers: 1, Addr: ":9876"}
+	req := RegisterRequest{Version: ProtocolVersion, Workers: 1, Addr: ":9876"}
 	if resp := postRegister(t, srv.URL, req, ""); resp.StatusCode != http.StatusUnauthorized {
 		t.Errorf("register without token = %s, want 401", resp.Status)
 	}

@@ -11,8 +11,6 @@ import (
 	"net/http"
 	"sync"
 	"time"
-
-	"vbi/internal/harness"
 )
 
 // Joiner maintains a worker's membership in a coordinator's fleet: it
@@ -131,7 +129,7 @@ func isFatalJoin(err error) bool {
 // heartbeat interval the coordinator asked for.
 func (j *Joiner) registerOnce(ctx context.Context) (time.Duration, error) {
 	body, err := json.Marshal(RegisterRequest{
-		Version:  harness.Version,
+		Version:  ProtocolVersion,
 		Workers:  j.Workers,
 		Addr:     j.Advertise,
 		Instance: j.instance(),

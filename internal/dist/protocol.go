@@ -11,11 +11,11 @@
 //   - Positional merge. Shards are sets of job indices; a shard's results
 //     land at those indices in the output slice, so scheduling, worker
 //     speed, retries and requeues cannot reorder anything.
-//   - Version handshake. Workers advertise the harness.Version baked into
+//   - Version handshake. Workers advertise the ProtocolVersion baked into
 //     their binary, and every /run request repeats the coordinator's. A
 //     mismatch on either side aborts instead of degrading, so a stale
 //     worker binary can never contribute results from a different timing
-//     model or job schema.
+//     model, job schema or wire format.
 //
 // Failure handling is shard-granular: a failed or timed-out request
 // requeues its shard for the surviving endpoints, and completed shards
@@ -28,6 +28,17 @@ import (
 	"vbi/internal/system"
 )
 
+// ProtocolVersion names the dist wire format: the harness.Version (timing
+// model + job schema) plus a wire revision. Every handshake, run request
+// and registration carries it, and a mismatch on either side is fatal —
+// the same "never mix models" stance as before, now also covering wire
+// shape. wire2 is the self-describing-job protocol: RunRequest jobs carry
+// their fully resolved system.Spec, so a worker executes exactly the
+// configuration the coordinator resolved and never consults its own spec
+// registry (a variant registered only in the coordinator runs on any
+// worker).
+const ProtocolVersion = harness.Version + "+wire2"
+
 // URL paths of the fleet protocol. PathHealthz and PathRun are served by
 // workers; PathRegister is served by the coordinator's fleet listener
 // (vbisweep -fleet). When a shared auth token is configured, every route
@@ -39,16 +50,17 @@ const (
 )
 
 // Hello is the handshake response served on /healthz. The coordinator
-// refuses endpoints whose Version differs from its own harness.Version
+// refuses endpoints whose Version differs from its own ProtocolVersion
 // and uses Workers as the shard-planning weight.
 type Hello struct {
 	Service string `json:"service"` // always "vbiworker"
-	Version string `json:"version"` // harness.Version of the worker binary
+	Version string `json:"version"` // ProtocolVersion of the worker binary
 	Workers int    `json:"workers"` // local pool width
 }
 
-// RunRequest carries one shard: a batch of canonical harness job specs.
-// Version must equal the worker's harness.Version; it is re-checked on
+// RunRequest carries one shard: a batch of canonical harness job specs,
+// each self-describing (the resolved system spec rides inside the job).
+// Version must equal the worker's ProtocolVersion; it is re-checked on
 // every request (not just the handshake) so a worker binary swapped
 // mid-sweep cannot silently serve results from a different model.
 type RunRequest struct {
@@ -71,7 +83,7 @@ type RunResponse struct {
 }
 
 // RegisterRequest is a worker's join — and, repeated periodically, its
-// heartbeat. Version must equal the coordinator's harness.Version (a
+// heartbeat. Version must equal the coordinator's ProtocolVersion (a
 // mismatch is refused with 412 so a stale binary fails at join time).
 type RegisterRequest struct {
 	Version string `json:"version"`
@@ -90,7 +102,7 @@ type RegisterRequest struct {
 
 // RegisterResponse answers a RegisterRequest.
 type RegisterResponse struct {
-	Version string `json:"version"` // coordinator's harness.Version
+	Version string `json:"version"` // coordinator's ProtocolVersion
 	// HeartbeatMillis is how often the coordinator expects the worker to
 	// re-register; missing heartbeats for 3× this evicts the worker.
 	HeartbeatMillis int64 `json:"heartbeat_millis"`

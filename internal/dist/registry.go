@@ -10,8 +10,6 @@ import (
 	"strings"
 	"sync"
 	"time"
-
-	"vbi/internal/harness"
 )
 
 // Member is one fleet worker as the coordinator sees it.
@@ -44,11 +42,13 @@ type Member struct {
 // A member removed for request failures (Remove) is quarantined: its
 // heartbeats alone do not resurrect it (that would churn the scheduler
 // against a wedged worker), but a register with a new Instance — a process
-// restart — readmits it at once, and the quarantine lapses on its own
-// after TTL.
+// restart — readmits it at once, and the quarantine lapses on its own:
+// it starts at TTL and doubles per repeated drop of the same
+// incarnation, capped at 8x TTL (see Remove).
 type Registry struct {
 	// TTL evicts a dynamic member this long after its last heartbeat and
-	// bounds the failure quarantine (<=0 = 15s). Workers are told to
+	// is the base unit of the failure quarantine, which escalates from TTL
+	// up to 8x TTL for repeated drops (<=0 = 15s). Workers are told to
 	// re-register every TTL/3.
 	TTL time.Duration
 	// AuthToken, when non-empty, is required (constant-time bearer compare)
@@ -198,7 +198,7 @@ func (r *Registry) Live() []Member {
 // registry dynamic. Mount it on the coordinator's fleet listener
 // (vbisweep -fleet / vbibench -fleet). Requests are auth-gated when
 // AuthToken is set, and a registration carrying a different
-// harness.Version is refused with 412 so a stale worker binary fails
+// ProtocolVersion is refused with 412 so a stale worker binary fails
 // loudly at join time instead of poisoning a sweep.
 func (r *Registry) Handler() http.Handler {
 	r.mu.Lock()
@@ -239,10 +239,10 @@ func (r *Registry) handleRegister(rw http.ResponseWriter, req *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
 		return
 	}
-	if rr.Version != harness.Version {
-		r.logf("dist: refused join from %s: worker is %s, coordinator is %s", req.RemoteAddr, rr.Version, harness.Version)
+	if rr.Version != ProtocolVersion {
+		r.logf("dist: refused join from %s: worker is %s, coordinator is %s", req.RemoteAddr, rr.Version, ProtocolVersion)
 		writeJSON(rw, http.StatusPreconditionFailed, errorBody{
-			Error: fmt.Sprintf("version mismatch: worker %s, coordinator %s", rr.Version, harness.Version)})
+			Error: fmt.Sprintf("version mismatch: worker %s, coordinator %s", rr.Version, ProtocolVersion)})
 		return
 	}
 	addr, err := advertisedAddr(rr.Addr, req.RemoteAddr)
@@ -252,7 +252,7 @@ func (r *Registry) handleRegister(rw http.ResponseWriter, req *http.Request) {
 	}
 	r.Add(addr, rr.Workers, false, rr.Instance)
 	writeJSON(rw, http.StatusOK, RegisterResponse{
-		Version:         harness.Version,
+		Version:         ProtocolVersion,
 		HeartbeatMillis: r.ttl().Milliseconds() / 3,
 	})
 }

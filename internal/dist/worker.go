@@ -75,7 +75,7 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 	}
 	writeJSON(rw, http.StatusOK, Hello{
 		Service: "vbiworker",
-		Version: harness.Version,
+		Version: ProtocolVersion,
 		Workers: w.PoolWidth(),
 	})
 }
@@ -90,14 +90,14 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
 		return
 	}
-	// The version gate: serving a shard under a different harness.Version
-	// would merge results from a different timing model or job schema into
-	// the coordinator's matrix. 412 tells the coordinator this is fatal,
-	// not retryable.
-	if rr.Version != harness.Version {
-		w.logf("dist: refused shard: coordinator is %s, worker is %s", rr.Version, harness.Version)
+	// The version gate: serving a shard under a different ProtocolVersion
+	// would merge results from a different timing model, job schema or
+	// wire format into the coordinator's matrix. 412 tells the coordinator
+	// this is fatal, not retryable.
+	if rr.Version != ProtocolVersion {
+		w.logf("dist: refused shard: coordinator is %s, worker is %s", rr.Version, ProtocolVersion)
 		writeJSON(rw, http.StatusPreconditionFailed, errorBody{
-			Error: fmt.Sprintf("version mismatch: coordinator %s, worker %s", rr.Version, harness.Version)})
+			Error: fmt.Sprintf("version mismatch: coordinator %s, worker %s", rr.Version, ProtocolVersion)})
 		return
 	}
 	r := w.Runner

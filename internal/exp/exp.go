@@ -111,7 +111,7 @@ func runSingles(o Options, keys []runKey) (map[runKey]system.RunResult, error) {
 	jobs := make([]harness.Job, len(uniq))
 	for i, k := range uniq {
 		jobs[i] = harness.Job{
-			System: k.kind.String(), Workloads: []string{k.app},
+			Spec: system.MustSpec(k.kind.String()), Workloads: []string{k.app},
 			Refs: o.Refs, Seed: o.Seed, UniformTables: k.uniform,
 			Params: o.Params,
 		}
@@ -244,6 +244,37 @@ func Fig7(o Options) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig8Series is Figure 8's displayed series order (Native, the
+// normalization baseline, runs too but is not displayed).
+var fig8Series = []system.Kind{system.Native2M, system.Virtual, system.Virtual2M,
+	system.VBIFull, system.PerfectTLB}
+
+// fig8Grid declares Figure 8's quad-core runs as an ordinary bundle-axis
+// grid: rows are the Table 2 bundles, series the evaluated kinds. A
+// vbisweep sweep over the same axes expands the exact same jobs (and so
+// shares cache entries with the figure).
+func fig8Grid(o Options) harness.Grid {
+	kinds := append([]system.Kind{system.Native}, fig8Series...)
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	bundles := make([]harness.Bundle, len(workloads.BundleNames))
+	for i, n := range workloads.BundleNames {
+		bundles[i] = harness.Bundle{Name: n}
+	}
+	g := harness.Grid{
+		Systems: names,
+		Bundles: bundles,
+		Seeds:   []uint64{o.Seed},
+		Refs:    o.Refs,
+	}
+	if !o.Params.IsZero() {
+		g.Overlay = &o.Params
+	}
+	return g
+}
+
 // Fig8 reproduces Figure 8: quad-core weighted speedup over the Table 2
 // bundles, normalized to Native.
 func Fig8(o Options) (*stats.Table, error) {
@@ -253,8 +284,8 @@ func Fig8(o Options) (*stats.Table, error) {
 		Rows:  append([]string{}, workloads.BundleNames...),
 	}
 	// Alone-run IPCs (single-core Native) for the weighted-speedup
-	// denominators, plus one quad-core job per (kind, bundle) — all
-	// submitted as a single harness batch.
+	// denominators, plus one quad-core job per (kind, bundle) from the
+	// bundle grid — all submitted as a single harness batch per group.
 	var aloneKeys []runKey
 	for _, name := range workloads.BundleNames {
 		for _, app := range workloads.Bundles[name] {
@@ -265,18 +296,11 @@ func Fig8(o Options) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	series := []system.Kind{system.Native2M, system.Virtual, system.Virtual2M,
-		system.VBIFull, system.PerfectTLB}
+	series := fig8Series
 	kinds := append([]system.Kind{system.Native}, series...)
-	var jobs []harness.Job
-	for _, name := range workloads.BundleNames {
-		for _, k := range kinds {
-			jobs = append(jobs, harness.Job{
-				System:    k.String(),
-				Workloads: append([]string{}, workloads.Bundles[name]...),
-				Refs:      o.Refs, Seed: o.Seed, Params: o.Params,
-			})
-		}
+	jobs, err := fig8Grid(o).Jobs()
+	if err != nil {
+		return nil, err
 	}
 	results, err := o.exec().Run(o.ctx(), jobs)
 	if err != nil {

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
+	"vbi/internal/harness"
 	"vbi/internal/stats"
+	"vbi/internal/system"
 	"vbi/internal/workloads"
 )
 
@@ -145,5 +148,50 @@ func TestFigureGoldenShapes(t *testing.T) {
 					c.name, cold.Render(), cached.Render())
 			}
 		})
+	}
+}
+
+// TestFig8BundleGridMatchesHardcodedJobs pins the bundle-grid rewiring of
+// Figure 8: the grid expansion must reproduce, job for job and byte for
+// byte in canonical JSON, the hard-coded (bundle × kind) job list the
+// figure used before bundles became a sweep axis. Identical job specs
+// mean identical cache keys and — by the determinism contract — identical
+// multiprogrammed rows, so a vbisweep sweep over the same bundle axes
+// shares cache entries with (and reproduces) the figure.
+func TestFig8BundleGridMatchesHardcodedJobs(t *testing.T) {
+	o := Options{Refs: 10_000}.withDefaults()
+	jobs, err := fig8Grid(o).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-bundle-axis construction, verbatim: bundle-major over the
+	// Table 2 bundles, Native first then the displayed series.
+	kinds := append([]system.Kind{system.Native}, fig8Series...)
+	var legacy []harness.Job
+	for _, name := range workloads.BundleNames {
+		for _, k := range kinds {
+			legacy = append(legacy, harness.Job{
+				Spec:      system.MustSpec(k.String()),
+				Workloads: append([]string{}, workloads.Bundles[name]...),
+				Refs:      o.Refs, Seed: o.Seed, Params: o.Params,
+			})
+		}
+	}
+	if len(jobs) != len(legacy) {
+		t.Fatalf("grid expanded %d jobs, hard-coded path had %d", len(jobs), len(legacy))
+	}
+	for i := range legacy {
+		gb, err := json.Marshal(jobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := json.Marshal(legacy[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gb) != string(lb) {
+			t.Errorf("job %d diverged from the hard-coded path:\ngrid:      %s\nhard-coded: %s", i, gb, lb)
+		}
 	}
 }

@@ -19,8 +19,10 @@ import (
 // way that alters outputs for an identical job spec. Bump it whenever a
 // timing model, workload profile or default constant moves, and whenever
 // the Job schema changes shape (v2: the Params overlay joined the
-// canonical job JSON).
-const Version = "vbi-harness-v2"
+// canonical job JSON; v3: jobs became self-describing — the resolved
+// system.Spec replaced the spec name, so v2 entries keyed on names can
+// never be confused with v3 entries keyed on materialized specs).
+const Version = "vbi-harness-v3"
 
 // Cache is an on-disk result store keyed by a SHA-256 of the canonical
 // job JSON plus Version. Entries are written atomically (temp file +
@@ -43,10 +45,11 @@ type entry struct {
 	Results []system.RunResult `json:"results"`
 }
 
-// Key returns the cache key for a job. Jobs name their system by
-// registered spec name, so the key also folds in the *resolved* spec: a
-// cache directory shared across processes that register the same variant
-// name with a different overlay must miss, not serve stale results.
+// Key returns the cache key for a job: SHA-256 over Version plus the
+// canonical job JSON. Jobs are self-describing — the resolved spec (base
+// kind + materialized overlay) is part of that JSON — so the key needs no
+// registry lookup, and two processes that bind the same variant name to
+// different overlays produce different keys by construction.
 func (c *Cache) Key(j Job) string {
 	b, err := json.Marshal(j)
 	if err != nil {
@@ -57,13 +60,6 @@ func (c *Cache) Key(j Job) string {
 	h.Write([]byte(Version))
 	h.Write([]byte{'\n'})
 	h.Write(b)
-	if j.HeteroMem == "" && j.System != "" {
-		if spec, err := system.ResolveSpec(j.System); err == nil {
-			sb, _ := json.Marshal(spec)
-			h.Write([]byte{'\n'})
-			h.Write(sb)
-		}
-	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -136,15 +132,33 @@ type CacheStats struct {
 	// fail to parse count under "corrupt". Any key other than the current
 	// Version is dead weight — those entries can never hit again.
 	Versions map[string]int `json:"versions"`
+	// VersionBytes is the per-version byte breakdown, same keys as
+	// Versions. It is what lets cache tooling report how much a prune of
+	// stale entries would reclaim before deleting anything.
+	VersionBytes map[string]int64 `json:"version_bytes"`
+}
+
+// Stale sums the entries and bytes that a Prune(keep) would remove:
+// everything stored under a different schema version, corrupt files
+// included.
+func (st CacheStats) Stale(keep string) (entries int, bytes int64) {
+	for v, n := range st.Versions {
+		if v != keep {
+			entries += n
+			bytes += st.VersionBytes[v]
+		}
+	}
+	return entries, bytes
 }
 
 // Stats scans the cache directory. A missing directory is an empty cache.
 func (c *Cache) Stats() (CacheStats, error) {
-	st := CacheStats{Versions: map[string]int{}}
+	st := CacheStats{Versions: map[string]int{}, VersionBytes: map[string]int64{}}
 	err := c.scan(func(path string, size int64, version string) error {
 		st.Entries++
 		st.Bytes += size
 		st.Versions[version]++
+		st.VersionBytes[version] += size
 		return nil
 	})
 	return st, err

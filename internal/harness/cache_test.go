@@ -15,7 +15,7 @@ import (
 func cacheWithEntry(t *testing.T, job Job) (*Cache, string) {
 	t.Helper()
 	c := &Cache{Dir: t.TempDir()}
-	if err := c.Put(job, []system.RunResult{{System: job.System, IPC: 1.5}}); err != nil {
+	if err := c.Put(job, []system.RunResult{{System: job.Spec.Name, IPC: 1.5}}); err != nil {
 		t.Fatal(err)
 	}
 	path := c.path(c.Key(job))
@@ -25,7 +25,7 @@ func cacheWithEntry(t *testing.T, job Job) (*Cache, string) {
 	return c, path
 }
 
-var cacheJob = Job{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
+var cacheJob = Job{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
 
 // TestCacheTruncatedEntryMisses asserts a partially written / truncated
 // entry file reads as a miss, not a crash or a bogus hit.
@@ -108,7 +108,7 @@ func TestCacheVersionInvalidation(t *testing.T) {
 	}
 
 	// Add a current entry and a corrupt file; Stats must bucket all three.
-	current := Job{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 1000}
+	current := Job{Spec: system.MustSpec("VBI-Full"), Workloads: []string{"namd"}, Refs: 1000}
 	if err := c.Put(current, []system.RunResult{{System: "VBI-Full", IPC: 2}}); err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCacheVersionInvalidation(t *testing.T) {
 func TestRunnerContextCancel(t *testing.T) {
 	jobs := make([]Job, 6)
 	for i := range jobs {
-		jobs[i] = Job{System: "Native", Workloads: []string{"namd"},
+		jobs[i] = Job{Spec: system.MustSpec("Native"), Workloads: []string{"namd"},
 			Refs: 2_000, Seed: uint64(i + 1)}
 	}
 

@@ -13,8 +13,12 @@ import (
 // validate: the cache key must be well-defined (stable and injective) for
 // any job the marshaller accepts, not only runnable ones, because Key is
 // computed before Validate in some paths (cache tooling, wire decoding).
-func fuzzJob(sys, wls string, refs, warmup int, seed uint64, het, pol string,
-	uniform bool, paramIdx, paramVal int) Job {
+// A non-empty spec name or base materializes an inline (possibly
+// unregistered) spec, exercising the v3 self-describing schema: the spec
+// — base kind and materialized overlay included — is part of the
+// canonical JSON the key hashes.
+func fuzzJob(specName, base, wls string, refs, warmup int, seed uint64, het, pol string,
+	uniform bool, paramIdx, paramVal, specParamIdx, specParamVal int) Job {
 	var workloads []string
 	for _, w := range strings.Split(wls, ",") {
 		if w != "" {
@@ -22,10 +26,17 @@ func fuzzJob(sys, wls string, refs, warmup int, seed uint64, het, pol string,
 		}
 	}
 	j := Job{
-		System: sys, Workloads: workloads, Refs: refs, Warmup: warmup,
+		Workloads: workloads, Refs: refs, Warmup: warmup,
 		Seed: seed, HeteroMem: het, Policy: pol, UniformTables: uniform,
 	}
 	names := system.ParamNames()
+	if specName != "" || base != "" || specParamVal > 0 {
+		spec := &system.Spec{Name: specName, Base: base}
+		if specParamIdx >= 0 && specParamVal > 0 {
+			spec.Params.Set(names[specParamIdx%len(names)], specParamVal)
+		}
+		j.Spec = spec
+	}
 	if paramIdx >= 0 && paramVal > 0 {
 		j.Params.Set(names[paramIdx%len(names)], paramVal)
 	}
@@ -39,26 +50,34 @@ func fuzzJob(sys, wls string, refs, warmup int, seed uint64, het, pol string,
 // different experiment) and what keeps the dist wire format and the cache
 // from drifting apart (both hash the same canonical bytes).
 func FuzzJobKey(f *testing.F) {
-	f.Add("Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0,
-		"Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0)
+	f.Add("Native", "Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0, -1, 0,
+		"Native", "Native", "mcf", 1000, 0, uint64(1), "", "", false, -1, 0, -1, 0)
 	// Bundle order is significant: one core per workload, so a permuted
 	// bundle is a different experiment and must key differently.
-	f.Add("VBI-Full", "mcf,graph500", 1000, 0, uint64(1), "", "", false, -1, 0,
-		"VBI-Full", "graph500,mcf", 1000, 0, uint64(1), "", "", false, -1, 0)
+	f.Add("VBI-Full", "VBI-Full", "mcf,graph500", 1000, 0, uint64(1), "", "", false, -1, 0, -1, 0,
+		"VBI-Full", "VBI-Full", "graph500,mcf", 1000, 0, uint64(1), "", "", false, -1, 0, -1, 0)
 	// Hetero jobs and param overlays.
-	f.Add("", "sphinx3", 1000, 500, uint64(2), "PCM-DRAM", "VBI", false, -1, 0,
-		"", "sphinx3", 1000, 500, uint64(2), "TL-DRAM", "VBI", false, -1, 0)
-	f.Add("Native", "namd", 5000, 0, uint64(1), "", "", false, 0, 512,
-		"Native", "namd", 5000, 0, uint64(1), "", "", false, 1, 512)
+	f.Add("", "", "sphinx3", 1000, 500, uint64(2), "PCM-DRAM", "VBI", false, -1, 0, -1, 0,
+		"", "", "sphinx3", 1000, 500, uint64(2), "TL-DRAM", "VBI", false, -1, 0, -1, 0)
+	f.Add("Native", "Native", "namd", 5000, 0, uint64(1), "", "", false, 0, 512, -1, 0,
+		"Native", "Native", "namd", 5000, 0, uint64(1), "", "", false, 1, 512, -1, 0)
 	// Zero-value neighbors: Refs 0 (default) vs explicit 0-adjacent values.
-	f.Add("Native", "namd", 0, 0, uint64(0), "", "", false, -1, 0,
-		"Native", "namd", 1, 0, uint64(0), "", "", false, -1, 0)
+	f.Add("Native", "Native", "namd", 0, 0, uint64(0), "", "", false, -1, 0, -1, 0,
+		"Native", "Native", "namd", 1, 0, uint64(0), "", "", false, -1, 0, -1, 0)
+	// v3 self-describing specs: same name over a different materialized
+	// overlay (the shape of two processes binding one variant name to
+	// different definitions) and spec-level vs job-level overlays of the
+	// same parameter must all key apart.
+	f.Add("Native-128TLB", "Native", "namd", 5000, 0, uint64(1), "", "", false, -1, 0, 2, 128,
+		"Native-128TLB", "Native", "namd", 5000, 0, uint64(1), "", "", false, -1, 0, 2, 256)
+	f.Add("Native-128TLB", "Native", "namd", 5000, 0, uint64(1), "", "", false, 2, 128, -1, 0,
+		"Native-128TLB", "Native", "namd", 5000, 0, uint64(1), "", "", false, -1, 0, 2, 128)
 
 	f.Fuzz(func(t *testing.T,
-		sys1, wls1 string, refs1, warmup1 int, seed1 uint64, het1, pol1 string, uni1 bool, pIdx1, pVal1 int,
-		sys2, wls2 string, refs2, warmup2 int, seed2 uint64, het2, pol2 string, uni2 bool, pIdx2, pVal2 int) {
-		j1 := fuzzJob(sys1, wls1, refs1, warmup1, seed1, het1, pol1, uni1, pIdx1, pVal1)
-		j2 := fuzzJob(sys2, wls2, refs2, warmup2, seed2, het2, pol2, uni2, pIdx2, pVal2)
+		name1, base1, wls1 string, refs1, warmup1 int, seed1 uint64, het1, pol1 string, uni1 bool, pIdx1, pVal1, sIdx1, sVal1 int,
+		name2, base2, wls2 string, refs2, warmup2 int, seed2 uint64, het2, pol2 string, uni2 bool, pIdx2, pVal2, sIdx2, sVal2 int) {
+		j1 := fuzzJob(name1, base1, wls1, refs1, warmup1, seed1, het1, pol1, uni1, pIdx1, pVal1, sIdx1, sVal1)
+		j2 := fuzzJob(name2, base2, wls2, refs2, warmup2, seed2, het2, pol2, uni2, pIdx2, pVal2, sIdx2, sVal2)
 		c := &Cache{}
 
 		// Stability: the key is a pure function — recomputing it cannot
@@ -95,7 +114,7 @@ func TestJobKeyParamOrderInsensitive(t *testing.T) {
 	}
 	a, b := names[0], names[1]
 	mk := func(first, second string) Job {
-		j := Job{System: "Native", Workloads: []string{"mcf"}, Refs: 1000}
+		j := Job{Spec: system.MustSpec("Native"), Workloads: []string{"mcf"}, Refs: 1000}
 		if err := j.Params.Set(first, 128); err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +125,7 @@ func TestJobKeyParamOrderInsensitive(t *testing.T) {
 	}
 	// Same (name, value) pairs, set in both orders.
 	j1 := mk(a, b)
-	j2 := Job{System: "Native", Workloads: []string{"mcf"}, Refs: 1000}
+	j2 := Job{Spec: system.MustSpec("Native"), Workloads: []string{"mcf"}, Refs: 1000}
 	if err := j2.Params.Set(b, 256); err != nil {
 		t.Fatal(err)
 	}
@@ -124,9 +143,48 @@ func TestJobKeyParamOrderInsensitive(t *testing.T) {
 // different experiment and must miss, not hit.
 func TestJobKeyBundleOrderSensitive(t *testing.T) {
 	c := &Cache{}
-	j1 := Job{System: "Native", Workloads: []string{"mcf", "graph500"}, Refs: 1000}
-	j2 := Job{System: "Native", Workloads: []string{"graph500", "mcf"}, Refs: 1000}
+	j1 := Job{Spec: system.MustSpec("Native"), Workloads: []string{"mcf", "graph500"}, Refs: 1000}
+	j2 := Job{Spec: system.MustSpec("Native"), Workloads: []string{"graph500", "mcf"}, Refs: 1000}
 	if c.Key(j1) == c.Key(j2) {
 		t.Errorf("permuted bundle produced the same cache key")
+	}
+}
+
+// TestJobKeySurvivesJSONRoundTrip pins the v3 self-describing contract:
+// marshalling a job and unmarshalling it back — the exact trip a job
+// takes over the dist wire and into a cache entry — reproduces the
+// canonical JSON and the cache key byte for byte, including jobs whose
+// resolved spec carries a non-zero parameter overlay on top of which a
+// job-level overlay sits.
+func TestJobKeySurvivesJSONRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1},
+		{Spec: &system.Spec{Name: "RoundTrip-Variant", Base: "VBI-Full",
+			Params: system.Params{L2TLBEntries: 256, PWCEntries: 64}},
+			Workloads: []string{"mcf", "graph500"}, Refs: 2000, Seed: 3,
+			Params: system.Params{L2TLBLatency: 9}},
+		{Workloads: []string{"sphinx3"}, HeteroMem: "PCM-DRAM", Policy: "VBI", Refs: 1500},
+	}
+	c := &Cache{}
+	for _, j := range jobs {
+		b, err := json.Marshal(j)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", j.Describe(), err)
+		}
+		var back Job
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", j.Describe(), b, err)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("%s: canonical JSON changed across a round trip:\nbefore: %s\nafter:  %s",
+				j.Describe(), b, b2)
+		}
+		if c.Key(j) != c.Key(back) {
+			t.Errorf("%s: cache key changed across a JSON round trip", j.Describe())
+		}
 	}
 }

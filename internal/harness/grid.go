@@ -10,25 +10,53 @@ import (
 
 	"vbi/internal/stats"
 	"vbi/internal/system"
+	"vbi/internal/workloads"
 )
 
 // Grid is a declarative sweep, the design-space-exploration shape of
 // cmd/vbisweep. Beyond the original (system × workload × seed) axes it
 // expands arbitrary parameter axes (named Params values, cross-producted),
-// a refs scaling axis, and heterogeneous-memory policy grids. It expands
-// to one single-core Job per cell in a fixed order (seed-major, then refs,
-// then workload, then series), so Matrix can consume the results
+// a refs scaling axis, multiprogrammed workload bundles, and
+// heterogeneous-memory policy grids. It expands to one Job per cell —
+// single-core for workload rows, one core per workload for bundle rows —
+// in a fixed order (seed-major, then refs, then workload rows, then
+// bundle rows, then series), so Matrix can consume the results
 // positionally.
 //
 // The series dimension is (system × parameter combination) — or, for
 // hetero grids, (memory × policy × parameter combination); Systems and
-// HeteroMems are mutually exclusive.
+// HeteroMems are mutually exclusive, and bundles are system-only (hetero
+// jobs are single-core).
+//
+// A grid is self-contained: inline Specs define the variant systems its
+// axes name, and because expanded jobs carry their resolved specs, the
+// same grid shards to remote workers without any out-of-band
+// registration.
 type Grid struct {
 	Systems   []string `json:"systems,omitempty"`
-	Workloads []string `json:"workloads"`
+	Workloads []string `json:"workloads,omitempty"`
 	Seeds     []uint64 `json:"seeds,omitempty"`
 	Refs      int      `json:"refs,omitempty"`
 	Warmup    int      `json:"warmup,omitempty"`
+
+	// Bundles adds multiprogrammed rows alongside Workloads: each entry
+	// either names a predefined Table 2 bundle or defines an inline one
+	// (one core per workload). Bundle rows expand after the workload rows
+	// within each (seed, refs) block.
+	Bundles []Bundle `json:"bundles,omitempty"`
+
+	// Specs declares variant system specs inline. They are registered
+	// into the process-wide registry when the grid expands (idempotently
+	// — identical re-registration is a no-op), so the Systems axis can
+	// name them without code changes.
+	Specs []system.Spec `json:"specs,omitempty"`
+
+	// Overlay, when non-nil, applies a base parameter overlay to every
+	// cell; the Params axes compose on top field-by-field (an axis wins
+	// for its field). A pointer so an absent overlay is genuinely omitted
+	// from the grid's JSON (encoding/json ignores omitempty on struct
+	// values).
+	Overlay *system.Params `json:"overlay,omitempty"`
 
 	// RefsAxis sweeps the measured reference count as a row axis (refs
 	// scaling curves). When empty, every cell uses Refs.
@@ -59,6 +87,72 @@ func LoadGrid(path string) (Grid, error) {
 		return Grid{}, fmt.Errorf("harness: parse grid %s: %w", path, err)
 	}
 	return g, nil
+}
+
+// Bundle is one multiprogrammed workload bundle: a named list of
+// workloads, one core per entry.
+type Bundle struct {
+	// Name labels the bundle's matrix row. A bundle with no Workloads is
+	// resolved as the predefined Table 2 bundle of this name.
+	Name      string   `json:"name"`
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// ParseBundles parses a comma-separated -bundle flag value: each entry is
+// either a predefined Table 2 bundle name ("wl1") or an inline definition
+// "name=app1+app2+...". Resolution and validation happen at grid
+// expansion, so flag parsing stays purely syntactic.
+func ParseBundles(s string) ([]Bundle, error) {
+	var out []Bundle
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		name, list, inline := strings.Cut(p, "=")
+		b := Bundle{Name: strings.TrimSpace(name)}
+		if b.Name == "" {
+			return nil, fmt.Errorf("harness: bundle entry %q has no name", p)
+		}
+		if inline {
+			for _, w := range strings.Split(list, "+") {
+				if w = strings.TrimSpace(w); w != "" {
+					b.Workloads = append(b.Workloads, w)
+				}
+			}
+			if len(b.Workloads) == 0 {
+				return nil, fmt.Errorf("harness: bundle %q defines no workloads (want name=app1+app2+...)", b.Name)
+			}
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// resolveBundles materializes the bundle axis: predefined names pull
+// their Table 2 workload lists, and every bundle is checked to be
+// genuinely multiprogrammed (per-workload existence is per-cell
+// validation, Job.Validate).
+func (g Grid) resolveBundles() ([]Bundle, error) {
+	out := make([]Bundle, 0, len(g.Bundles))
+	for _, b := range g.Bundles {
+		if b.Name == "" {
+			return nil, fmt.Errorf("harness: bundle with no name")
+		}
+		if len(b.Workloads) == 0 {
+			wl, ok := workloads.Bundles[b.Name]
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown bundle %q (predefined: %s; or define inline as name=app1+app2+...)",
+					b.Name, strings.Join(workloads.BundleNames, ", "))
+			}
+			b.Workloads = append([]string{}, wl...)
+		}
+		if len(b.Workloads) < 2 {
+			return nil, fmt.Errorf("harness: bundle %q has %d workload(s); multiprogrammed bundles need at least two (single-core runs belong on the workloads axis)",
+				b.Name, len(b.Workloads))
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 // withDefaults fills the optional axes.
@@ -151,16 +245,19 @@ func noDups[T comparable](axis string, vals []T) error {
 }
 
 // cells expands the grid in its fixed order: rows are seed-major, then
-// refs, then workload; within a row, series iterate (system or mem/policy)
-// × parameter combination. Every entry point (Jobs, Matrix) derives from
-// this one expansion, so labels and positions cannot drift apart.
+// refs, then workload rows, then bundle rows; within a row, series
+// iterate (system or mem/policy) × parameter combination. Every entry
+// point (Jobs, Matrix) derives from this one expansion, so labels and
+// positions cannot drift apart. Inline Specs are registered first
+// (idempotently), and every Systems entry is resolved exactly once — the
+// expanded jobs carry their materialized specs.
 func (g Grid) cells() ([]cell, error) {
 	if g.Refs != 0 && len(g.RefsAxis) > 0 {
 		return nil, fmt.Errorf("harness: refs and refs_axis are mutually exclusive")
 	}
 	g = g.withDefaults()
-	if len(g.Workloads) == 0 {
-		return nil, fmt.Errorf("harness: grid needs at least one workload")
+	if len(g.Workloads) == 0 && len(g.Bundles) == 0 {
+		return nil, fmt.Errorf("harness: grid needs at least one workload or bundle")
 	}
 	if len(g.Systems) > 0 && len(g.HeteroMems) > 0 {
 		return nil, fmt.Errorf("harness: systems and hetero_mems are mutually exclusive axes")
@@ -168,9 +265,22 @@ func (g Grid) cells() ([]cell, error) {
 	if len(g.Systems) == 0 && len(g.HeteroMems) == 0 {
 		return nil, fmt.Errorf("harness: grid needs at least one system (or hetero_mems entry)")
 	}
+	if len(g.Bundles) > 0 && len(g.HeteroMems) > 0 {
+		return nil, fmt.Errorf("harness: bundles and hetero_mems are mutually exclusive (heterogeneous jobs are single-core)")
+	}
+	bundles, err := g.resolveBundles()
+	if err != nil {
+		return nil, err
+	}
+	// Workload and bundle names share the row-label space, so they must
+	// be collision-checked together.
+	rowNames := append([]string{}, g.Workloads...)
+	for _, b := range bundles {
+		rowNames = append(rowNames, b.Name)
+	}
 	for _, err := range []error{
 		noDups("systems", g.Systems),
-		noDups("workloads", g.Workloads),
+		noDups("workload/bundle row", rowNames),
 		noDups("seeds", g.Seeds),
 		noDups("refs_axis", g.RefsAxis),
 		noDups("hetero_mems", g.HeteroMems),
@@ -184,18 +294,41 @@ func (g Grid) cells() ([]cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The inline specs: validated and conflict-screened against the
+	// process-wide registry up front, but resolved from the grid's own
+	// list during expansion and only *registered* once the whole grid has
+	// validated — a grid that fails a later check must not permanently
+	// bind names on its way out.
+	inline := make(map[string]system.Spec, len(g.Specs))
+	for _, s := range g.Specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: grid spec: %w", err)
+		}
+		key := strings.ToLower(s.Name)
+		if prev, dup := inline[key]; dup && !prev.SameDefinition(s) {
+			return nil, fmt.Errorf("harness: grid defines spec %q twice with different definitions", s.Name)
+		}
+		if prev, ok := system.LookupSpec(s.Name); ok && !prev.SameDefinition(s) {
+			return nil, fmt.Errorf("harness: grid spec %q conflicts with an already registered definition", s.Name)
+		}
+		inline[key] = s
+	}
 
-	// The series templates: jobs missing only workload/refs/seed.
+	// The series templates: jobs missing only workloads/refs/seed.
 	type seriesTmpl struct {
 		label string
 		job   Job
 	}
 	var series []seriesTmpl
+	base := system.Params{}
+	if g.Overlay != nil {
+		base = *g.Overlay
+	}
 	addSeries := func(label string, job Job, combo paramCombo) {
 		if combo.label != "" {
 			label = fmt.Sprintf("%s[%s]", label, combo.label)
 		}
-		job.Params = combo.params
+		job.Params = system.Overlay(base, combo.params)
 		series = append(series, seriesTmpl{label: label, job: job})
 	}
 	if len(g.HeteroMems) > 0 {
@@ -209,35 +342,69 @@ func (g Grid) cells() ([]cell, error) {
 		}
 	} else {
 		for _, s := range g.Systems {
+			// Resolve once — inline grid specs first, then the registry;
+			// the spec then rides inside every job of the series,
+			// registry-free from here on.
+			spec, ok := inline[strings.ToLower(s)]
+			if !ok {
+				var err error
+				if spec, err = system.ResolveSpec(s); err != nil {
+					return nil, err
+				}
+			}
 			for _, c := range combos {
-				addSeries(s, Job{System: s}, c)
+				addSeries(s, Job{Spec: &spec}, c)
 			}
 		}
 	}
 
 	var cells []cell
+	rowLabel := func(name string, refs int, seed uint64) string {
+		if len(g.RefsAxis) > 1 {
+			name = fmt.Sprintf("%s/r%d", name, refs)
+		}
+		if len(g.Seeds) > 1 {
+			name = fmt.Sprintf("%s/s%d", name, seed)
+		}
+		return name
+	}
+	addRow := func(name string, wls []string, refs int, seed uint64) error {
+		row := rowLabel(name, refs, seed)
+		for _, st := range series {
+			j := st.job
+			j.Workloads = append([]string{}, wls...)
+			j.Refs = refs
+			j.Warmup = g.Warmup
+			j.Seed = seed
+			if err := j.Validate(); err != nil {
+				return err
+			}
+			cells = append(cells, cell{job: j, row: row, series: st.label})
+		}
+		return nil
+	}
 	for _, seed := range g.Seeds {
 		for _, refs := range g.RefsAxis {
 			for _, w := range g.Workloads {
-				row := w
-				if len(g.RefsAxis) > 1 {
-					row = fmt.Sprintf("%s/r%d", row, refs)
-				}
-				if len(g.Seeds) > 1 {
-					row = fmt.Sprintf("%s/s%d", row, seed)
-				}
-				for _, st := range series {
-					j := st.job
-					j.Workloads = []string{w}
-					j.Refs = refs
-					j.Warmup = g.Warmup
-					j.Seed = seed
-					if err := j.Validate(); err != nil {
-						return nil, err
-					}
-					cells = append(cells, cell{job: j, row: row, series: st.label})
+				if err := addRow(w, []string{w}, refs, seed); err != nil {
+					return nil, err
 				}
 			}
+			for _, b := range bundles {
+				if err := addRow(b.Name, b.Workloads, refs, seed); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// The grid is fully valid; now publish its inline specs to the
+	// process-wide registry so the rest of the process (listings, later
+	// grids, flag-based references) can resolve them too. Registration is
+	// an idempotent upsert and conflicts were screened above, so this
+	// cannot fail short of a concurrent conflicting Register.
+	for _, s := range g.Specs {
+		if err := system.Register(s); err != nil {
+			return nil, fmt.Errorf("harness: grid spec: %w", err)
 		}
 	}
 	return cells, nil
@@ -280,8 +447,10 @@ func ValidateMetric(metric string) error {
 }
 
 // Matrix folds the results of a Jobs() run into a table: one row per
-// (workload, refs, seed) cell, one series per (system or mem/policy,
-// parameter combination), values taken from the named metric.
+// (workload or bundle, refs, seed) cell, one series per (system or
+// mem/policy, parameter combination), values taken from the named metric.
+// Single-core cells report the core's value directly; bundle cells
+// aggregate across cores (ipc: total throughput, dram: total accesses).
 func (g Grid) Matrix(results []Result, metric string) (*stats.Table, error) {
 	if err := ValidateMetric(metric); err != nil {
 		return nil, err
@@ -294,12 +463,16 @@ func (g Grid) Matrix(results []Result, metric string) (*stats.Table, error) {
 		return nil, fmt.Errorf("harness: grid expects %d results, got %d", len(cells), len(results))
 	}
 	value := func(r Result) float64 {
-		switch metric {
-		case MetricDRAM:
-			return float64(r.Results[0].DRAMAccesses)
-		default:
-			return r.Results[0].IPC
+		var v float64
+		for _, rr := range r.Results {
+			switch metric {
+			case MetricDRAM:
+				v += float64(rr.DRAMAccesses)
+			default:
+				v += rr.IPC
+			}
 		}
+		return v
 	}
 	t := &stats.Table{Title: fmt.Sprintf("Sweep: %s over %d cells", metric, len(cells))}
 	for i, c := range cells {

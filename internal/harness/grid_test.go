@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"vbi/internal/system"
+	"vbi/internal/workloads"
 )
 
 // TestParamAxisExpansion pins the deterministic expansion order of
@@ -42,7 +43,7 @@ func TestParamAxisExpansion(t *testing.T) {
 		if j.Params != want[i] {
 			t.Errorf("job %d params = %+v, want %+v", i, j.Params, want[i])
 		}
-		if j.System != "Native" || j.Refs != 1000 {
+		if j.Spec == nil || j.Spec.Name != "Native" || j.Refs != 1000 {
 			t.Errorf("job %d lost its non-param fields: %+v", i, j)
 		}
 	}
@@ -137,8 +138,8 @@ func TestHeteroGrid(t *testing.T) {
 		if cells[i].job.Policy != pol || cells[i].job.HeteroMem != "PCM-DRAM" {
 			t.Errorf("cell %d = %+v, want policy %s", i, cells[i].job, pol)
 		}
-		if cells[i].job.System != "" {
-			t.Errorf("cell %d carries a System on a hetero job", i)
+		if cells[i].job.Spec != nil {
+			t.Errorf("cell %d carries a system spec on a hetero job", i)
 		}
 		if want := "PCM-DRAM/" + pol; cells[i].series != want {
 			t.Errorf("cell %d series = %q, want %q", i, cells[i].series, want)
@@ -189,13 +190,13 @@ func TestGridConfigRoundTrip(t *testing.T) {
 // the cache key) distinguishes parameter overlays and spec names.
 func TestCacheKeySensitivityToParams(t *testing.T) {
 	c := &Cache{Dir: t.TempDir()}
-	base := Job{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
+	base := Job{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
 	variants := []Job{
-		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
 			Params: system.Params{L2TLBEntries: 256}},
-		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
 			Params: system.Params{L2TLBEntries: 512}},
-		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1,
 			Params: system.Params{PWCEntries: 16}},
 	}
 	keys := map[string]bool{c.Key(base): true}
@@ -219,10 +220,10 @@ func TestSpecNameJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := []Job{
-		{System: "Native-HarnessTest-128TLB", Workloads: []string{"mcf"}, Refs: 8000},
-		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000,
+		{Spec: system.MustSpec("Native-HarnessTest-128TLB"), Workloads: []string{"mcf"}, Refs: 8000},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"mcf"}, Refs: 8000,
 			Params: system.Params{L2TLBEntries: 128}},
-		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"mcf"}, Refs: 8000},
 	}
 	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
 	if err != nil {
@@ -235,10 +236,10 @@ func TestSpecNameJob(t *testing.T) {
 		t.Error("variant spec ran identically to the default Native (overlay not applied)")
 	}
 	// A job-level overlay on a variant spec wins field-by-field.
-	over := Job{System: "Native-HarnessTest-128TLB", Workloads: []string{"mcf"}, Refs: 8000,
+	over := Job{Spec: system.MustSpec("Native-HarnessTest-128TLB"), Workloads: []string{"mcf"}, Refs: 8000,
 		Params: system.Params{L2TLBEntries: 2048}}
 	r2, err := (&Runner{Workers: 1}).Run(context.Background(), []Job{over,
-		{System: "Native", Workloads: []string{"mcf"}, Refs: 8000,
+		{Spec: system.MustSpec("Native"), Workloads: []string{"mcf"}, Refs: 8000,
 			Params: system.Params{L2TLBEntries: 2048}}})
 	if err != nil {
 		t.Fatal(err)
@@ -253,8 +254,8 @@ func TestSpecNameJob(t *testing.T) {
 // for the pre-registry job schema.
 func TestDefaultParamsAreByteIdentical(t *testing.T) {
 	jobs := []Job{
-		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 6000},
-		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 6000,
+		{Spec: system.MustSpec("VBI-Full"), Workloads: []string{"namd"}, Refs: 6000},
+		{Spec: system.MustSpec("VBI-Full"), Workloads: []string{"namd"}, Refs: 6000,
 			Params: system.DefaultParams()},
 	}
 	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
@@ -302,5 +303,191 @@ func TestParamAxesFlag(t *testing.T) {
 	}
 	if _, err := (ParamAxes{"pwc_entries": {16, 32}}).Overlay(); err == nil {
 		t.Error("multi-valued axis accepted as a single-run overlay")
+	}
+}
+
+// TestBundleGridExpansion pins the bundle axis: predefined Table 2 names
+// resolve to their workload lists, bundle rows follow the workload rows
+// in declaration order, every series covers every row, and the Describe
+// label distinguishes bundles ("a+b@spec") from single-core runs
+// ("spec/a").
+func TestBundleGridExpansion(t *testing.T) {
+	g := Grid{
+		Systems:   []string{"Native", "VBI-Full"},
+		Workloads: []string{"namd"},
+		Bundles: []Bundle{
+			{Name: "pair", Workloads: []string{"namd", "sjeng"}},
+			{Name: "wl6"},
+		},
+		Refs: 1000,
+	}
+	cells, err := g.cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 3 rows x 2 systems
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	wantRows := []string{"namd", "namd", "pair", "pair", "wl6", "wl6"}
+	for i, c := range cells {
+		if c.row != wantRows[i] {
+			t.Errorf("cell %d row = %q, want %q", i, c.row, wantRows[i])
+		}
+	}
+	if wl6 := cells[4].job.Workloads; !reflect.DeepEqual(wl6, workloads.Bundles["wl6"]) {
+		t.Errorf("predefined bundle wl6 resolved to %v, want %v", wl6, workloads.Bundles["wl6"])
+	}
+	if got := cells[2].job.Describe(); got != "namd+sjeng@Native" {
+		t.Errorf("bundle job Describe() = %q, want namd+sjeng@Native", got)
+	}
+	if got := cells[0].job.Describe(); got != "Native/namd" {
+		t.Errorf("single-core job Describe() = %q, want Native/namd", got)
+	}
+
+	// Error paths: hetero conflict, unknown name, single-workload bundle,
+	// row-label collision with a workload.
+	if _, err := (Grid{HeteroMems: []string{"PCM-DRAM"}, Workloads: []string{"namd"},
+		Bundles: []Bundle{{Name: "wl1"}}}).Jobs(); err == nil ||
+		!strings.Contains(err.Error(), "single-core") {
+		t.Errorf("bundles+hetero grid expanded (err=%v)", err)
+	}
+	if _, err := (Grid{Systems: []string{"Native"},
+		Bundles: []Bundle{{Name: "no-such-bundle"}}}).Jobs(); err == nil ||
+		!strings.Contains(err.Error(), "wl1") {
+		t.Errorf("unknown bundle name accepted (err=%v)", err)
+	}
+	if _, err := (Grid{Systems: []string{"Native"},
+		Bundles: []Bundle{{Name: "solo", Workloads: []string{"namd"}}}}).Jobs(); err == nil {
+		t.Error("single-workload bundle accepted")
+	}
+	if _, err := (Grid{Systems: []string{"Native"}, Workloads: []string{"namd"},
+		Bundles: []Bundle{{Name: "namd", Workloads: []string{"namd", "sjeng"}}}}).Jobs(); err == nil {
+		t.Error("bundle name colliding with a workload row accepted")
+	}
+}
+
+// TestParseBundles pins the -bundle flag syntax: predefined names pass
+// through, inline definitions split on +, malformed entries error.
+func TestParseBundles(t *testing.T) {
+	got, err := ParseBundles("wl1, pair=mcf+graph500 ,wl3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Bundle{
+		{Name: "wl1"},
+		{Name: "pair", Workloads: []string{"mcf", "graph500"}},
+		{Name: "wl3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseBundles = %+v, want %+v", got, want)
+	}
+	if b, err := ParseBundles(""); err != nil || len(b) != 0 {
+		t.Errorf("empty flag = %+v, %v", b, err)
+	}
+	if _, err := ParseBundles("=mcf+graph500"); err == nil {
+		t.Error("nameless inline bundle accepted")
+	}
+	if _, err := ParseBundles("pair="); err == nil {
+		t.Error("workload-less inline bundle accepted")
+	}
+}
+
+// TestBundleGridGoldenShape is the bundle-sweep golden test: a mixed
+// (workload + bundle) grid run cache-cold and then fully cached against
+// the same directory must simulate nothing the second time and render
+// byte-identical matrices for every metric, with bundle cells aggregating
+// across cores.
+func TestBundleGridGoldenShape(t *testing.T) {
+	g := Grid{
+		Systems:   []string{"Native", "VBI-Full"},
+		Workloads: []string{"namd"},
+		Bundles:   []Bundle{{Name: "pair", Workloads: []string{"namd", "sjeng"}}},
+		Refs:      3000,
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := &Cache{Dir: t.TempDir()}
+	cold, err := (&Runner{Workers: 2, Cache: cache}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := (&Runner{Workers: 2, Cache: cache}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range warm {
+		if !r.Cached {
+			t.Errorf("job %d (%s) re-simulated despite a warm cache", i, jobs[i].Describe())
+		}
+	}
+	for _, metric := range Metrics() {
+		ct, err := g.Matrix(cold, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, err := g.Matrix(warm, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct.Render() != wt.Render() {
+			t.Errorf("%s: fully-cached bundle matrix differs:\ncold:\n%s\nwarm:\n%s",
+				metric, ct.Render(), wt.Render())
+		}
+		if rows := ct.Rows; len(rows) != 2 || rows[0] != "namd" || rows[1] != "pair" {
+			t.Errorf("%s: rows = %v, want [namd pair]", metric, rows)
+		}
+	}
+	// The bundle cell aggregates across cores: its per-core results are
+	// two, and the matrix value is their sum.
+	it, err := g.Matrix(cold, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundleRes := cold[2] // row "pair", series "Native"
+	if len(bundleRes.Results) != 2 {
+		t.Fatalf("bundle job returned %d per-core results, want 2", len(bundleRes.Results))
+	}
+	wantSum := bundleRes.Results[0].IPC + bundleRes.Results[1].IPC
+	if got := it.Series[0].Values[1]; got != wantSum {
+		t.Errorf("bundle ipc cell = %v, want per-core sum %v", got, wantSum)
+	}
+}
+
+// TestGridInlineSpecs asserts a grid defining variant specs inline is
+// self-contained: expansion registers them (idempotently — Jobs and
+// Matrix both expand), the Systems axis resolves them, and the expanded
+// jobs carry the materialized overlay.
+func TestGridInlineSpecs(t *testing.T) {
+	g := Grid{
+		Specs: []system.Spec{{Name: "GridTest-256TLB", Base: "Native",
+			Params: system.Params{L2TLBEntries: 256}}},
+		Systems:   []string{"Native", "GridTest-256TLB"},
+		Workloads: []string{"namd"},
+		Refs:      1000,
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expanding twice (Jobs + Matrix both call cells) must not trip a
+	// duplicate-registration error.
+	if _, err := g.Jobs(); err != nil {
+		t.Fatalf("second expansion failed: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("expanded %d jobs, want 2", len(jobs))
+	}
+	variant := jobs[1]
+	if variant.Spec == nil || variant.Spec.Params.L2TLBEntries != 256 {
+		t.Errorf("variant job does not carry its materialized overlay: %+v", variant.Spec)
+	}
+	// A grid redefining the name differently must fail loudly.
+	bad := g
+	bad.Specs = []system.Spec{{Name: "GridTest-256TLB", Base: "Native",
+		Params: system.Params{L2TLBEntries: 512}}}
+	if _, err := bad.Jobs(); err == nil {
+		t.Error("conflicting inline spec redefinition accepted")
 	}
 }

@@ -1,17 +1,24 @@
 // Package harness orchestrates experiment runs. It turns declarative Job
-// specs — system spec name, parameter overlay, workload(s), reference
-// count, seed, heterogeneous memory and placement policy — into
-// simulations executed across a bounded worker pool, with results
-// guaranteed identical to a serial run: every job owns its own
-// system.Machine, and aggregation is positional, so the worker count only
-// changes wall-clock time, never output.
+// specs — resolved system spec, parameter overlay, workload(s) or
+// multiprogrammed bundle, reference count, seed, heterogeneous memory and
+// placement policy — into simulations executed across a bounded worker
+// pool, with results guaranteed identical to a serial run: every job owns
+// its own system.Machine, and aggregation is positional, so the worker
+// count only changes wall-clock time, never output.
+//
+// Jobs are self-describing: the fully resolved system.Spec travels inside
+// the job (its canonical JSON, the dist wire, the cache key), so name
+// resolution against the process-wide spec registry happens exactly once,
+// where the job is constructed — a worker machine never consults its own
+// registry and can therefore run variants registered only in the
+// coordinator.
 //
 // The harness also provides an on-disk result cache (see Cache) keyed by a
 // hash of the job spec, so re-running a sweep only simulates what changed,
 // and grid-sweep expansion (see Grid) for design-space exploration over
-// (system × workload × seed × parameter axes × refs × hetero policy).
-// Execution sits behind the Executor seam: *Runner is the local worker
-// pool, internal/dist's Coordinator shards batches across machines.
+// (system × workload × bundle × seed × parameter axes × refs × hetero
+// policy). Execution sits behind the Executor seam: *Runner is the local
+// worker pool, internal/dist's Coordinator shards batches across machines.
 // internal/exp, cmd/vbibench and cmd/vbisweep all run on top of it;
 // DESIGN.md describes the architecture.
 package harness
@@ -34,11 +41,14 @@ import (
 // would. Jobs are plain data: they marshal to canonical JSON, which is
 // what the result cache hashes.
 type Job struct {
-	// System names a registered system spec (a built-in kind like
-	// "VBI-Full" or a registered variant like "Native-128TLB"; see
-	// system.Register). Must be empty for heterogeneous-memory jobs, which
-	// are always VBI-2 over two zones.
-	System string `json:"system,omitempty"`
+	// Spec is the fully resolved system configuration: a built-in base
+	// kind plus a materialized parameter overlay. Resolve a registered
+	// name once with system.ResolveSpec (or system.MustSpec) when
+	// constructing the job; from then on the spec travels with the job —
+	// canonical JSON, the dist wire, the cache key — and no process ever
+	// re-resolves it against a local registry. Must be nil for
+	// heterogeneous-memory jobs, which are always VBI-2 over two zones.
+	Spec *system.Spec `json:"spec,omitempty"`
 	// Workloads lists benchmark names: one element is a single-core run,
 	// several are a multiprogrammed run with one core per workload.
 	Workloads []string `json:"workloads"`
@@ -86,9 +96,9 @@ func (j Job) Validate() error {
 		return err
 	}
 	if j.HeteroMem != "" {
-		if j.System != "" {
-			return fmt.Errorf("harness: heterogeneous jobs are always VBI-2; System %q conflicts with HeteroMem %q",
-				j.System, j.HeteroMem)
+		if j.Spec != nil {
+			return fmt.Errorf("harness: heterogeneous jobs are always VBI-2; Spec %q conflicts with HeteroMem %q",
+				j.Spec.Name, j.HeteroMem)
 		}
 		if len(j.Workloads) != 1 {
 			return fmt.Errorf("harness: heterogeneous jobs are single-core")
@@ -101,17 +111,24 @@ func (j Job) Validate() error {
 		}
 		return nil
 	}
-	spec, err := system.ResolveSpec(j.System)
-	if err != nil {
+	if j.Spec == nil {
+		return fmt.Errorf("harness: job has no system spec (resolve a name with system.ResolveSpec)")
+	}
+	if err := j.Spec.Validate(); err != nil {
 		return err
 	}
-	return system.Overlay(spec.Params, j.Params).Validate()
+	return system.Overlay(j.Spec.Params, j.Params).Validate()
 }
 
-// Describe returns a short label for progress lines.
+// Describe returns a short label for progress lines and listings.
+// Single-core jobs read "spec/app"; multiprogrammed bundles read
+// "app1+app2@spec", so a bundle row is distinguishable at a glance.
 func (j Job) Describe() string {
 	apps := strings.Join(j.Workloads, "+")
-	name := j.System
+	name := ""
+	if j.Spec != nil {
+		name = j.Spec.Name
+	}
 	if j.HeteroMem != "" {
 		name = fmt.Sprintf("%s/%s", j.HeteroMem, j.Policy)
 	} else if j.UniformTables {
@@ -119,6 +136,9 @@ func (j Job) Describe() string {
 	}
 	if !j.Params.IsZero() {
 		name = fmt.Sprintf("%s[%s]", name, j.Params)
+	}
+	if len(j.Workloads) > 1 {
+		return fmt.Sprintf("%s@%s", apps, name)
 	}
 	return fmt.Sprintf("%s/%s", name, apps)
 }
@@ -147,11 +167,7 @@ func (j Job) run() ([]system.RunResult, error) {
 		return []system.RunResult{res}, nil
 	}
 
-	spec, err := system.ResolveSpec(j.System)
-	if err != nil {
-		return nil, err
-	}
-	cfg, err := spec.Config()
+	cfg, err := j.Spec.Config()
 	if err != nil {
 		return nil, err
 	}

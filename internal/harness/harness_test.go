@@ -103,13 +103,13 @@ func TestCacheServesSecondRun(t *testing.T) {
 // changed spec misses.
 func TestCacheKeySensitivity(t *testing.T) {
 	c := &Cache{Dir: t.TempDir()}
-	base := Job{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
+	base := Job{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1}
 	variants := []Job{
-		{System: "VBI-Full", Workloads: []string{"namd"}, Refs: 1000, Seed: 1},
-		{System: "Native", Workloads: []string{"sjeng"}, Refs: 1000, Seed: 1},
-		{System: "Native", Workloads: []string{"namd"}, Refs: 2000, Seed: 1},
-		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 2},
-		{System: "Native", Workloads: []string{"namd"}, Refs: 1000, Seed: 1, UniformTables: true},
+		{Spec: system.MustSpec("VBI-Full"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"sjeng"}, Refs: 1000, Seed: 1},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 2000, Seed: 1},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 2},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 1000, Seed: 1, UniformTables: true},
 		{Workloads: []string{"namd"}, Refs: 1000, Seed: 1, HeteroMem: "PCM-DRAM", Policy: "VBI"},
 	}
 	keys := map[string]bool{c.Key(base): true}
@@ -136,8 +136,8 @@ func TestCacheKeySensitivity(t *testing.T) {
 // TestJobKinds smoke-tests the three job shapes through one runner batch.
 func TestJobKinds(t *testing.T) {
 	jobs := []Job{
-		{System: "VBI-2", Workloads: []string{"namd"}, Refs: 5_000},
-		{System: "Native", Workloads: []string{"namd", "sjeng"}, Refs: 2_000},
+		{Spec: system.MustSpec("VBI-2"), Workloads: []string{"namd"}, Refs: 5_000},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd", "sjeng"}, Refs: 2_000},
 		{Workloads: []string{"namd"}, Refs: 5_000, HeteroMem: "TL-DRAM", Policy: "IDEAL"},
 	}
 	results, err := (&Runner{Workers: 2}).Run(context.Background(), jobs)
@@ -165,20 +165,22 @@ func TestJobKinds(t *testing.T) {
 // TestValidation asserts bad specs fail before any simulation.
 func TestValidation(t *testing.T) {
 	bad := []Job{
-		{System: "Native"},                                     // no workloads
-		{Workloads: []string{"namd"}},                          // neither System nor HeteroMem
-		{System: "NotASystem", Workloads: []string{"namd"}},    // unknown system
-		{System: "Native", Workloads: []string{"nope"}},        // unknown workload
-		{Workloads: []string{"namd"}, HeteroMem: "XX-RAM"},     // unknown memory
-		{Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM"},   // missing policy
-		{Workloads: []string{"a", "b"}, HeteroMem: "PCM-DRAM"}, // hetero multicore
-		// A hetero job naming a System used to be silently ignored (the
-		// run is always VBI-2); it must now be a validation error.
-		{System: "Native", Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM", Policy: "VBI"},
+		{Spec: system.MustSpec("Native")}, // no workloads
+		{Workloads: []string{"namd"}},     // neither Spec nor HeteroMem
+		{Spec: &system.Spec{Name: "NotASystem", Base: "NotASystem"},
+			Workloads: []string{"namd"}}, // unknown base kind
+		{Spec: &system.Spec{Base: "Native"}, Workloads: []string{"namd"}}, // nameless spec
+		{Spec: system.MustSpec("Native"), Workloads: []string{"nope"}},    // unknown workload
+		{Workloads: []string{"namd"}, HeteroMem: "XX-RAM"},                // unknown memory
+		{Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM"},              // missing policy
+		{Workloads: []string{"a", "b"}, HeteroMem: "PCM-DRAM"},            // hetero multicore
+		// A hetero job carrying a system spec used to be silently ignored
+		// (the run is always VBI-2); it must now be a validation error.
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, HeteroMem: "PCM-DRAM", Policy: "VBI"},
 		// Geometry the cache/TLB constructors would panic on.
-		{System: "Native", Workloads: []string{"namd"},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"},
 			Params: system.Params{L2TLBEntries: 100}},
-		{System: "Native", Workloads: []string{"namd"},
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"},
 			Params: system.Params{L1Size: 1000}},
 	}
 	for _, j := range bad {
@@ -254,7 +256,7 @@ func TestParseKindRoundTrips(t *testing.T) {
 
 // TestRunnerProgress asserts progress lines mark cached runs.
 func TestRunnerProgress(t *testing.T) {
-	job := Job{System: "Native", Workloads: []string{"namd"}, Refs: 2_000}
+	job := Job{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 2_000}
 	cache := &Cache{Dir: t.TempDir()}
 	var cold, warm bytes.Buffer
 	if _, err := (&Runner{Workers: 1, Cache: cache, Progress: &cold}).Run(context.Background(), []Job{job}); err != nil {

@@ -3,8 +3,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"vbi/internal/system"
+	"vbi/internal/workloads"
 )
 
 // The Write*List helpers render the registry-backed sections of the CLIs'
@@ -20,6 +22,16 @@ func WriteSpecList(w io.Writer) {
 		} else {
 			fmt.Fprintf(w, "  %-14s = %s[%s]\n", s.Name, s.Base, s.Params)
 		}
+	}
+}
+
+// WriteBundleList lists the predefined Table 2 multiprogrammed bundles
+// with their per-core workloads (the -bundle axis; inline bundles are
+// defined as name=app1+app2+...).
+func WriteBundleList(w io.Writer) {
+	fmt.Fprintln(w, "bundles (-bundle name or name=app1+app2+...):")
+	for _, n := range workloads.BundleNames {
+		fmt.Fprintf(w, "  %-5s %s\n", n, strings.Join(workloads.Bundles[n], "+"))
 	}
 }
 

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,16 +11,84 @@ import (
 // parameter overlay. The ten evaluated kinds are pre-registered with empty
 // overlays; variants ("Native-128TLB") are registered declaratively with
 // Register and become resolvable everywhere a system name is accepted
-// (harness jobs, vbisweep/vbisim flags, grid configs). Spec is plain data
-// and round-trips through JSON.
+// (harness jobs, vbisweep/vbisim flags, grid configs).
+//
+// A Spec is plain data with a canonical JSON form (see MarshalJSON):
+// marshal → unmarshal → marshal is byte-identical, which is what lets a
+// fully resolved spec travel inside a harness job — over the dist wire
+// and into the result-cache key — instead of a name each process would
+// re-resolve against its own registry.
 type Spec struct {
-	// Name resolves the spec in the registry (case-insensitive).
+	// Name labels the spec (and resolves it in the registry,
+	// case-insensitively, when it is registered).
 	Name string `json:"name"`
 	// Base is the built-in Kind name the spec starts from.
 	Base string `json:"base"`
 	// Params overlays the tunable knobs; zero fields keep Table 1
 	// defaults.
 	Params Params `json:"params,omitempty"`
+}
+
+// specWire is the canonical JSON shape of a Spec. Params is a pointer so
+// an empty overlay is omitted entirely (encoding/json does not honour
+// omitempty on struct values), keeping the wire form and the cache key
+// minimal and byte-stable.
+type specWire struct {
+	Name   string  `json:"name"`
+	Base   string  `json:"base"`
+	Params *Params `json:"params,omitempty"`
+}
+
+// MarshalJSON renders the canonical form: a zero overlay has no "params"
+// key at all.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	w := specWire{Name: s.Name, Base: s.Base}
+	if !s.Params.IsZero() {
+		w.Params = &s.Params
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON accepts the canonical form (and, harmlessly, an explicit
+// empty overlay, which normalizes away on the next marshal).
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	var w specWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	s.Name, s.Base = w.Name, w.Base
+	if w.Params != nil {
+		s.Params = *w.Params
+	} else {
+		s.Params = Params{}
+	}
+	return nil
+}
+
+// SameDefinition reports whether two specs are the same definition under
+// the registry's identity rules: names compare case-insensitively (the
+// registry resolves them that way), base and overlay exactly. Register's
+// idempotent upsert and harness.Grid's inline-spec conflict screen both
+// use it, so the two can never disagree.
+func (s Spec) SameDefinition(o Spec) bool {
+	return strings.EqualFold(s.Name, o.Name) && s.Base == o.Base && s.Params == o.Params
+}
+
+// Validate checks the spec is materializable without touching any
+// registry: named, based on a built-in kind, with a buildable overlay.
+// It is what consumers of resolved specs (harness jobs, the dist wire)
+// check instead of a registry lookup.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("system: spec has no name")
+	}
+	if _, err := ParseKind(s.Base); err != nil {
+		return fmt.Errorf("system: spec %q: %w", s.Name, err)
+	}
+	if err := s.Params.Validate(); err != nil {
+		return fmt.Errorf("system: spec %q: %w", s.Name, err)
+	}
+	return nil
 }
 
 // Config resolves the spec into a runnable Config (base kind + params);
@@ -46,23 +115,26 @@ func init() {
 	}
 }
 
-// Register adds a spec to the registry. The name must be new and the base
-// must resolve to a built-in kind; the overlay must validate.
+// Register adds a spec to the registry. The base must resolve to a
+// built-in kind and the overlay must validate. Registration is an
+// idempotent upsert for identical definitions — re-registering the exact
+// same spec is a no-op, so declarative sources (grid config files) can
+// register on every expansion — but a name already bound to a *different*
+// definition is an error: one name can never mean two configurations.
 func Register(s Spec) error {
-	if s.Name == "" {
-		return fmt.Errorf("system: spec has no name")
-	}
-	if _, err := ParseKind(s.Base); err != nil {
-		return fmt.Errorf("system: spec %q: %w", s.Name, err)
-	}
-	if err := s.Params.Validate(); err != nil {
-		return fmt.Errorf("system: spec %q: %w", s.Name, err)
+	if err := s.Validate(); err != nil {
+		return err
 	}
 	specRegistry.Lock()
 	defer specRegistry.Unlock()
 	key := strings.ToLower(s.Name)
-	if _, dup := specRegistry.byName[key]; dup {
-		return fmt.Errorf("system: spec %q already registered", s.Name)
+	if prev, dup := specRegistry.byName[key]; dup {
+		// A re-registration differing only in name spelling is the same
+		// definition (the first spelling is kept).
+		if prev.SameDefinition(s) {
+			return nil
+		}
+		return fmt.Errorf("system: spec %q already registered with a different definition", s.Name)
 	}
 	specRegistry.byName[key] = s
 	specRegistry.order = append(specRegistry.order, s.Name)
@@ -86,6 +158,17 @@ func ResolveSpec(name string) (Spec, error) {
 	}
 	return Spec{}, fmt.Errorf("system: unknown system %q (known: %s)",
 		name, strings.Join(SpecNames(), ", "))
+}
+
+// MustSpec returns a pointer to a copy of the named registered spec,
+// panicking on unknown names. It is for compile-time-known names (the
+// figure functions, tests); run-time names go through ResolveSpec.
+func MustSpec(name string) *Spec {
+	s, err := ResolveSpec(name)
+	if err != nil {
+		panic(err)
+	}
+	return &s
 }
 
 // Specs returns every registered spec in registration order (the ten

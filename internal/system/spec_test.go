@@ -80,8 +80,16 @@ func TestRegisterVariant(t *testing.T) {
 	if err != nil || !reflect.DeepEqual(got, v) {
 		t.Errorf("ResolveSpec = %+v, %v", got, err)
 	}
-	if err := Register(v); err == nil {
-		t.Error("duplicate registration accepted")
+	// Registration is an idempotent upsert: the identical definition is a
+	// no-op (grid configs re-register on every expansion), but binding
+	// the name to a different definition is an error.
+	if err := Register(v); err != nil {
+		t.Errorf("identical re-registration rejected: %v", err)
+	}
+	conflicting := v
+	conflicting.Params = Params{L2TLBEntries: 256}
+	if err := Register(conflicting); err == nil {
+		t.Error("conflicting re-registration accepted")
 	}
 	if err := Register(Spec{Name: "x", Base: "NotAKind"}); err == nil {
 		t.Error("unknown base accepted")
@@ -185,5 +193,69 @@ func TestParamsOverlayChangesBehavior(t *testing.T) {
 	explicit := run(DefaultParams())
 	if !reflect.DeepEqual(def, explicit) {
 		t.Errorf("explicit Table 1 params differ from zero params:\n%+v\n%+v", def, explicit)
+	}
+}
+
+// TestSpecCanonicalJSON pins the canonical wire form of Spec — the shape
+// that travels inside self-describing harness jobs and keys the result
+// cache: a zero overlay is omitted entirely, a non-zero overlay survives
+// marshal → unmarshal → marshal byte-identically, and Validate needs no
+// registry (an unregistered inline spec validates and builds).
+func TestSpecCanonicalJSON(t *testing.T) {
+	bare := Spec{Name: "Native", Base: "Native"}
+	b, err := json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"name":"Native","base":"Native"}`; string(b) != want {
+		t.Errorf("bare spec JSON = %s, want %s (zero overlay must be omitted)", b, want)
+	}
+	// An explicit empty overlay normalizes away on the next marshal.
+	var norm Spec
+	if err := json.Unmarshal([]byte(`{"name":"Native","base":"Native","params":{}}`), &norm); err != nil {
+		t.Fatal(err)
+	}
+	if nb, _ := json.Marshal(norm); string(nb) != string(b) {
+		t.Errorf("empty-overlay spec did not normalize: %s", nb)
+	}
+
+	variant := Spec{Name: "Canon-Variant", Base: "VBI-Full",
+		Params: Params{L2TLBEntries: 256, PWCEntries: 64, L2TLBLatency: 9}}
+	vb, err := json.Marshal(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(vb, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, variant) {
+		t.Errorf("round trip changed the spec: %+v -> %+v", variant, back)
+	}
+	vb2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vb) != string(vb2) {
+		t.Errorf("re-marshal not byte-identical:\nfirst:  %s\nsecond: %s", vb, vb2)
+	}
+
+	// Never registered anywhere, yet fully usable: Validate and Config
+	// work from the spec's own contents.
+	if err := back.Validate(); err != nil {
+		t.Errorf("unregistered inline spec failed validation: %v", err)
+	}
+	cfg, err := back.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != VBIFull || cfg.Params.L2TLBEntries != 256 {
+		t.Errorf("Config() dropped the materialized overlay: %+v", cfg)
+	}
+	if err := (Spec{Base: "Native"}).Validate(); err == nil {
+		t.Error("nameless spec validated")
+	}
+	if err := (Spec{Name: "x", Base: "NotAKind"}).Validate(); err == nil {
+		t.Error("unknown base validated")
 	}
 }
