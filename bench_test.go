@@ -13,6 +13,7 @@ package vbi
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -178,6 +179,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // VBIFullKind re-exports the flagship configuration for the throughput
 // benchmark.
 const VBIFullKind = system.VBIFull
+
+// TestBenchBaseline regenerates the tracked perf baseline (wall-clock and
+// refs/sec per system over the Figure 6 matrix). It is gated on an env
+// var because it always simulates — no cache — and so costs real time:
+//
+//	VBI_BENCH_BASELINE=BENCH_fig6.json go test -run TestBenchBaseline
+//
+// cmd/vbibench -bench-baseline writes the same document at full scale.
+func TestBenchBaseline(t *testing.T) {
+	path := os.Getenv("VBI_BENCH_BASELINE")
+	if path == "" {
+		t.Skip("set VBI_BENCH_BASELINE=<path> to regenerate the perf baseline")
+	}
+	b, err := exp.BenchBaseline(exp.Options{Refs: benchRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Systems) == 0 || b.Systems[0].RefsPerSecond <= 0 {
+		t.Fatalf("degenerate baseline: %+v", b)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline written to %s (%d systems)", path, len(b.Systems))
+}
 
 // BenchmarkHarnessWorkers measures the experiment orchestrator itself: the
 // same job batch at one worker vs full parallelism. On a multi-core

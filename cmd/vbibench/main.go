@@ -11,6 +11,12 @@
 //	vbibench -exp fig6 -param l2_tlb_entries=1024   # figures under altered hardware
 //	vbibench -exp all -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
 //	vbibench -exp all -fleet :9600 -auth-token secret -cache .vbicache
+//	vbibench -bench-baseline BENCH_fig6.json -refs 100000
+//
+// -bench-baseline measures the simulator itself instead of reproducing a
+// figure: it times every Figure 6 run locally (no cache, no remote) and
+// writes the per-system wall-clock + refs/sec document that tracks the
+// repo's performance trajectory (see BENCH_fig6.json).
 package main
 
 import (
@@ -34,6 +40,10 @@ import (
 
 func main() {
 	params := harness.ParamAxes{}
+	tlsOpts := &dist.TLSOptions{}
+	var (
+		baseline = flag.String("bench-baseline", "", "measure the Figure 6 matrix locally and write the per-system timing baseline to this file")
+	)
 	var (
 		which   = flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, fig10, dram, ablation, cvt or all")
 		refs    = flag.Int("refs", 400_000, "measured references per run")
@@ -49,6 +59,7 @@ func main() {
 		verbose = flag.Bool("v", false, "log every run")
 	)
 	flag.Var(params, "param", "parameter override name=value applied to every run (repeatable; see vbisweep -list)")
+	tlsOpts.Flags(flag.CommandLine)
 	flag.Parse()
 
 	overlay, err := params.Overlay()
@@ -91,10 +102,38 @@ func main() {
 	if *verbose {
 		o.Progress = os.Stderr
 	}
+
+	if *baseline != "" {
+		// The baseline always simulates locally (cache hits and remote
+		// results carry no timing), so it ignores -cache/-remote/-fleet.
+		b, err := exp.BenchBaseline(o)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := b.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vbibench: baseline written to %s (%d systems, %d refs each over %d workloads)\n",
+			*baseline, len(b.Systems), b.Refs, b.Workloads)
+		return
+	}
+
 	if *remote != "" || *fleet != "" {
 		token := dist.ResolveToken(*authTok)
-		coord := &dist.Coordinator{Endpoints: dist.SplitEndpoints(*remote),
-			AuthToken: token, Progress: o.Progress}
+		httpc, err := tlsOpts.Client()
+		if err != nil {
+			fatal(err)
+		}
+		coord := &dist.Coordinator{
+			Endpoints: dist.ApplyScheme(dist.SplitEndpoints(*remote), tlsOpts.Scheme()),
+			AuthToken: token, Progress: o.Progress, Client: httpc}
 		if *cache != "" {
 			coord.Cache = &harness.Cache{Dir: *cache}
 		}
@@ -102,7 +141,11 @@ func main() {
 		// (e.g. ",") still honors -workers/-cache instead of a default pool.
 		coord.Local = &harness.Runner{Workers: *workers, Cache: coord.Cache, Progress: o.Progress}
 		if *fleet != "" {
-			reg, closer, err := dist.ServeFleet(*fleet, token, "vbibench", os.Stderr)
+			tlsCfg, err := tlsOpts.ServerConfig()
+			if err != nil {
+				fatal(err)
+			}
+			reg, closer, err := dist.ServeFleet(*fleet, token, "vbibench", tlsCfg, os.Stderr)
 			if err != nil {
 				fatal(err)
 			}

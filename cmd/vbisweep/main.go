@@ -15,6 +15,9 @@
 //	vbisweep -config grid.json -workers 8 -cache .vbicache -csv out.csv -json out.json
 //	vbisweep -config grid.json -remote 10.0.0.7:9471,10.0.0.8:9471 -cache .vbicache
 //	vbisweep -config grid.json -fleet :9600 -auth-token secret -cache .vbicache
+//	vbisweep -daemon 10.0.0.1:9600 -submit -config grid.json -name fig6
+//	vbisweep -daemon 10.0.0.1:9600 -watch sw-688f...-a1b2c3d4 -json out.json
+//	vbisweep -daemon 10.0.0.1:9600 -cancel sw-688f...-a1b2c3d4
 //	vbisweep -cache .vbicache -cache-stats
 //	vbisweep -list
 //
@@ -33,8 +36,18 @@
 // listens for workers: vbiworker -join daemons register and heartbeat
 // there, may join mid-sweep, and are evicted (their shards requeued) when
 // their heartbeats stop. -auth-token (or $VBI_AUTH_TOKEN) authenticates
-// both directions. -cache-stats and -cache-prune inspect and clean the
-// cache directory without running anything.
+// both directions, and the -tls-cert/-tls-key/-tls-ca flags wrap every
+// route in TLS (mTLS when -tls-ca is given; see DESIGN.md §6).
+// -cache-stats and -cache-prune inspect and clean the cache directory
+// without running anything.
+//
+// -daemon switches to client mode against a vbisweepd service instead of
+// executing anything locally: -submit posts the grid (from -config or the
+// axis flags) and prints the sweep id, -watch polls a sweep to completion
+// and renders its matrix (honoring -json/-csv; the re-rendered JSON is
+// byte-identical to a local run's), -cancel deletes it. The daemon owns
+// the fleet, the journal and the cache; this process can disconnect any
+// time without losing the sweep.
 //
 // -param may repeat; each occurrence adds one axis and the grid expands
 // the cross product. Parameter names come from the system spec registry
@@ -59,6 +72,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -67,14 +81,25 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/stats"
+	"vbi/internal/sweepd"
 	"vbi/internal/workloads"
 )
 
 func main() {
 	params := harness.ParamAxes{}
+	tlsOpts := &dist.TLSOptions{}
+	var (
+		daemon  = flag.String("daemon", "", "vbisweepd address; switches to client mode (-submit/-watch/-cancel)")
+		submitF = flag.Bool("submit", false, "submit the grid to -daemon and print the sweep id")
+		watchF  = flag.String("watch", "", "poll this sweep id on -daemon until it finishes and render its matrix")
+		cancelF = flag.String("cancel", "", "cancel (or, when terminal, forget) this sweep id on -daemon")
+		nameF   = flag.String("name", "", "human label attached to a -submit")
+	)
 	var (
 		systemsF   = flag.String("systems", "", "comma-separated system/spec names (default Native,VBI-Full; see -list)")
 		workloadsF = flag.String("workloads", "", "comma-separated workload names (default mcf,graph500 unless -bundle is given; see -list)")
@@ -98,6 +123,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "log every run")
 	)
 	flag.Var(params, "param", "parameter axis name=v1,v2,... (repeatable; see -list)")
+	tlsOpts.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -115,6 +141,49 @@ func main() {
 
 	if err := harness.ValidateMetric(*metric); err != nil {
 		fatal(err)
+	}
+
+	// Client modes against a vbisweepd daemon. -watch and -cancel need no
+	// grid; -submit falls through to grid construction first.
+	if *submitF || *watchF != "" || *cancelF != "" {
+		if *daemon == "" {
+			fatal(fmt.Errorf("-submit/-watch/-cancel need -daemon"))
+		}
+		modes := 0
+		for _, on := range []bool{*submitF, *watchF != "", *cancelF != ""} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			fatal(fmt.Errorf("give exactly one of -submit, -watch or -cancel"))
+		}
+	} else if *daemon != "" {
+		fatal(fmt.Errorf("-daemon needs one of -submit, -watch or -cancel"))
+	}
+	var client *sweepd.Client
+	if *daemon != "" {
+		httpc, err := tlsOpts.Client()
+		if err != nil {
+			fatal(err)
+		}
+		client = &sweepd.Client{
+			Base:      dist.ApplyScheme([]string{*daemon}, tlsOpts.Scheme())[0],
+			AuthToken: dist.ResolveToken(*authToken),
+			HTTP:      httpc,
+		}
+	}
+	if *cancelF != "" {
+		st, err := client.Cancel(*cancelF)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sweep %s: %s\n", st.ID, st.State)
+		return
+	}
+	if *watchF != "" {
+		watchSweep(client, *watchF, *jsonOut, *csvOut)
+		return
 	}
 
 	var grid harness.Grid
@@ -186,6 +255,21 @@ func main() {
 		}
 	}
 
+	if *submitF {
+		resp, err := client.Submit(sweepd.SubmitRequest{
+			Version: dist.ProtocolVersion,
+			Name:    *nameF,
+			Grid:    grid,
+			Metric:  *metric,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("submitted %s (%d jobs)\nwatch with: vbisweep -daemon %s -watch %s\n",
+			resp.ID, resp.Total, *daemon, resp.ID)
+		return
+	}
+
 	jobs, err := grid.Jobs()
 	if err != nil {
 		fatal(err)
@@ -201,17 +285,26 @@ func main() {
 	var exec harness.Executor = runner
 	if *remote != "" || *fleet != "" {
 		token := dist.ResolveToken(*authToken)
+		httpc, err := tlsOpts.Client()
+		if err != nil {
+			fatal(err)
+		}
 		coord := &dist.Coordinator{
-			Endpoints: dist.SplitEndpoints(*remote),
+			Endpoints: dist.ApplyScheme(dist.SplitEndpoints(*remote), tlsOpts.Scheme()),
 			AuthToken: token,
 			Cache:     runner.Cache,
 			Local:     runner,
+			Client:    httpc,
 		}
 		if *verbose {
 			coord.Progress = os.Stderr
 		}
 		if *fleet != "" {
-			reg, closer, err := dist.ServeFleet(*fleet, token, "vbisweep", os.Stderr)
+			tlsCfg, err := tlsOpts.ServerConfig()
+			if err != nil {
+				fatal(err)
+			}
+			reg, closer, err := dist.ServeFleet(*fleet, token, "vbisweep", tlsCfg, os.Stderr)
 			if err != nil {
 				fatal(err)
 			}
@@ -275,6 +368,65 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// watchSweep polls one sweep to completion, reporting progress to stderr,
+// then renders its matrix like a local run: table to stdout, optional
+// -json/-csv files. The re-rendered WriteJSON output is byte-identical to
+// what a serial local `vbisweep -json` writes for the same grid.
+func watchSweep(client *sweepd.Client, id, jsonOut, csvOut string) {
+	var last string
+	for {
+		sr, err := client.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		line := fmt.Sprintf("sweep %s: %s %d/%d (%d cached, %d in flight, %d queued)",
+			sr.ID, sr.State, sr.Completed, sr.Total, sr.Cached, sr.InFlight, sr.Queued)
+		if line != last {
+			fmt.Fprintln(os.Stderr, line)
+			last = line
+		}
+		switch sr.State {
+		case sweepd.StateFailed:
+			fatal(fmt.Errorf("sweep %s failed: %s", sr.ID, sr.Error))
+		case sweepd.StateCancelled:
+			fatal(fmt.Errorf("sweep %s was cancelled", sr.ID))
+		case sweepd.StateDone:
+			var t stats.Table
+			if err := json.Unmarshal(sr.Table, &t); err != nil {
+				fatal(fmt.Errorf("decode result table: %w", err))
+			}
+			fmt.Print(t.Render())
+			fmt.Printf("\n%d runs (%d served from daemon cache)\n", sr.Total, sr.Cached)
+			if jsonOut != "" {
+				f, err := os.Create(jsonOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := t.WriteJSON(f); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			if csvOut != "" {
+				f, err := os.Create(csvOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := t.WriteCSV(f); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
+		time.Sleep(500 * time.Millisecond)
 	}
 }
 

@@ -61,6 +61,13 @@ func requireAuth(token string, next http.Handler) http.Handler {
 	})
 }
 
+// RequireAuth is requireAuth for other packages building on the dist
+// control plane (the sweep daemon gates its API with the same shared
+// token that gates the fleet routes).
+func RequireAuth(token string, next http.Handler) http.Handler {
+	return requireAuth(token, next)
+}
+
 // NonLoopbackBind reports whether a listen address accepts connections
 // from beyond the loopback interface. The CLIs use it to warn when a
 // worker or fleet listener is reachable from the network without an auth

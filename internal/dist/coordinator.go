@@ -434,6 +434,10 @@ func (c *Coordinator) handshake(ctx context.Context) ([]staticHello, error) {
 			return nil, fmt.Errorf("dist: worker %s runs %s, coordinator runs %s: refusing to mix timing models",
 				name, h.Version, ProtocolVersion)
 		}
+		if h.Draining {
+			c.logf("dist: skipping draining worker %s", name)
+			continue
+		}
 		out = append(out, staticHello{base: baseURL(name), workers: h.Workers})
 	}
 	return out, nil
@@ -459,14 +463,22 @@ func (c *Coordinator) hello(ctx context.Context, base string) (Hello, error) {
 }
 
 func (c *Coordinator) helloOnce(ctx context.Context, base string) (Hello, error) {
+	return Probe(ctx, c.client(), base, c.AuthToken)
+}
+
+// Probe fetches one endpoint's handshake (PathHealthz). It is the
+// client half every fleet front-end shares: the coordinator's static
+// handshake and the sweep daemon's -remote pre-registration both go
+// through it.
+func Probe(ctx context.Context, client *http.Client, base, token string) (Hello, error) {
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+PathHealthz, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(base)+PathHealthz, nil)
 	if err != nil {
 		return Hello{}, err
 	}
-	setAuth(req, c.AuthToken)
-	resp, err := c.client().Do(req)
+	setAuth(req, token)
+	resp, err := client.Do(req)
 	if err != nil {
 		return Hello{}, err
 	}
@@ -562,19 +574,30 @@ func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
 	for k, idx := range indices {
 		batch[k] = jobs[idx]
 	}
+	return ExecuteShard(ctx, c.client(), m, c.AuthToken, c.timeout(), batch)
+}
+
+// ExecuteShard sends one job batch to one member over the wire protocol
+// and returns its positional results. The second return is a fatal error
+// (version mismatch: this worker can never serve this process), the
+// third a retryable one (requeue the shard for the rest of the fleet).
+// The coordinator's dispatch loop and the sweep daemon's scheduler share
+// it, so the protocol cannot drift between the one-shot and daemon paths.
+func ExecuteShard(ctx context.Context, client *http.Client, m Member, token string,
+	timeout time.Duration, batch []harness.Job) (RunResponse, error, error) {
 	body, err := json.Marshal(RunRequest{Version: ProtocolVersion, Jobs: batch})
 	if err != nil {
 		return RunResponse{}, nil, err
 	}
-	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.Base+PathRun, bytes.NewReader(body))
 	if err != nil {
 		return RunResponse{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	setAuth(req, c.AuthToken)
-	resp, err := c.client().Do(req)
+	setAuth(req, token)
+	resp, err := client.Do(req)
 	if err != nil {
 		return RunResponse{}, nil, err
 	}
@@ -594,8 +617,8 @@ func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 		return RunResponse{}, nil, fmt.Errorf("run: decode: %w", err)
 	}
-	if len(rr.Results) != len(indices) {
-		return RunResponse{}, nil, fmt.Errorf("run: %d results for %d jobs", len(rr.Results), len(indices))
+	if len(rr.Results) != len(batch) {
+		return RunResponse{}, nil, fmt.Errorf("run: %d results for %d jobs", len(rr.Results), len(batch))
 	}
 	return rr, nil, nil
 }

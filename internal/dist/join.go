@@ -114,6 +114,39 @@ func (j *Joiner) Run(ctx context.Context) error {
 	}
 }
 
+// Leave deregisters the worker from the fleet (PathLeave), the graceful
+// half of drain: the coordinator stops dispatching to this worker at once
+// instead of discovering the death by failed requests or TTL eviction.
+// Best-effort — an unreachable or pre-leave coordinator (404) is not an
+// error, because the worker is exiting either way and TTL eviction is the
+// backstop.
+func (j *Joiner) Leave(ctx context.Context) {
+	body, err := json.Marshal(RegisterRequest{
+		Version:  ProtocolVersion,
+		Addr:     j.Advertise,
+		Instance: j.instance(),
+	})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL(j.Coordinator)+PathLeave, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setAuth(req, j.AuthToken)
+	resp, err := j.client().Do(req)
+	if err != nil {
+		j.logf("dist: leave %s failed (%v); the fleet will TTL-evict instead", j.Coordinator, err)
+		return
+	}
+	resp.Body.Close()
+	j.logf("dist: left fleet at %s", j.Coordinator)
+}
+
 // joinRejection marks a 401/412 registration response: retrying cannot
 // help, the operator must fix the token or the binary.
 type joinRejection struct{ msg string }

@@ -40,13 +40,19 @@ import (
 const ProtocolVersion = harness.Version + "+wire2"
 
 // URL paths of the fleet protocol. PathHealthz and PathRun are served by
-// workers; PathRegister is served by the coordinator's fleet listener
-// (vbisweep -fleet). When a shared auth token is configured, every route
-// on a gated server requires it (Authorization: Bearer <token>).
+// workers; PathRegister and PathLeave are served by the coordinator's
+// fleet listener (vbisweep -fleet, vbisweepd). When a shared auth token
+// is configured, every route on a gated server requires it
+// (Authorization: Bearer <token>).
 const (
 	PathHealthz  = "/healthz"
 	PathRun      = "/run"
 	PathRegister = "/register"
+	// PathLeave is a draining worker's voluntary deregistration: the
+	// member is removed at once instead of lingering until TTL eviction,
+	// so the scheduler stops handing it shards immediately. Best-effort —
+	// a worker that dies without leaving is still TTL-evicted.
+	PathLeave = "/leave"
 )
 
 // Hello is the handshake response served on /healthz. The coordinator
@@ -56,6 +62,10 @@ type Hello struct {
 	Service string `json:"service"` // always "vbiworker"
 	Version string `json:"version"` // ProtocolVersion of the worker binary
 	Workers int    `json:"workers"` // local pool width
+	// Draining reports a worker winding down (SIGTERM received): it
+	// finishes in-flight shards but refuses new ones, so a coordinator
+	// should not select it at handshake time.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // RunRequest carries one shard: a batch of canonical harness job specs,

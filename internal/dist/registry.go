@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -159,6 +160,50 @@ func (r *Registry) Remove(id string) {
 	e.bannedUntil = time.Now().Add(ban)
 }
 
+// Leave removes a member voluntarily (a draining worker's /leave): no
+// quarantine, no penalty — the worker said goodbye, and a later register
+// (same or new instance) readmits it immediately.
+func (r *Registry) Leave(base string) {
+	id := baseURL(base)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		delete(r.members, id)
+		r.logf("dist: worker %s left the fleet", id)
+	}
+}
+
+// MemberInfo is one member plus the observability fields the status plane
+// reports alongside it.
+type MemberInfo struct {
+	Member
+	// LastSeen is the time of the member's most recent heartbeat (or
+	// pre-registration, for static members).
+	LastSeen time.Time `json:"last_seen"`
+	// Quarantined reports a member currently banned after request
+	// failures: registered but not schedulable.
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// Snapshot returns every registered member — including quarantined ones,
+// which Live hides — sorted by ID, for status/metrics reporting. It does
+// not evict; only Live has scheduling side effects.
+func (r *Registry) Snapshot() []MemberInfo {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MemberInfo, 0, len(r.members))
+	for _, e := range r.members {
+		out = append(out, MemberInfo{
+			Member:      e.Member,
+			LastSeen:    e.lastSeen,
+			Quarantined: now.Before(e.bannedUntil),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // WeightOf returns a member's current advertised weight, or def when the
 // member is no longer registered. Dispatch loops re-read it each round so
 // a worker that re-registers with a different pool width (a restart on a
@@ -206,26 +251,39 @@ func (r *Registry) Handler() http.Handler {
 	r.mu.Unlock()
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathRegister, r.handleRegister)
+	mux.HandleFunc(PathLeave, r.handleLeave)
 	return requireAuth(r.AuthToken, mux)
+}
+
+// Mount registers the fleet routes on an existing mux (and marks the
+// registry dynamic), for servers that serve more than the fleet protocol
+// on one listener — the sweep daemon mounts its API and the fleet plane
+// together. Auth is the caller's concern (the surrounding server gates
+// everything once).
+func (r *Registry) Mount(mux *http.ServeMux) {
+	r.mu.Lock()
+	r.dynamic = true
+	r.mu.Unlock()
+	mux.HandleFunc(PathRegister, r.handleRegister)
+	mux.HandleFunc(PathLeave, r.handleLeave)
 }
 
 // ServeFleet binds a registration listener for dynamic workers: the CLI
 // front-ends' -fleet flag. It warns (to logw) when the bind is reachable
-// beyond loopback with no token, starts serving joins, and returns the
-// registry to hand to a Coordinator plus the server to Close when the
-// sweep ends. prog names the calling binary in the log lines.
-func ServeFleet(addr, token, prog string, logw io.Writer) (*Registry, io.Closer, error) {
-	if token == "" && NonLoopbackBind(addr) {
-		fmt.Fprintf(logw, "%s: warning: fleet listener %s is reachable beyond loopback with no -auth-token; any host can serve shards\n", prog, addr)
+// beyond loopback with neither a token nor TLS, starts serving joins
+// (HTTPS when tlsCfg is non-nil), and returns the registry to hand to a
+// Coordinator plus the server to Close when the sweep ends. prog names
+// the calling binary in the log lines.
+func ServeFleet(addr, token, prog string, tlsCfg *tls.Config, logw io.Writer) (*Registry, io.Closer, error) {
+	if token == "" && tlsCfg == nil && NonLoopbackBind(addr) {
+		fmt.Fprintf(logw, "%s: warning: fleet listener %s is reachable beyond loopback with no -auth-token or TLS; any host can serve shards\n", prog, addr)
 	}
 	reg := &Registry{AuthToken: token, Log: logw}
-	srv := &http.Server{Handler: reg.Handler()}
-	ln, err := net.Listen("tcp", addr)
+	srv, bound, err := Serve(addr, reg.Handler(), tlsCfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fleet listener: %w", err)
 	}
-	go srv.Serve(ln)
-	fmt.Fprintf(logw, "%s: fleet listening on %s (workers join with vbiworker -join)\n", prog, ln.Addr())
+	fmt.Fprintf(logw, "%s: fleet listening on %s (workers join with vbiworker -join)\n", prog, bound)
 	return reg, srv, nil
 }
 
@@ -255,6 +313,28 @@ func (r *Registry) handleRegister(rw http.ResponseWriter, req *http.Request) {
 		Version:         ProtocolVersion,
 		HeartbeatMillis: r.ttl().Milliseconds() / 3,
 	})
+}
+
+// handleLeave serves a draining worker's voluntary deregistration. The
+// body is the same RegisterRequest shape the join sends; no version gate
+// — any worker may say goodbye, stale binary or not.
+func (r *Registry) handleLeave(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var rr RegisterRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	addr, err := advertisedAddr(rr.Addr, req.RemoteAddr)
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	r.Leave(addr)
+	writeJSON(rw, http.StatusOK, RegisterResponse{Version: ProtocolVersion})
 }
 
 // advertisedAddr resolves a worker's advertised serving address. A missing

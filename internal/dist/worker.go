@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vbi/internal/harness"
 )
@@ -27,8 +28,20 @@ type Worker struct {
 	// Log, when non-nil, receives one line per request.
 	Log io.Writer
 
-	mu sync.Mutex // guards Log
+	mu       sync.Mutex // guards Log
+	draining atomic.Bool
 }
+
+// SetDraining flips the worker into (or out of) drain mode: /run refuses
+// new shards with 503 (the coordinator requeues them elsewhere) while
+// requests already executing run to completion, and /healthz advertises
+// Draining so a handshaking coordinator skips the worker entirely.
+// cmd/vbiworker sets it on the first SIGTERM, then deregisters and waits
+// for in-flight shards before exiting.
+func (w *Worker) SetDraining(v bool) { w.draining.Store(v) }
+
+// Draining reports whether the worker is refusing new shards.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // PoolWidth is the worker count advertised in the handshake (and in
 // -join registrations): the runner's, defaulted the same way the runner
@@ -74,15 +87,23 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, Hello{
-		Service: "vbiworker",
-		Version: ProtocolVersion,
-		Workers: w.PoolWidth(),
+		Service:  "vbiworker",
+		Version:  ProtocolVersion,
+		Workers:  w.PoolWidth(),
+		Draining: w.Draining(),
 	})
 }
 
 func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if w.Draining() {
+		// 503, not 412: the shard is fine, this worker just won't take it.
+		// The coordinator's retry path requeues it for the rest of the
+		// fleet.
+		writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "worker is draining"})
 		return
 	}
 	var rr RunRequest

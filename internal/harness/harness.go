@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"vbi/internal/system"
 	"vbi/internal/trace"
@@ -80,6 +81,11 @@ type Result struct {
 	Results []system.RunResult `json:"results"`
 	// Cached reports whether the run was served from the result cache.
 	Cached bool `json:"-"`
+	// Elapsed is the wall-clock simulation time of this job when it was
+	// actually executed by the local pool (zero for cache hits and for
+	// results that crossed the dist wire). Excluded from JSON like Cached:
+	// it is measurement metadata, not part of the deterministic payload.
+	Elapsed time.Duration `json:"-"`
 }
 
 // Validate checks the job without running it.
@@ -316,15 +322,17 @@ func (r *Runner) runOne(j Job) (Result, error) {
 			return Result{Job: j, Results: res, Cached: true}, nil
 		}
 	}
+	start := time.Now()
 	res, err := j.run()
 	if err != nil {
 		return Result{}, err
 	}
+	elapsed := time.Since(start)
 	if r.Cache != nil {
 		if err := r.Cache.Put(j, res); err != nil {
 			return Result{}, fmt.Errorf("cache put: %w", err)
 		}
 	}
 	r.logf("  %-34s IPC=%.4f DRAM=%d", j.Describe(), res[0].IPC, res[0].DRAMAccesses)
-	return Result{Job: j, Results: res}, nil
+	return Result{Job: j, Results: res, Elapsed: elapsed}, nil
 }

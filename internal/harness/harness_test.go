@@ -34,7 +34,17 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(serial, parallel) {
+	// Elapsed is wall-clock bookkeeping (json:"-", excluded from the
+	// cache and the wire), so it is outside the determinism contract.
+	stripElapsed := func(rs []Result) []Result {
+		out := make([]Result, len(rs))
+		for i, r := range rs {
+			r.Elapsed = 0
+			out[i] = r
+		}
+		return out
+	}
+	if !reflect.DeepEqual(stripElapsed(serial), stripElapsed(parallel)) {
 		t.Error("workers=8 results differ from workers=1")
 	}
 	for _, metric := range []string{MetricIPC, MetricDRAM} {

@@ -1,0 +1,113 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a vbisweepd daemon: the vbisweep -submit/-watch/-cancel
+// modes are thin wrappers over it.
+type Client struct {
+	// Base is the daemon address, with or without a scheme ("host:9600"
+	// defaults to http).
+	Base string
+	// AuthToken, when non-empty, is sent as the bearer credential.
+	AuthToken string
+	// HTTP, when non-nil, overrides the transport (TLS).
+	HTTP *http.Client
+}
+
+func (c *Client) http_() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimSuffix(base, "/") + path
+}
+
+// do runs one API request: auth header, JSON body in, JSON body out, with
+// every non-200 decoded into its error message.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.AuthToken)
+	}
+	resp, err := c.http_().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a sweep (stamping the protocol version) and returns its
+// id and job count.
+func (c *Client) Submit(req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(http.MethodPost, PathSweeps, req, &out)
+	return out, err
+}
+
+// Get fetches one sweep's status (and, when done, its result table).
+func (c *Client) Get(id string) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.do(http.MethodGet, PathSweeps+"/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches every known sweep's status, submission order.
+func (c *Client) List() (ListResponse, error) {
+	var out ListResponse
+	err := c.do(http.MethodGet, PathSweeps, nil, &out)
+	return out, err
+}
+
+// Cancel deletes a sweep: active sweeps are cancelled, terminal ones
+// forgotten.
+func (c *Client) Cancel(id string) (SweepStatus, error) {
+	var out SweepStatus
+	err := c.do(http.MethodDelete, PathSweeps+"/"+id, nil, &out)
+	return out, err
+}
+
+// Status fetches the daemon's full /status plane.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	err := c.do(http.MethodGet, PathStatus, nil, &out)
+	return out, err
+}

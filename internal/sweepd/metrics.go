@@ -1,0 +1,183 @@
+package sweepd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is the daemon's counter set, rendered on PathMetrics in the
+// Prometheus text exposition format (hand-rolled — the format is three
+// lines per family and not worth a dependency). Counters are cumulative
+// over the daemon process lifetime; queue depths, fleet size and sweep
+// states are gauges computed at scrape time from live state.
+type metrics struct {
+	mu sync.Mutex
+	// per-worker counters, keyed by member ID
+	shardsDispatched map[string]int64
+	shardsCompleted  map[string]int64
+	shardFailures    map[string]int64
+	// job + sweep counters
+	jobsCompleted   int64
+	jobsFromCache   int64 // completions served by the daemon's cache pre-pass
+	sweepsSubmitted int64
+	sweepsDone      int64
+	sweepsFailed    int64
+	sweepsCancelled int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		shardsDispatched: map[string]int64{},
+		shardsCompleted:  map[string]int64{},
+		shardFailures:    map[string]int64{},
+	}
+}
+
+func (m *metrics) dispatched(worker string, shards int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsDispatched[worker] += int64(shards)
+}
+
+func (m *metrics) completedShards(worker string, shards int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardsCompleted[worker] += int64(shards)
+}
+
+func (m *metrics) failed(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardFailures[worker]++
+}
+
+func (m *metrics) jobDone(fromCache bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsCompleted++
+	if fromCache {
+		m.jobsFromCache++
+	}
+}
+
+func (m *metrics) sweepEvent(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateQueued:
+		m.sweepsSubmitted++
+	case StateDone:
+		m.sweepsDone++
+	case StateFailed:
+		m.sweepsFailed++
+	case StateCancelled:
+		m.sweepsCancelled++
+	}
+}
+
+// write renders one metric family: HELP/TYPE header plus each sample.
+func writeFamily(w io.Writer, name, help, typ string, samples []sample) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if s.label == "" {
+			fmt.Fprintf(w, "%s %v\n", name, s.value)
+		} else {
+			fmt.Fprintf(w, "%s{%s=%q} %v\n", name, s.labelKey, s.label, s.value)
+		}
+	}
+}
+
+type sample struct {
+	labelKey string
+	label    string
+	value    any
+}
+
+// perWorker renders a per-worker counter map as sorted samples (sorted so
+// scrapes are diffable).
+func perWorker(counts map[string]int64) []sample {
+	ids := make([]string, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]sample, len(ids))
+	for i, id := range ids {
+		out[i] = sample{labelKey: "worker", label: id, value: counts[id]}
+	}
+	return out
+}
+
+// WriteMetrics renders the full exposition for one scrape. The caller
+// (Server.handleMetrics) passes the live gauges; the counter families
+// come from the metrics struct itself.
+func (m *metrics) WriteMetrics(w io.Writer, gauges gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	writeFamily(w, "sweepd_fleet_workers", "Live fleet members.", "gauge",
+		[]sample{{value: gauges.workers}})
+	writeFamily(w, "sweepd_fleet_workers_quarantined", "Registered members currently quarantined after failures.", "gauge",
+		[]sample{{value: gauges.quarantined}})
+
+	var states []sample
+	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		states = append(states, sample{labelKey: "state", label: st, value: gauges.sweepStates[st]})
+	}
+	writeFamily(w, "sweepd_sweeps", "Known sweeps by state.", "gauge", states)
+
+	var depths []sample
+	ids := make([]string, 0, len(gauges.queueDepths))
+	for id := range gauges.queueDepths {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		depths = append(depths, sample{labelKey: "sweep", label: id, value: gauges.queueDepths[id]})
+	}
+	writeFamily(w, "sweepd_queue_depth_shards", "Pending shards per active sweep.", "gauge", depths)
+	writeFamily(w, "sweepd_jobs_queued", "Jobs not yet completed across active sweeps.", "gauge",
+		[]sample{{value: gauges.jobsQueued}})
+	writeFamily(w, "sweepd_jobs_in_flight", "Jobs currently dispatched to workers.", "gauge",
+		[]sample{{value: gauges.jobsInFlight}})
+
+	writeFamily(w, "sweepd_sweeps_submitted_total", "Sweeps accepted since daemon start.", "counter",
+		[]sample{{value: m.sweepsSubmitted}})
+	writeFamily(w, "sweepd_sweeps_completed_total", "Sweeps finished since daemon start.", "counter",
+		[]sample{
+			{labelKey: "state", label: StateDone, value: m.sweepsDone},
+			{labelKey: "state", label: StateFailed, value: m.sweepsFailed},
+			{labelKey: "state", label: StateCancelled, value: m.sweepsCancelled},
+		})
+	writeFamily(w, "sweepd_jobs_completed_total", "Jobs completed since daemon start.", "counter",
+		[]sample{{value: m.jobsCompleted}})
+	writeFamily(w, "sweepd_jobs_cache_served_total", "Job completions served from the shared result cache.", "counter",
+		[]sample{{value: m.jobsFromCache}})
+
+	writeFamily(w, "sweepd_shards_dispatched_total", "Shards sent to each worker.", "counter",
+		perWorker(m.shardsDispatched))
+	writeFamily(w, "sweepd_shards_completed_total", "Shards each worker completed (rate = shard throughput).", "counter",
+		perWorker(m.shardsCompleted))
+	writeFamily(w, "sweepd_shard_failures_total", "Failed shard requests per worker.", "counter",
+		perWorker(m.shardFailures))
+
+	writeFamily(w, "sweepd_cache_hits_total", "Result-cache hits in this daemon process.", "counter",
+		[]sample{{value: gauges.cacheHits}})
+	writeFamily(w, "sweepd_cache_misses_total", "Result-cache misses in this daemon process.", "counter",
+		[]sample{{value: gauges.cacheMisses}})
+}
+
+// gauges is the scrape-time snapshot of live state: everything /metrics
+// reports that is not a monotonic counter.
+type gauges struct {
+	workers      int
+	quarantined  int
+	sweepStates  map[string]int
+	queueDepths  map[string]int
+	jobsQueued   int
+	jobsInFlight int
+	cacheHits    int64
+	cacheMisses  int64
+}

@@ -1,0 +1,328 @@
+package sweepd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vbi/internal/dist"
+	"vbi/internal/harness"
+)
+
+// task is one dispatchable shard: a contiguous slice of job indices
+// within one sweep. Tasks requeue whole on worker failure — the same
+// shard granularity as dist.Coordinator — and carry their attempt count
+// so a shard no worker can serve eventually fails its sweep instead of
+// bouncing around the fleet forever.
+type task struct {
+	sweepID  string
+	indices  []int
+	attempts int
+}
+
+// fairQueue is the multi-sweep shard queue. Sweeps are held separately
+// and pop rotates one shard per sweep per turn (round-robin), so a huge
+// sweep cannot starve a small one: with k active sweeps, every sweep
+// receives ~1/k of the fleet regardless of backlog sizes. Requeued
+// shards go to the front of their sweep so retries are not penalized.
+type fairQueue struct {
+	mu      sync.Mutex
+	order   []string // rotation order: sweeps in admission order
+	cursor  int      // next sweep to serve
+	pending map[string][]*task
+	// tombstones marks dropped (cancelled/failed) sweeps so their
+	// in-flight shards cannot be resurrected by a later requeue.
+	tombstones map[string]bool
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{pending: map[string][]*task{}}
+}
+
+// add admits a sweep's shards (appending when the sweep already has
+// pending work).
+func (q *fairQueue) add(sweepID string, tasks []*task) {
+	if len(tasks) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.pending[sweepID]; !ok {
+		q.order = append(q.order, sweepID)
+	}
+	q.pending[sweepID] = append(q.pending[sweepID], tasks...)
+}
+
+// pop removes and returns up to max shards, visiting active sweeps
+// round-robin: one shard from each sweep with pending work, wrapping
+// until max is reached or the queue is empty. The rotation cursor
+// persists across calls, so consecutive pulls by different workers
+// continue the rotation instead of restarting it (which would bias
+// toward the first sweep).
+func (q *fairQueue) pop(max int) []*task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*task
+	for len(out) < max && len(q.order) > 0 {
+		if q.cursor >= len(q.order) {
+			q.cursor = 0
+		}
+		id := q.order[q.cursor]
+		shards := q.pending[id]
+		if len(shards) == 0 {
+			// Sweep drained: drop it from the rotation without advancing
+			// the cursor (the next sweep slides into this slot).
+			delete(q.pending, id)
+			q.order = append(q.order[:q.cursor], q.order[q.cursor+1:]...)
+			continue
+		}
+		out = append(out, shards[0])
+		q.pending[id] = shards[1:]
+		q.cursor++
+	}
+	return out
+}
+
+// requeue returns failed shards to the front of their sweeps' queues.
+// Sweeps dropped meanwhile (cancelled/failed) discard their shards.
+func (q *fairQueue) requeue(tasks []*task) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, t := range tasks {
+		shards, ok := q.pending[t.sweepID]
+		if !ok {
+			if !q.dropped(t.sweepID) {
+				q.order = append(q.order, t.sweepID)
+				q.pending[t.sweepID] = []*task{t}
+			}
+			continue
+		}
+		q.pending[t.sweepID] = append([]*task{t}, shards...)
+	}
+}
+
+// drop removes a sweep from the queue entirely (cancel/failure) and
+// remembers it so in-flight shards of the sweep are not resurrected by a
+// later requeue.
+func (q *fairQueue) drop(sweepID string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.pending, sweepID)
+	for i, id := range q.order {
+		if id == sweepID {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			if q.cursor > i {
+				q.cursor--
+			}
+			break
+		}
+	}
+	if q.tombstones == nil {
+		q.tombstones = map[string]bool{}
+	}
+	q.tombstones[sweepID] = true
+}
+
+func (q *fairQueue) dropped(sweepID string) bool {
+	return q.tombstones[sweepID]
+}
+
+// depth returns one sweep's pending shard count.
+func (q *fairQueue) depth(sweepID string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending[sweepID])
+}
+
+// scheduler dispatches queued shards across the fleet for the daemon's
+// lifetime. It is dist.Coordinator's scheduling loop re-shaped for a
+// service: the queue outlives any one sweep, members come and go through
+// the registry, and an empty queue or an empty fleet is a wait state,
+// never an error.
+type scheduler struct {
+	srv *Server
+
+	queue *fairQueue
+	wake  chan struct{} // nudged on submit so idle loops pull immediately
+}
+
+func newScheduler(srv *Server) *scheduler {
+	return &scheduler{srv: srv, queue: newFairQueue(), wake: make(chan struct{}, 1)}
+}
+
+func (s *scheduler) nudge() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run polls fleet membership and keeps one serve loop per live member,
+// exactly like the coordinator's scheduler — but forever: it exits only
+// when ctx (the daemon's lifetime) ends.
+func (s *scheduler) run(ctx context.Context) {
+	type loop struct {
+		cancel context.CancelFunc
+		done   chan struct{}
+	}
+	active := map[string]*loop{}
+	ticker := time.NewTicker(s.srv.pollInterval())
+	defer ticker.Stop()
+	for {
+		for id, l := range active {
+			select {
+			case <-l.done:
+				delete(active, id)
+			default:
+			}
+		}
+		live := s.srv.Fleet.Live()
+		alive := map[string]bool{}
+		for _, m := range live {
+			alive[m.ID] = true
+		}
+		for id, l := range active {
+			if !alive[id] {
+				l.cancel()
+			}
+		}
+		for _, m := range live {
+			if _, ok := active[m.ID]; ok {
+				continue
+			}
+			mctx, mcancel := context.WithCancel(ctx)
+			l := &loop{cancel: mcancel, done: make(chan struct{})}
+			active[m.ID] = l
+			go func(m dist.Member) {
+				defer close(l.done)
+				defer mcancel()
+				s.serve(mctx, m)
+			}(m)
+		}
+		select {
+		case <-ctx.Done():
+			for _, l := range active {
+				l.cancel()
+			}
+			for _, l := range active {
+				<-l.done
+			}
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// serve is one member's dispatch loop: pull up to weight shards (fairly
+// across sweeps), send them as one request, demux results back to their
+// sweeps. Transport failures requeue the shards and — after Retries
+// consecutive ones — drop the member; a version mismatch (412) drops the
+// member immediately but never takes the daemon down.
+func (s *scheduler) serve(ctx context.Context, m dist.Member) {
+	consecutive := 0
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		tasks := s.queue.pop(s.srv.Fleet.WeightOf(m.ID, m.Weight))
+		if len(tasks) == 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.wake:
+			case <-time.After(25 * time.Millisecond):
+			}
+			continue
+		}
+		batch, live, refs := s.srv.collect(tasks)
+		tasks = live
+		if len(batch) == 0 {
+			// Every referenced sweep went away between pop and collect.
+			continue
+		}
+		s.srv.metrics.dispatched(m.ID, len(tasks))
+		s.srv.markInFlight(refs, +1)
+		resp, fatal, err := dist.ExecuteShard(ctx, s.srv.client(), m, s.srv.AuthToken,
+			s.srv.timeout(), batch)
+		s.srv.markInFlight(refs, -1)
+		if fatal != nil {
+			// A stale worker binary cannot serve this daemon, ever. Unlike
+			// the one-shot coordinator (where it aborts the run) the daemon
+			// drops the worker and keeps the sweeps queued.
+			s.srv.metrics.failed(m.ID)
+			s.queue.requeue(tasks)
+			s.srv.logf("sweepd: dropping worker %s permanently: %v", m.ID, fatal)
+			s.srv.Fleet.Remove(m.ID)
+			return
+		}
+		if err != nil {
+			s.queue.requeue(tasks)
+			if ctx.Err() != nil {
+				return
+			}
+			s.srv.metrics.failed(m.ID)
+			s.srv.bumpAttempts(tasks, err)
+			consecutive++
+			if consecutive >= s.srv.retries() {
+				s.srv.logf("sweepd: dropping worker %s after %d consecutive failures: %v", m.ID, consecutive, err)
+				s.srv.Fleet.Remove(m.ID)
+				return
+			}
+			s.srv.logf("sweepd: %s failed (attempt %d, %d shards requeued): %v", m.ID, consecutive, len(tasks), err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(consecutive) * 100 * time.Millisecond):
+			}
+			continue
+		}
+		consecutive = 0
+		s.srv.metrics.completedShards(m.ID, len(tasks))
+		k := 0
+		for _, t := range tasks {
+			for _, idx := range t.indices {
+				jr := resp.Results[k]
+				k++
+				s.srv.complete(t.sweepID, idx, jr.Results, false)
+			}
+		}
+	}
+}
+
+// bumpAttempts advances every task's attempt count and fails the owning
+// sweep once a shard has been refused MaxShardAttempts times: at that
+// point the shard has outlived worker churn and the cause is the work
+// itself (e.g. a job whose simulation errors deterministically).
+func (srv *Server) bumpAttempts(tasks []*task, cause error) {
+	for _, t := range tasks {
+		t.attempts++
+		if t.attempts >= srv.maxShardAttempts() {
+			srv.failSweep(t.sweepID, fmt.Errorf("shard failed %d times, last: %w", t.attempts, cause))
+		}
+	}
+}
+
+// collect resolves popped tasks to their job batch, skipping tasks whose
+// sweep is gone (cancelled between pop and dispatch). It returns the
+// batch, the surviving tasks in batch order, and the (sweepID → job
+// count) map for in-flight accounting.
+func (srv *Server) collect(tasks []*task) ([]harness.Job, []*task, map[string]int) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	var batch []harness.Job
+	var live []*task
+	refs := map[string]int{}
+	for _, t := range tasks {
+		sw, ok := srv.sweeps[t.sweepID]
+		if !ok || terminal(sw.rec.State) {
+			continue
+		}
+		for _, idx := range t.indices {
+			batch = append(batch, sw.jobs[idx])
+		}
+		refs[t.sweepID] += len(t.indices)
+		live = append(live, t)
+	}
+	return batch, live, refs
+}
