@@ -1,0 +1,102 @@
+// Command vbilint runs the repo's invariant analyzers (internal/lint)
+// over Go packages and exits non-zero on any finding. It is the machine
+// check behind the determinism contract: identical jobs produce
+// byte-identical results everywhere.
+//
+// Usage:
+//
+//	vbilint [-analyzers maporder,wiretags] [packages...]
+//
+// Packages default to ./... . Each finding prints as
+//
+//	file:line:col: message [analyzer]
+//
+// and can be suppressed — with a mandatory reason — by placing
+//
+//	//vbi:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it. See DESIGN.md §7 for the
+// catalogue of enforced invariants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vbi/internal/lint"
+	"vbi/internal/lint/load"
+)
+
+func main() {
+	var (
+		only = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbilint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.New(dir).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbilint:", err)
+		os.Exit(2)
+	}
+
+	findings, err := lint.RunSuite(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbilint:", err)
+		os.Exit(2)
+	}
+	shown := 0
+	for _, f := range findings {
+		if len(selected) > 0 && !selected[f.Analyzer] && f.Analyzer != "vbilint" {
+			continue
+		}
+		fmt.Println(f)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(os.Stderr, "vbilint: %d finding(s)\n", shown)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(list string) (map[string]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	selected := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if lint.Lookup(name) == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (run vbilint -list)", name)
+		}
+		selected[name] = true
+	}
+	return selected, nil
+}

@@ -123,8 +123,11 @@ func main() {
 	if tlsCfg != nil {
 		scheme = "https"
 	}
-	fmt.Fprintf(os.Stderr, "vbisweepd: %s serving on %s://%s (journal %s)\n",
-		dist.ProtocolVersion, scheme, bound, *journal)
+	// Print both resolved versions: the wire protocol the fleet must match
+	// and the harness schema the cache and journal are keyed under. They
+	// are the first things to compare when a fleet refuses to mix.
+	fmt.Fprintf(os.Stderr, "vbisweepd: protocol %s, harness cache %s, serving on %s://%s (journal %s)\n",
+		dist.ProtocolVersion, harness.Version, scheme, bound, *journal)
 
 	<-ctx.Done()
 	stop()

@@ -149,7 +149,11 @@ func main() {
 	if tlsCfg != nil {
 		scheme = "https"
 	}
-	fmt.Fprintf(os.Stderr, "vbiworker: %s listening on %s://%s\n", dist.ProtocolVersion, scheme, *addr)
+	// Print both resolved versions: the wire protocol the coordinator
+	// checks at handshake and the harness schema local cache entries are
+	// keyed under.
+	fmt.Fprintf(os.Stderr, "vbiworker: protocol %s, harness cache %s, listening on %s://%s\n",
+		dist.ProtocolVersion, harness.Version, scheme, *addr)
 	var serveErr error
 	if tlsCfg != nil {
 		// Certificates come from TLSConfig; the file arguments are unused.

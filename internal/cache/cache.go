@@ -7,7 +7,10 @@
 // §3.5).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // LineShift is log2 of the cache line size (64 B).
 const LineShift = 6
@@ -171,16 +174,22 @@ func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
 // InvalidateIf drops every line for which pred returns true (used for the
 // lazy cache cleanup after disable_vb, §4.2.4) and returns the count.
 func (c *Cache) InvalidateIf(pred func(line uint64) bool) int {
-	var doomed []uint64
+	// Collect and sort before calling pred or mutating: a map-order walk
+	// would make the invalidation sequence (and a stateful pred's view)
+	// nondeterministic.
+	lines := make([]uint64, 0, len(c.lineBase))
 	for line := range c.lineBase {
+		lines = append(lines, line)
+	}
+	slices.Sort(lines)
+	doomed := 0
+	for _, line := range lines {
 		if pred(line) {
-			doomed = append(doomed, line)
+			c.Invalidate(line)
+			doomed++
 		}
 	}
-	for _, line := range doomed {
-		c.Invalidate(line)
-	}
-	return len(doomed)
+	return doomed
 }
 
 // OccupiedLines returns the number of valid lines (for tests).

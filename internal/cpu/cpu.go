@@ -64,9 +64,15 @@ type Core struct {
 	frac uint32 // accumulated sub-cycle issue debt (gap % width)
 }
 
-// New builds a core.
+// New builds a core. The in-flight queue is pre-sized to the MSHR limit
+// — Step never holds more than MSHRs entries — so the steady-state hot
+// loop appends without growing the backing array.
 func New(p Params) *Core {
-	return &Core{P: p}
+	c := &Core{P: p}
+	if p.MSHRs > 0 {
+		c.inflights = make([]inflight, 0, p.MSHRs)
+	}
+	return c
 }
 
 // Now returns the core's current cycle (used for multi-core interleaving).
@@ -76,6 +82,8 @@ func (c *Core) Now() uint64 { return c.now }
 func (c *Core) Instrs() uint64 { return c.instrs }
 
 // Step processes one trace op, advancing the core's clock.
+//
+//vbi:hotpath
 func (c *Core) Step(op Op, mem LatencyFn) {
 	// Non-memory instructions before the op retire at IssueWidth/cycle.
 	c.frac += op.Gap
@@ -101,6 +109,10 @@ func (c *Core) Step(op Op, mem LatencyFn) {
 
 	lat := mem(op, issue)
 	done := issue + lat
+	// The MSHR drain loop above guarantees len < MSHRs here, and New
+	// pre-sizes capacity to MSHRs (drain preserves it), so this append
+	// never grows the backing array in steady state.
+	//vbi:allow hotalloc append stays within the capacity pre-sized in New; drain copies down so it is never lost
 	c.inflights = append(c.inflights, inflight{instr: c.instrs, done: done})
 	if !op.Write {
 		c.lastLoad = done
@@ -111,14 +123,20 @@ func (c *Core) Step(op Op, mem LatencyFn) {
 	c.now = issue + 1 // one issue slot consumed
 }
 
-// drain retires in-flight ops that completed by t.
+// drain retires in-flight ops that completed by t. Survivors are copied
+// down rather than resliced from the front: reslicing would strip
+// capacity off the buffer New pre-sized, making Step's append reallocate
+// every few thousand ops.
+//
+//vbi:hotpath
 func (c *Core) drain(t uint64) {
 	i := 0
 	for i < len(c.inflights) && c.inflights[i].done <= t {
 		i++
 	}
 	if i > 0 {
-		c.inflights = c.inflights[i:]
+		n := copy(c.inflights, c.inflights[i:])
+		c.inflights = c.inflights[:n]
 	}
 }
 

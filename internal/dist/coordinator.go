@@ -315,9 +315,11 @@ func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue
 	}
 
 	stopAll := func() {
+		//vbi:allow maporder cancel is idempotent per loop; order immaterial, results merge positionally
 		for _, l := range active {
 			l.cancel()
 		}
+		//vbi:allow maporder joins every loop; completion set, not order, is what matters
 		for _, l := range active {
 			<-l.done
 		}
@@ -328,6 +330,7 @@ func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue
 	waiting := false
 	for {
 		// Reap exited loops so a rejoined member can be re-served.
+		//vbi:allow maporder per-member reap; each entry is tested and deleted independently
 		for id, l := range active {
 			select {
 			case <-l.done:
@@ -342,6 +345,7 @@ func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue
 		}
 		// Cancel loops whose member was evicted (missed heartbeats) or
 		// quarantined: a dead worker's loop must not sit on the queue.
+		//vbi:allow maporder per-member cancel; entries are independent and cancel is idempotent
 		for id, l := range active {
 			if !alive[id] {
 				l.cancel()

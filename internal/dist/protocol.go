@@ -58,6 +58,8 @@ const (
 // Hello is the handshake response served on /healthz. The coordinator
 // refuses endpoints whose Version differs from its own ProtocolVersion
 // and uses Workers as the shard-planning weight.
+//
+//vbi:wire
 type Hello struct {
 	Service string `json:"service"` // always "vbiworker"
 	Version string `json:"version"` // ProtocolVersion of the worker binary
@@ -73,6 +75,8 @@ type Hello struct {
 // Version must equal the worker's ProtocolVersion; it is re-checked on
 // every request (not just the handshake) so a worker binary swapped
 // mid-sweep cannot silently serve results from a different model.
+//
+//vbi:wire
 type RunRequest struct {
 	Version string        `json:"version"`
 	Jobs    []harness.Job `json:"jobs"`
@@ -82,12 +86,16 @@ type RunRequest struct {
 // RunRequest.Jobs. (harness.Result repeats the job and strips the cached
 // flag from JSON; the wire format is positional and keeps the flag so
 // simulated-vs-cached accounting survives the hop.)
+//
+//vbi:wire
 type JobResult struct {
 	Results []system.RunResult `json:"results"`
 	Cached  bool               `json:"cached"`
 }
 
 // RunResponse answers a RunRequest.
+//
+//vbi:wire
 type RunResponse struct {
 	Results []JobResult `json:"results"`
 }
@@ -95,6 +103,8 @@ type RunResponse struct {
 // RegisterRequest is a worker's join — and, repeated periodically, its
 // heartbeat. Version must equal the coordinator's ProtocolVersion (a
 // mismatch is refused with 412 so a stale binary fails at join time).
+//
+//vbi:wire
 type RegisterRequest struct {
 	Version string `json:"version"`
 	// Workers is the advertised pool width (the shard-planning weight).
@@ -111,6 +121,8 @@ type RegisterRequest struct {
 }
 
 // RegisterResponse answers a RegisterRequest.
+//
+//vbi:wire
 type RegisterResponse struct {
 	Version string `json:"version"` // coordinator's ProtocolVersion
 	// HeartbeatMillis is how often the coordinator expects the worker to
@@ -119,6 +131,8 @@ type RegisterResponse struct {
 }
 
 // errorBody is the JSON body of every non-200 worker response.
+//
+//vbi:wire
 type errorBody struct {
 	Error string `json:"error"`
 }

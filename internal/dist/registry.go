@@ -13,22 +13,26 @@ import (
 	"time"
 )
 
-// Member is one fleet worker as the coordinator sees it.
+// Member is one fleet worker as the coordinator sees it. It rides inside
+// MemberInfo on the /status plane, so the json tags pin the historical
+// (untagged) field names.
+//
+//vbi:wire
 type Member struct {
 	// ID is the normalized base URL; it doubles as the registry key, so a
 	// worker re-registering the same address is an upsert, not a duplicate.
-	ID string
+	ID string `json:"ID"`
 	// Base is the URL shards are POSTed to (same as ID).
-	Base string
+	Base string `json:"Base"`
 	// Weight is the worker's advertised pool width: shards pulled per round.
-	Weight int
+	Weight int `json:"Weight"`
 	// Static marks a pre-registered -remote endpoint: it sends no
 	// heartbeats and is never TTL-evicted, only removed when it fails.
-	Static bool
+	Static bool `json:"Static"`
 	// Instance identifies one worker process lifetime. A re-register with a
 	// different instance is a restart (and clears any failure quarantine); a
 	// re-register with the same instance is a heartbeat.
-	Instance string
+	Instance string `json:"Instance"`
 }
 
 // Registry is the coordinator-side worker-fleet membership table. Dynamic
@@ -175,6 +179,8 @@ func (r *Registry) Leave(base string) {
 
 // MemberInfo is one member plus the observability fields the status plane
 // reports alongside it.
+//
+//vbi:wire
 type MemberInfo struct {
 	Member
 	// LastSeen is the time of the member's most recent heartbeat (or
@@ -223,8 +229,17 @@ func (r *Registry) Live() []Member {
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Visit members in sorted-ID order: the result comes out sorted
+	// without a second pass, and eviction log lines land in a stable
+	// order when several workers expire on the same poll.
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var out []Member
-	for id, e := range r.members {
+	for _, id := range ids {
+		e := r.members[id]
 		if !e.Static && now.Sub(e.lastSeen) > r.ttl() {
 			r.logf("dist: evicting worker %s (no heartbeat for %s)", id, now.Sub(e.lastSeen).Round(time.Millisecond))
 			delete(r.members, id)
@@ -235,7 +250,6 @@ func (r *Registry) Live() []Member {
 		}
 		out = append(out, e.Member)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -1,0 +1,28 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMemberJSONPinned byte-pins Member's JSON form on the /status plane.
+// Member was historically untagged, so its tags repeat the Go field
+// names; a rename that changes this document breaks status consumers and
+// must be reverted rather than re-pinned.
+func TestMemberJSONPinned(t *testing.T) {
+	m := Member{
+		ID:       "http://w1:9000",
+		Base:     "http://w1:9000",
+		Weight:   4,
+		Static:   true,
+		Instance: "abc123",
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ID":"http://w1:9000","Base":"http://w1:9000","Weight":4,"Static":true,"Instance":"abc123"}`
+	if string(b) != want {
+		t.Errorf("Member wire form changed:\n got %s\nwant %s", b, want)
+	}
+}

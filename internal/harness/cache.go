@@ -39,6 +39,8 @@ type Cache struct {
 
 // entry is the stored envelope. The job spec is kept alongside the
 // results so Get can reject hash collisions and hand-edited files.
+//
+//vbi:wire
 type entry struct {
 	Version string             `json:"version"`
 	Job     Job                `json:"job"`

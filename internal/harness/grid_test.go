@@ -306,6 +306,33 @@ func TestParamAxesFlag(t *testing.T) {
 	}
 }
 
+// TestOverlayErrorDeterministic pins a maporder fix: with several
+// offending axes, Overlay used to report whichever one map iteration
+// visited first, so identical invocations printed different errors.
+// Axes are now applied in sorted-name order, making the first offender
+// (alphabetically) the reported one, every time.
+func TestOverlayErrorDeterministic(t *testing.T) {
+	axes := ParamAxes{
+		"tlb_entries":    {16, 32},
+		"pwc_entries":    {1, 2},
+		"llc_size":       {1 << 20, 2 << 20},
+		"l2_tlb_entries": {512, 1024},
+	}
+	_, err := axes.Overlay()
+	if err == nil {
+		t.Fatal("multi-valued axes accepted")
+	}
+	want := err.Error()
+	if !strings.Contains(want, "l2_tlb_entries") {
+		t.Errorf("error %q does not name the alphabetically first offender", want)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := axes.Overlay(); err == nil || err.Error() != want {
+			t.Fatalf("iteration %d: error %v, want %q", i, err, want)
+		}
+	}
+}
+
 // TestBundleGridExpansion pins the bundle axis: predefined Table 2 names
 // resolve to their workload lists, bundle rows follow the workload rows
 // in declaration order, every series covers every row, and the Describe

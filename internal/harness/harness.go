@@ -41,6 +41,8 @@ import (
 // the system package's defaults, exactly as a direct system.New call
 // would. Jobs are plain data: they marshal to canonical JSON, which is
 // what the result cache hashes.
+//
+//vbi:wire
 type Job struct {
 	// Spec is the fully resolved system configuration: a built-in base
 	// kind plus a materialized parameter overlay. Resolve a registered

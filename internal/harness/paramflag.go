@@ -75,10 +75,18 @@ func (a ParamAxes) Set(s string) error {
 }
 
 // Overlay folds the axes into a single Params overlay; every axis must
-// hold exactly one value (the single-run CLIs use it).
+// hold exactly one value (the single-run CLIs use it). Axes are applied
+// in sorted-name order so the reported error (and any future
+// last-write-wins semantics) never depends on map iteration order.
 func (a ParamAxes) Overlay() (system.Params, error) {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var p system.Params
-	for name, vals := range a {
+	for _, name := range names {
+		vals := a[name]
 		if len(vals) != 1 {
 			return system.Params{}, fmt.Errorf(
 				"parameter %s has %d values; a single run takes one", name, len(vals))

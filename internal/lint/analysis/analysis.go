@@ -1,0 +1,176 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, built only on the standard
+// library's go/ast and go/types. It exists because the repo vendors no
+// third-party modules: vbilint's analyzers are written against this
+// package exactly as they would be against x/tools, so they can be ported
+// wholesale if the dependency ever lands.
+//
+// The package also owns the suppression syntax shared by every analyzer:
+//
+//	//vbi:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it silences
+// that analyzer's diagnostics there. The reason is mandatory — an allow
+// without one is itself a diagnostic — so every suppression in the tree
+// documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker: a name (used in diagnostics and
+// //vbi:allow directives), a doc sentence, and a Run function applied to
+// one package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and records one diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Directive prefixes. Directives are ordinary line comments with no space
+// after the slashes, mirroring go:build / go:generate convention.
+const (
+	directivePrefix = "//vbi:"
+	allowDirective  = "//vbi:allow"
+)
+
+// Directive reports whether the comment group carries the named //vbi:
+// directive (e.g. name "hotpath" matches a "//vbi:hotpath" line) and
+// returns the text after the directive word.
+func Directive(cg *ast.CommentGroup, name string) (rest string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if r, found := matchDirective(c.Text, name); found {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func matchDirective(text, name string) (rest string, ok bool) {
+	want := directivePrefix + name
+	if !strings.HasPrefix(text, want) {
+		return "", false
+	}
+	rest = text[len(want):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // a longer directive word, e.g. hotpathx
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// An allow is one parsed //vbi:allow directive.
+type allow struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// allowsIn parses every //vbi:allow directive in the files. Malformed
+// directives (missing analyzer or reason) are returned as diagnostics so
+// a suppression can never be silently inert.
+func allowsIn(fset *token.FileSet, files []*ast.File) (map[string][]allow, []Diagnostic) {
+	byFile := make(map[string][]allow)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := matchDirective(c.Text, "allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed //vbi:allow: want \"//vbi:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byFile[p.Filename] = append(byFile[p.Filename], allow{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     p.Line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// Filter drops diagnostics suppressed by an in-scope //vbi:allow (same
+// line, or the line immediately above). The result is sorted by position.
+func Filter(fset *token.FileSet, files []*ast.File, name string, diags []Diagnostic) []Diagnostic {
+	allows, _ := allowsIn(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows[p.Filename] {
+			if a.analyzer == name && (a.line == p.Line || a.line == p.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// MalformedAllows returns one diagnostic per malformed //vbi:allow in the
+// files. The suite runs it once per package (it is analyzer-independent).
+func MalformedAllows(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	_, bad := allowsIn(fset, files)
+	return bad
+}
+
+// HasMethod reports whether the type (or a pointer to it) has a method
+// with the given name, e.g. a custom MarshalJSON.
+func HasMethod(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+// Package analysistest runs a vbilint analyzer over a fixture package and
+// checks its diagnostics against the fixture's expectations, in the spirit
+// of golang.org/x/tools/go/analysis/analysistest (stdlib-only, driven by
+// internal/lint/load).
+//
+// Expectations are `// want` comments: a diagnostic on a line must be
+// matched by a backquoted regexp in a want comment on the same line, and
+// every want must be hit by at least one diagnostic.
+//
+//	for k := range m { // want `range over map`
+//
+// Several patterns may share one comment (`// want `a` `b“) when a line
+// produces several diagnostics. Suppression is part of the contract under
+// test: diagnostics silenced by a well-formed //vbi:allow directive are
+// filtered before matching, so an allow-annotated line simply carries no
+// want comment.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+
+	"vbi/internal/lint/analysis"
+	"vbi/internal/lint/load"
+)
+
+var (
+	mu      sync.Mutex
+	loaders = map[string]*load.Loader{}
+	loaded  = map[string][]*load.Package{}
+)
+
+// loadPkgs loads a fixture pattern, caching per (dir, pattern) so the four
+// analyzer tests share one `go list` + typecheck per fixture package.
+func loadPkgs(t *testing.T, dir, pattern string) []*load.Package {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	key := dir + "\x00" + pattern
+	if pkgs, ok := loaded[key]; ok {
+		return pkgs
+	}
+	l, ok := loaders[dir]
+	if !ok {
+		l = load.New(dir)
+		loaders[dir] = l
+	}
+	pkgs, err := l.Load(pattern)
+	if err != nil {
+		t.Fatalf("analysistest: load %s in %s: %v", pattern, dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: pattern %s matched no packages in %s", pattern, dir)
+	}
+	loaded[key] = pkgs
+	return pkgs
+}
+
+// want is one expected-diagnostic pattern at a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("(?:^|\\s)want((?:\\s+`[^`]*`)+)")
+var patRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture pattern relative to dir, applies the analyzer to
+// each matched package, filters //vbi:allow-suppressed diagnostics, and
+// compares the survivors against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	for _, pkg := range loadPkgs(t, dir, pattern) {
+		runPkg(t, a, pkg)
+	}
+}
+
+func runPkg(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	fset := pkg.Fset()
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pm[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+	}
+
+	for _, d := range analysis.Filter(fset, pkg.Files, a.Name, diags) {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+				a.Name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q",
+				a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// Findings runs the analyzer and returns the filtered diagnostics rendered
+// as "line: message" strings, for tests that assert on exact output rather
+// than want comments.
+func Findings(t *testing.T, dir string, a *analysis.Analyzer, pattern string) []string {
+	t.Helper()
+	var out []string
+	for _, pkg := range loadPkgs(t, dir, pattern) {
+		fset := pkg.Fset()
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range analysis.Filter(fset, pkg.Files, a.Name, diags) {
+			pos := fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%d: %s", pos.Line, d.Message))
+		}
+	}
+	return out
+}

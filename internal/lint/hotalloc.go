@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vbi/internal/lint/analysis"
+)
+
+// HotAlloc flags allocation and dynamic-dispatch sources inside functions
+// marked `//vbi:hotpath` — the per-reference simulation spine, executed
+// hundreds of millions of times per sweep. It seeds the ROADMAP's hot-loop
+// rewrite by making every alloc/dispatch site in that spine visible and
+// un-mergeable unless justified:
+//
+//   - make/new and &composite-literals (heap allocation),
+//   - append (may grow and reallocate),
+//   - function literals (closure allocation per call),
+//   - any fmt call (Sprintf and friends allocate and reflect),
+//   - string<->[]byte/[]rune conversions (copy + allocation),
+//   - interface method calls (dynamic dispatch, inhibits inlining).
+//
+// Callees are not analyzed transitively: mark each function on the spine.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations, fmt calls and interface dispatch in //vbi:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, marked := analysis.Directive(fd.Doc, "hotpath"); !marked {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		case *ast.UnaryExpr:
+			if _, lit := n.X.(*ast.CompositeLit); lit && n.Op == token.AND {
+				pass.Reportf(n.Pos(), "hot path %s: &composite-literal escapes to the heap", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s: function literal allocates a closure per call", name)
+			return false // the closure body is cold until marked itself
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	// Builtin allocators.
+	for _, b := range []string{"make", "new", "append"} {
+		if isBuiltin(pass, call.Fun, b) {
+			what := "allocates"
+			if b == "append" {
+				what = "may grow and reallocate"
+			}
+			pass.Reportf(call.Pos(), "hot path %s: %s %s", name, b, what)
+			return
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// A conversion like []byte(s) parses as a CallExpr with a type
+		// operand.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if convAllocates(tv.Type, pass.TypesInfo.TypeOf(call.Args[0])) {
+				pass.Reportf(call.Pos(), "hot path %s: string/byte-slice conversion copies and allocates", name)
+			}
+		}
+		return
+	}
+	if pkg, ok := pkgOf(pass, sel.X); ok {
+		if pkg == "fmt" {
+			pass.Reportf(call.Pos(), "hot path %s: fmt.%s allocates and reflects", name, sel.Sel.Name)
+		}
+		return
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		if types.IsInterface(s.Recv()) {
+			pass.Reportf(call.Pos(), "hot path %s: interface method call %s (dynamic dispatch)", name, sel.Sel.Name)
+		}
+	}
+}
+
+// convAllocates reports whether a conversion between string and
+// []byte/[]rune copies.
+func convAllocates(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

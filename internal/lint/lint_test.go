@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vbi/internal/lint"
+	"vbi/internal/lint/analysistest"
+	"vbi/internal/lint/load"
+)
+
+// The fixture module under testdata/ is nested (its own go.mod), so the
+// deliberately-violating code never appears in the main module's ./...
+// patterns; the analyzer tests load it directly.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapOrder, "./maporder")
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WallClock, "./wallclock")
+}
+
+func TestWireTags(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WireTags, "./wiretags")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "./hotalloc")
+}
+
+// TestAppliesTo pins the analyzer scope map: wallclock only inside the
+// simulation core, everything else module-wide.
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		name string
+		want bool
+	}{
+		{"vbi/internal/tlb", "wallclock", true},
+		{"vbi/internal/mtl", "wallclock", true},
+		{"vbi/internal/dist", "wallclock", false},
+		{"vbi/internal/harness", "wallclock", false},
+		{"vbi/cmd/vbisweep", "wallclock", false},
+		{"vbi/internal/dist", "maporder", true},
+		{"vbi/internal/dist", "wiretags", true},
+		{"vbi/internal/dist", "hotalloc", true},
+	}
+	for _, c := range cases {
+		a := lint.Lookup(c.name)
+		if a == nil {
+			t.Fatalf("Lookup(%q) = nil", c.name)
+		}
+		if got := lint.AppliesTo(a, c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%s, %s) = %v, want %v", c.name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestVbilintClean is the repo-wide gate: the full suite over the whole
+// module must report nothing. A new violation either gets fixed or gets
+// an explicit //vbi:allow with a reason — never merged silently.
+func TestVbilintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short")
+	}
+	pkgs, err := load.New("../..").Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern ./... resolved incorrectly", len(pkgs))
+	}
+	findings, err := lint.RunSuite(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

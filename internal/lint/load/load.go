@@ -1,0 +1,279 @@
+// Package load type-checks Go packages for vbilint using only the
+// standard library: package metadata comes from `go list -deps -json`
+// (the go toolchain is the one dependency the repo already requires) and
+// type checking from go/parser + go/types.
+//
+// It is a deliberately small stand-in for golang.org/x/tools/go/packages,
+// with one structural economy: packages named by the load patterns are
+// checked in full (bodies, ASTs with comments, types.Info), while
+// packages reached only as dependencies — including the standard library
+// — are checked with IgnoreFuncBodies, which is all an analyzer needs
+// from an import.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one fully type-checked target package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	fset *token.FileSet
+}
+
+// Fset returns the FileSet all of the package's positions resolve in
+// (shared across every package the same Loader checked).
+func (p *Package) Fset() *token.FileSet { return p.fset }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// A Loader owns one shared FileSet and a cache of checked packages, so
+// repeated loads (e.g. every analyzer test in a process) amortize the
+// cost of type-checking the standard library.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir     string
+	metas   map[string]*listedPackage
+	full    map[string]*Package       // targets: bodies + Info
+	shallow map[string]*types.Package // dependencies: exported shape only
+}
+
+// New returns a Loader that resolves patterns and import paths relative
+// to dir (the module root).
+func New(dir string) *Loader {
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		dir:     dir,
+		metas:   make(map[string]*listedPackage),
+		full:    make(map[string]*Package),
+		shallow: make(map[string]*types.Package),
+	}
+}
+
+// goList runs `go list -e -deps -json` on the patterns and merges the
+// results into the metadata table, returning the import paths the
+// patterns named directly (DepOnly false), in go list order.
+func (l *Loader) goList(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.ImportPath == "" {
+			continue
+		}
+		if _, ok := l.metas[p.ImportPath]; !ok {
+			meta := p
+			l.metas[p.ImportPath] = &meta
+		}
+		if !p.DepOnly {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	return targets, nil
+}
+
+// Ensure makes the named import paths (and their dependencies)
+// resolvable through Importer without loading them as targets. The
+// fixture runner uses it for a test package's imports.
+func (l *Loader) Ensure(paths ...string) error {
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" || p == "C" {
+			continue
+		}
+		if _, ok := l.metas[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	_, err := l.goList(missing)
+	return err
+}
+
+// Load resolves the patterns and returns the named packages fully
+// type-checked, in `go list` order. A package that fails to type-check
+// is an error: vbilint runs on trees that build.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	targets, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, path := range targets {
+		p, err := l.checkFull(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Importer returns a types importer backed by the loader's metadata and
+// caches, for type-checking sources outside the module (test fixtures).
+func (l *Loader) Importer() types.ImporterFrom {
+	return importerFor{l: l}
+}
+
+// checkFull type-checks a target package with bodies, comments and Info.
+func (l *Loader) checkFull(path string) (*Package, error) {
+	if p, ok := l.full[path]; ok {
+		return p, nil
+	}
+	meta, ok := l.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no metadata for package %q", path)
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("load: %s: %s", path, meta.Error.Err)
+	}
+	files, err := l.parse(meta, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	cfg := types.Config{
+		Importer:    importerFor{l: l, importMap: meta.ImportMap},
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, typeErrs[0])
+	}
+	p := &Package{
+		Path:  path,
+		Name:  meta.Name,
+		Dir:   meta.Dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		fset:  l.Fset,
+	}
+	l.full[path] = p
+	return p, nil
+}
+
+// checkShallow type-checks a dependency package without function bodies.
+// Soft type errors are tolerated (e.g. platform-conditional corners of
+// the standard library); the exported shape is what matters.
+func (l *Loader) checkShallow(path string) (*types.Package, error) {
+	if p, ok := l.full[path]; ok {
+		return p.Types, nil
+	}
+	if t, ok := l.shallow[path]; ok {
+		return t, nil
+	}
+	meta, ok := l.metas[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no metadata for import %q", path)
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("load: %s: %s", path, meta.Error.Err)
+	}
+	files, err := l.parse(meta, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{
+		Importer:         importerFor{l: l, importMap: meta.ImportMap},
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {},
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, nil)
+	if tpkg == nil {
+		return nil, fmt.Errorf("load: type-checking import %q failed", path)
+	}
+	tpkg.MarkComplete()
+	l.shallow[path] = tpkg
+	return tpkg, nil
+}
+
+func (l *Loader) parse(meta *listedPackage, mode parser.Mode) ([]*ast.File, error) {
+	names := append([]string(nil), meta.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", meta.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFor resolves one package's imports, applying its ImportMap
+// (vendored standard-library paths) first.
+type importerFor struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (im importerFor) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im importerFor) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.l.checkShallow(path)
+}

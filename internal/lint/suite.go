@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vbi/internal/lint/analysis"
+	"vbi/internal/lint/load"
+)
+
+// simCorePackages are the packages where all time must be simulated
+// cycles and all randomness must flow from a job seed (wallclock's
+// scope). Subpackages inherit the scope.
+var simCorePackages = []string{
+	"vbi/internal/addr", "vbi/internal/cache", "vbi/internal/core",
+	"vbi/internal/cpu", "vbi/internal/dram", "vbi/internal/enigma",
+	"vbi/internal/memdata", "vbi/internal/mtl", "vbi/internal/osmodel",
+	"vbi/internal/pagetable", "vbi/internal/phys", "vbi/internal/system",
+	"vbi/internal/tlb", "vbi/internal/trace", "vbi/internal/workloads",
+}
+
+// Suite returns the vbilint analyzers in their fixed reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapOrder, WallClock, WireTags, HotAlloc}
+}
+
+// Lookup returns the named analyzer, or nil.
+func Lookup(name string) *analysis.Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AppliesTo reports whether an analyzer is in scope for a package.
+// maporder, wiretags and hotalloc run module-wide (determinism, wire
+// pinning and hotpath marks matter everywhere, and the two marker-driven
+// analyzers are inert without their markers); wallclock is scoped to the
+// simulation core, where host time is a modeling error rather than a
+// convenience.
+func AppliesTo(a *analysis.Analyzer, pkgPath string) bool {
+	if a != WallClock {
+		return true
+	}
+	for _, p := range simCorePackages {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// A Finding is one unsuppressed diagnostic, rendered for humans.
+type Finding struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// RunSuite applies every in-scope analyzer to every package, filters
+// suppressed diagnostics, checks the //vbi:allow directives themselves,
+// and returns the surviving findings sorted by position.
+func RunSuite(pkgs []*load.Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range Suite() {
+			if !AppliesTo(a, pkg.Path) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset(),
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range analysis.Filter(pkg.Fset(), pkg.Files, a.Name, diags) {
+				findings = append(findings, finding(pkg, a.Name, d))
+			}
+		}
+		for _, d := range analysis.MalformedAllows(pkg.Fset(), pkg.Files) {
+			findings = append(findings, finding(pkg, "vbilint", d))
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func finding(pkg *load.Package, analyzer string, d analysis.Diagnostic) Finding {
+	pos := pkg.Fset().Position(d.Pos)
+	return Finding{
+		Analyzer: analyzer,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  d.Message,
+	}
+}

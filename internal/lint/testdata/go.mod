@@ -1,0 +1,7 @@
+// Fixture module for internal/lint/analysistest: nesting a module here
+// keeps the deliberately-violating fixture code out of the main module's
+// ./... patterns (go list skips nested modules), so vbilint over the repo
+// stays clean while the analyzer tests load these packages directly.
+module fixture
+
+go 1.22

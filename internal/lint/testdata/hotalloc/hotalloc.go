@@ -1,0 +1,74 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: allocation
+// and dynamic dispatch are flagged only inside //vbi:hotpath functions.
+package hotalloc
+
+import "fmt"
+
+type counter interface{ Bump() }
+
+//vbi:hotpath
+func hot(n int, c counter) []int {
+	s := make([]int, 0, n) // want `hot path hot: make allocates`
+	for i := 0; i < n; i++ {
+		s = append(s, i) // want `hot path hot: append may grow and reallocate`
+		c.Bump()         // want `hot path hot: interface method call Bump`
+	}
+	return s
+}
+
+//vbi:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `hot path hotFmt: fmt.Sprintf allocates and reflects`
+}
+
+//vbi:hotpath
+func hotEscape(x int) *int {
+	p := new(int) // want `hot path hotEscape: new allocates`
+	*p = x
+	return p
+}
+
+type point struct{ x, y int }
+
+//vbi:hotpath
+func hotComposite(x int) *point {
+	return &point{x: x} // want `hot path hotComposite: &composite-literal escapes to the heap`
+}
+
+//vbi:hotpath
+func hotClosure(xs []int) func() int {
+	return func() int { // want `hot path hotClosure: function literal allocates a closure per call`
+		return len(xs)
+	}
+}
+
+//vbi:hotpath
+func hotConv(s string) []byte {
+	return []byte(s) // want `hot path hotConv: string/byte-slice conversion copies and allocates`
+}
+
+// cold is unmarked: the same body produces no diagnostics.
+func cold(n int, c counter) []int {
+	s := make([]int, 0, n)
+	c.Bump()
+	return append(s, n)
+}
+
+// hotIndexed shows the cheap patterns that stay silent on a hot path:
+// indexing, arithmetic, concrete method calls, len/cap.
+//
+//vbi:hotpath
+func hotIndexed(xs []int, p *point) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	t += p.x
+	return t
+}
+
+//vbi:hotpath
+func hotAllowed(n int) []int {
+	//vbi:allow hotalloc fixture: setup allocation, amortized over the run
+	return make([]int, n)
+}

@@ -1,0 +1,83 @@
+// Package maporder is the fixture for the maporder analyzer: every map
+// range here is either provably order-insensitive, sorted first, allowed,
+// or flagged.
+package maporder
+
+import "sort"
+
+// flagged: the body observes iteration order (println is a call).
+func flagged(m map[string]int) {
+	for k, v := range m { // want `range over map m`
+		println(k, v)
+	}
+}
+
+// collectThenSort: the blessed idiom — append keys, sort immediately.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intSum: commutative integer accumulation is order-insensitive.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum: float addition is NOT associative; order changes the result.
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m`
+		s += v
+	}
+	return s
+}
+
+// mixedClasses: += and *= on one accumulator do not commute with each
+// other even though each is commutative alone.
+func mixedClasses(m map[string]int) int {
+	acc := 1
+	for _, v := range m { // want `range over map m`
+		acc += v
+		acc *= v
+	}
+	return acc
+}
+
+// keyedWrite: writing m2[k] for the loop key touches disjoint cells.
+func keyedWrite(m map[string]int, m2 map[string]int) {
+	for k, v := range m {
+		m2[k] = v * 2
+	}
+}
+
+// clearByKey: delete of the loop key is order-insensitive.
+func clearByKey(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sortMissing: collecting without the adjacent sort is not the idiom.
+func sortMissing(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map m`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// allowed: suppressed with a justification.
+func allowed(m map[string]int) {
+	//vbi:allow maporder fixture: order of these prints is not asserted
+	for k, v := range m {
+		println(k, v)
+	}
+}

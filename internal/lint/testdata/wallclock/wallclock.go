@@ -1,0 +1,47 @@
+// Package wallclock is the fixture for the wallclock analyzer: host time
+// and globally-seeded randomness are flagged; seeded sources and plain
+// type mentions are not.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func hostNow() time.Time {
+	return time.Now() // want `time.Now in the simulation core`
+}
+
+func hostSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in the simulation core`
+}
+
+func hostSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in the simulation core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the global rand source`
+}
+
+// seeded: the blessed construction — randomness flows from an explicit
+// seed, so every process draws the same stream.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// typeMention: naming rand.Rand or time.Duration is not a clock read.
+func typeMention(r *rand.Rand, d time.Duration) time.Duration {
+	return d * time.Duration(r.Intn(3))
+}
+
+// calendar: constructing a fixed date reads no clock.
+func calendar() time.Time {
+	return time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// allowed: suppressed with a justification.
+func allowed() time.Time {
+	//vbi:allow wallclock fixture: progress logging, not simulated time
+	return time.Now()
+}

@@ -1,0 +1,61 @@
+// Package wiretags is the fixture for the wiretags analyzer: every
+// exported field reachable from a //vbi:wire root must carry a json tag.
+package wiretags
+
+import "time"
+
+// Bad reaches its own untagged field and, through Inner, a nested one.
+//
+//vbi:wire
+type Bad struct { // want `wire struct Bad reaches field Bad.Version` `wire struct Bad reaches field Inner.Bare`
+	Version string
+	Inner   Inner `json:"inner"`
+}
+
+// Inner is not marked itself; it is checked because Bad reaches it.
+type Inner struct {
+	Tagged string `json:"tagged"`
+	Bare   string
+}
+
+// Good is fully tagged, including through slices, maps and embedding.
+//
+//vbi:wire
+type Good struct {
+	Embedded
+	Name  string          `json:"name"`
+	Items []Inner2        `json:"items"`
+	Index map[string]Leaf `json:"index"`
+	Ptr   *Leaf           `json:"ptr,omitempty"`
+	When  time.Time       `json:"when"`
+	skip  map[string]int  // unexported: not part of the wire format
+}
+
+type Embedded struct {
+	ID string `json:"id"`
+}
+
+type Inner2 struct {
+	V int `json:"v"`
+}
+
+type Leaf struct {
+	W int `json:"w"`
+}
+
+// Sealed has a custom MarshalJSON, so its fields are not the wire format.
+//
+//vbi:wire
+type Sealed struct {
+	Hidden string
+}
+
+func (s Sealed) MarshalJSON() ([]byte, error) { return []byte(`{}`), nil }
+
+// Allowed is suppressed with a justification.
+//
+//vbi:wire
+//vbi:allow wiretags fixture: legacy struct, tags arrive with the v2 wire
+type Allowed struct {
+	Legacy string
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"vbi/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read the host
+// clock. Inside the simulation core, all time is simulated cycles: a
+// host-clock read either leaks wall time into results or (Sleep, timers)
+// couples model behavior to host scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce an
+// explicitly seeded source; everything else at package level draws from
+// the global source, whose stream depends on what else ran.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// WallClock forbids host time and globally seeded randomness inside the
+// simulation core: all time must be simulated cycles, and all randomness
+// must flow from a job seed so identical jobs replay identical streams.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since and unseeded math/rand in the simulation core",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := pkgOf(pass, sel.X)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				pass.Reportf(sel.Pos(),
+					"time.%s in the simulation core: simulated time must come from cycles, not the host clock", name)
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !seededRandFuncs[name] && isFuncUse(pass, sel):
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the global rand source: randomness in the simulation core must flow from the job seed via rand.New(rand.NewSource(seed))", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFuncUse reports whether the selector names a function (as opposed to
+// a type such as rand.Rand or rand.Source, which are fine to mention).
+func isFuncUse(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	_, ok := objOf(pass, sel.Sel).(*types.Func)
+	return ok
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}

@@ -2,10 +2,25 @@ package mtl
 
 import (
 	"fmt"
+	"slices"
 
 	"vbi/internal/addr"
 	"vbi/internal/phys"
 )
+
+// sortedRegions returns the map's region indices in ascending order.
+// Every multi-region walk that allocates (table nodes, frames) or copies
+// must visit regions in this order: visiting in map order would let
+// physical placement — and so downstream timing — vary between
+// otherwise-identical runs.
+func sortedRegions(m map[uint64]phys.Addr) []uint64 {
+	regions := make([]uint64, 0, len(m))
+	for r := range m {
+		regions = append(regions, r)
+	}
+	slices.Sort(regions)
+	return regions
+}
 
 // This file implements the MTL's functional data path. The timing
 // simulator never carries data, but examples and the test suite exercise
@@ -122,7 +137,8 @@ func (m *MTL) Clone(src, dst addr.VBUID) error {
 		if err := m.ensurePageStructure(d); err != nil {
 			return err
 		}
-		for region, frame := range s.regions {
+		for _, region := range sortedRegions(s.regions) {
+			frame := s.regions[region]
 			if err := m.mapRegion(d, region, frame); err != nil {
 				return err
 			}
@@ -207,11 +223,11 @@ func (m *MTL) Promote(small, large addr.VBUID) error {
 			return err
 		}
 	}
-	for region, frame := range s.regions {
-		if err := m.mapRegion(l, region, frame); err != nil {
+	for _, region := range sortedRegions(s.regions) {
+		if err := m.mapRegion(l, region, s.regions[region]); err != nil {
 			return err
 		}
-		l.regions[region] = frame
+		l.regions[region] = s.regions[region]
 	}
 	// Ownership transferred: clear the source so its disable does not free
 	// the frames.
@@ -349,8 +365,8 @@ func (m *MTL) SyncFile(u addr.VBUID, size uint64) ([]byte, error) {
 		return nil, fmt.Errorf("mtl: %v is not file-backed", u)
 	}
 	if m.Data != nil {
-		for region, frame := range vb.regions {
-			copyFromStore(m.files, m.Data, uint64(u.Base())+region<<RegionShift, uint64(frame))
+		for _, region := range sortedRegions(vb.regions) {
+			copyFromStore(m.files, m.Data, uint64(u.Base())+region<<RegionShift, uint64(vb.regions[region]))
 		}
 	}
 	out := make([]byte, size)

@@ -1,0 +1,129 @@
+package mtl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vbi/internal/addr"
+)
+
+// These tests pin the fix for a map-iteration nondeterminism found by
+// vbilint's maporder analyzer: Clone, Promote and SyncFile used to walk
+// vb.regions in map order, so the page-table nodes allocated while
+// mapping the destination landed at iteration-order-dependent physical
+// addresses — and every later allocation shifted with them. Two identical
+// processes then disagreed on physical placement, breaking the
+// byte-identical-results contract. The loops now walk sortedRegions.
+
+// cloneRegions are deliberately scattered across many leaf nodes of a
+// 128 MB VB's two-level radix (512 regions per leaf), so mapping the
+// destination lazily allocates one node per touched leaf — making the
+// mapping order visible in buddy-allocator state.
+var cloneRegions = []uint64{0, 515, 1030, 7*512 + 3, 12*512 + 9, 19*512 + 1, 33*512 + 7, 47*512 + 2, 63*512 + 5, 3, 9 * 512, 25*512 + 100}
+
+// clonePlacement runs one fixed enable/store/clone/COW scenario in a
+// fresh MTL and fingerprints every physical placement it produced.
+func clonePlacement(t *testing.T) string {
+	t.Helper()
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	src := mustEnable(t, m, addr.Size128MB, 1, 0)
+	for _, region := range cloneRegions {
+		if err := m.Store(addr.Make(src, region*RegionSize), []byte{byte(region), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := mustEnable(t, m, addr.Size128MB, 2, 0)
+	if err := m.Clone(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Write each cloned region so COW resolution re-allocates frames with
+	// the buddy allocator in whatever state Clone left it.
+	for _, region := range cloneRegions {
+		if err := m.Store(addr.Make(dst, region*RegionSize), []byte{9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Fingerprint the data-frame placement AND the translation-walk
+	// addresses: the latter expose which table node serves which leaf,
+	// which is exactly what the unsorted mapping order scrambled.
+	var b strings.Builder
+	for _, region := range cloneRegions {
+		sf, _ := m.frameForTest(src, region)
+		df, _ := m.frameForTest(dst, region)
+		fmt.Fprintf(&b, "%d:%x:%x", region, uint64(sf), uint64(df))
+		ev, err := m.TranslateRead(addr.Make(dst, region*RegionSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wa := range ev.WalkAccesses {
+			fmt.Fprintf(&b, ":%x", uint64(wa))
+		}
+		b.WriteString(" ")
+	}
+	return b.String()
+}
+
+func TestClonePlacementDeterministic(t *testing.T) {
+	want := clonePlacement(t)
+	for i := 0; i < 20; i++ {
+		if got := clonePlacement(t); got != want {
+			t.Fatalf("clone placement diverged on repeat %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// promotePlacement exercises the same property through Promote: the 4 MB
+// VB's regions span both leaves of the 128 MB target's two-level radix,
+// so the transfer order decides where the leaf nodes land.
+func promotePlacement(t *testing.T) string {
+	t.Helper()
+	m := newTestMTL(t, Config{DelayedAlloc: true})
+	small := mustEnable(t, m, addr.Size4MB, 1, 0)
+	regions := []uint64{0, 100, 300, 511, 512, 700, 1023}
+	for _, region := range regions {
+		if err := m.Store(addr.Make(small, region*RegionSize), []byte{byte(region)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	large := mustEnable(t, m, addr.Size128MB, 2, 0)
+	if err := m.Promote(small, large); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh allocation after the promote exposes any buddy-state skew.
+	probe := mustEnable(t, m, addr.Size128KB, 3, 0)
+	if err := m.Store(addr.Make(probe, 0), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, region := range regions {
+		f, _ := m.frameForTest(large, region)
+		fmt.Fprintf(&b, "%d:%x", region, uint64(f))
+		ev, err := m.TranslateRead(addr.Make(large, region*RegionSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wa := range ev.WalkAccesses {
+			fmt.Fprintf(&b, ":%x", uint64(wa))
+		}
+		b.WriteString(" ")
+	}
+	pf, _ := m.frameForTest(probe, 0)
+	fmt.Fprintf(&b, "probe:%x", uint64(pf))
+	return b.String()
+}
+
+func TestPromotePlacementDeterministic(t *testing.T) {
+	want := promotePlacement(t)
+	for i := 0; i < 20; i++ {
+		if got := promotePlacement(t); got != want {
+			t.Fatalf("promote placement diverged on repeat %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

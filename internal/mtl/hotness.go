@@ -185,6 +185,7 @@ func (m *MTL) ZoneBytes(u addr.VBUID) ([]uint64, error) {
 		return nil, err
 	}
 	out := make([]uint64, len(m.zones))
+	//vbi:allow maporder ZoneOf is a pure lookup and += into per-zone cells commutes
 	for _, frame := range vb.regions {
 		if zi := m.ZoneOf(frame); zi >= 0 {
 			out[zi] += RegionSize

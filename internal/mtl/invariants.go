@@ -25,7 +25,9 @@ import (
 //  7. Per-zone buddy invariants hold (delegated to phys.Buddy).
 func (m *MTL) CheckInvariants() error {
 	frameUsers := make(map[phys.Addr]int)
+	//vbi:allow maporder check-only: every mapping must pass; which violation is reported first is diagnostic detail
 	for u, vb := range m.vbs {
+		//vbi:allow maporder check-only: every mapping must pass; which violation is reported first is diagnostic detail
 		for region, frame := range vb.regions {
 			if m.ZoneOf(frame) < 0 {
 				return fmt.Errorf("%v region %d frame %v outside all zones", u, region, frame)
@@ -66,6 +68,7 @@ func (m *MTL) CheckInvariants() error {
 		}
 	}
 	// Sharing accounting: refs defaults to 1 when absent.
+	//vbi:allow maporder check-only: every frame must pass; which violation is reported first is diagnostic detail
 	for frame, users := range frameUsers {
 		refs := m.frameRefs[frame]
 		if refs == 0 {
@@ -75,6 +78,7 @@ func (m *MTL) CheckInvariants() error {
 			return fmt.Errorf("frame %v used by %d mappings, refcount %d", frame, users, refs)
 		}
 	}
+	//vbi:allow maporder check-only: every refcount must pass; which violation is reported first is diagnostic detail
 	for frame, refs := range m.frameRefs {
 		if refs > 1 && frameUsers[frame] != refs {
 			return fmt.Errorf("frame %v refcount %d but %d mappings", frame, refs, frameUsers[frame])

@@ -175,6 +175,7 @@ func (b *Buddy) splitTo(base Addr, from, to int, owner Owner) Addr {
 // maps plus a scan beat maintaining a sorted mirror of every set.
 func lowestBase[V any](m map[Addr]V, keep func(V) bool) (Addr, bool) {
 	best, found := NoAddr, false
+	//vbi:allow maporder min-reduction under a strict total order on base; any visit order yields the same minimum
 	for base, v := range m {
 		if keep != nil && !keep(v) {
 			continue
@@ -374,7 +375,9 @@ func (b *Buddy) Unreserve(vb Owner) {
 			order int
 		}
 		var blocks []fb
+		//vbi:allow maporder collected blocks are sorted below before any state changes
 		for o, set := range m {
+			//vbi:allow maporder collected blocks are sorted below before any state changes
 			for base := range set {
 				blocks = append(blocks, fb{base, o})
 			}
@@ -406,6 +409,7 @@ func (b *Buddy) LargestFreeOrder(vb Owner) int {
 		if m := b.byOwner[vb]; m != nil && len(m[o]) > 0 {
 			return o
 		}
+		//vbi:allow maporder existence test; the returned order is the same whichever entry matches
 		for _, owner := range b.freeRes[o] {
 			if owner != vb {
 				return o
@@ -435,6 +439,7 @@ func (b *Buddy) CheckInvariants() error {
 	}
 	var spans []span
 	var free, reserved uint64
+	//vbi:allow maporder check-only aggregation; spans are sorted before the overlap scan below
 	for k, st := range b.live {
 		spans = append(spans, span{k.base, OrderBytes(k.order)})
 		if st.free {

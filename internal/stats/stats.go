@@ -50,17 +50,26 @@ func WeightedSpeedup(shared, alone []float64) float64 {
 }
 
 // Series is one plotted line/bar group: a label and one value per row.
+// The json tags pin the export format to the historical field names: the
+// table document is compared byte-for-byte across runs (and served by
+// vbisweepd), so a field rename must never change it.
+//
+//vbi:wire
 type Series struct {
-	Label  string
-	Values []float64
+	Label  string    `json:"Label"`
+	Values []float64 `json:"Values"`
 }
 
 // Table is a rendered experiment result: row labels (the x-axis) plus one
-// or more series.
+// or more series. Its JSON form is the `vbisweep -json` export format and
+// the payload of vbisweepd's stored result tables, byte-compared against
+// local runs — hence the pinned tags.
+//
+//vbi:wire
 type Table struct {
-	Title  string
-	Rows   []string
-	Series []Series
+	Title  string   `json:"Title"`
+	Rows   []string `json:"Rows"`
+	Series []Series `json:"Series"`
 }
 
 // Add appends a value to the named series, creating it on first use.

@@ -63,6 +63,8 @@ const (
 // SubmitRequest is the body of POST /sweeps. The grid is expanded
 // server-side into self-describing jobs (grids are self-contained: inline
 // variant specs travel in the grid itself), journaled, and scheduled.
+//
+//vbi:wire
 type SubmitRequest struct {
 	// Version must equal the daemon's dist.ProtocolVersion: a submit from
 	// a binary with a different timing model or wire format is refused
@@ -78,6 +80,8 @@ type SubmitRequest struct {
 }
 
 // SubmitResponse answers a successful submit.
+//
+//vbi:wire
 type SubmitResponse struct {
 	// ID names the sweep for GET/DELETE and vbisweep -watch/-cancel.
 	ID string `json:"id"`
@@ -88,6 +92,8 @@ type SubmitResponse struct {
 }
 
 // SweepStatus is one sweep's progress as the API reports it.
+//
+//vbi:wire
 type SweepStatus struct {
 	ID     string `json:"id"`
 	Name   string `json:"name,omitempty"`
@@ -113,17 +119,23 @@ type SweepStatus struct {
 // sweep, the rendered result matrix — the same stats.Table JSON document
 // `vbisweep -json` writes, byte for byte, so clients can compare daemon
 // results against local runs directly.
+//
+//vbi:wire
 type SweepResponse struct {
 	SweepStatus
 	Table json.RawMessage `json:"table,omitempty"`
 }
 
 // ListResponse answers GET /sweeps, in submission order.
+//
+//vbi:wire
 type ListResponse struct {
 	Sweeps []SweepStatus `json:"sweeps"`
 }
 
 // StatusResponse answers GET /status: the human-readable JSON plane.
+//
+//vbi:wire
 type StatusResponse struct {
 	Service string `json:"service"` // always "vbisweepd"
 	Version string `json:"version"` // the daemon's dist.ProtocolVersion
@@ -134,6 +146,8 @@ type StatusResponse struct {
 }
 
 // errorBody is the JSON body of every non-200 response.
+//
+//vbi:wire
 type errorBody struct {
 	Error string `json:"error"`
 }

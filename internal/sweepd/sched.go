@@ -170,6 +170,7 @@ func (s *scheduler) run(ctx context.Context) {
 	ticker := time.NewTicker(s.srv.pollInterval())
 	defer ticker.Stop()
 	for {
+		//vbi:allow maporder per-member reap; each entry is tested and deleted independently
 		for id, l := range active {
 			select {
 			case <-l.done:
@@ -182,6 +183,7 @@ func (s *scheduler) run(ctx context.Context) {
 		for _, m := range live {
 			alive[m.ID] = true
 		}
+		//vbi:allow maporder per-member cancel; entries are independent and cancel is idempotent
 		for id, l := range active {
 			if !alive[id] {
 				l.cancel()
@@ -202,9 +204,11 @@ func (s *scheduler) run(ctx context.Context) {
 		}
 		select {
 		case <-ctx.Done():
+			//vbi:allow maporder cancel is idempotent per loop; order immaterial
 			for _, l := range active {
 				l.cancel()
 			}
+			//vbi:allow maporder joins every loop; completion set, not order, is what matters
 			for _, l := range active {
 				<-l.done
 			}

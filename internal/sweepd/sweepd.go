@@ -87,6 +87,8 @@ type sweep struct {
 // canonical self-describing job list — specs ride inside the jobs — plus
 // the grid for matrix labels) and, once terminal, everything needed to
 // answer GET /sweeps/{id} forever (state, error, result table).
+//
+//vbi:wire
 type record struct {
 	// Version pins the harness schema the jobs were expanded under; a
 	// journal from a different binary is refused at load (the same
@@ -450,6 +452,7 @@ func (s *Server) failLocked(sw *sweep, cause error) {
 func (s *Server) markInFlight(refs map[string]int, delta int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//vbi:allow maporder each sweep id adjusts its own counter; += commutes and ids are distinct
 	for id, n := range refs {
 		if sw, ok := s.sweeps[id]; ok {
 			sw.inflight += n * delta

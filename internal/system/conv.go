@@ -139,11 +139,13 @@ type convShared struct {
 
 func (r *convRunner) now() uint64 { return r.cpu.Now() }
 
+//vbi:hotpath
 func (r *convRunner) step() error {
 	ref := r.gen.Next()
 	op := ref.Op
 	op.Addr = r.bases[ref.StructIdx] + ref.Offset
 	var stepErr error
+	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
 	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
 		lat, err := r.access(o, at)
 		if err != nil {

@@ -49,11 +49,13 @@ func newEnigmaRunner(prof trace.Profile, cfg Config, mem *dram.Memory, llc *cach
 
 func (r *enigmaRunner) now() uint64 { return r.cpu.Now() }
 
+//vbi:hotpath
 func (r *enigmaRunner) step() error {
 	ref := r.gen.Next()
 	op := ref.Op
 	op.Addr = r.bases[ref.StructIdx] + ref.Offset
 	var stepErr error
+	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
 	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
 		lat, err := r.access(o, at)
 		if err != nil {

@@ -10,24 +10,29 @@ import (
 	"vbi/internal/trace"
 )
 
-// RunResult reports one core's measured phase.
+// RunResult reports one core's measured phase. It is the payload of the
+// harness result cache and the dist wire (JobResult), so the json tags
+// pin today's field names: a rename must never silently change cache
+// entries or wire shape.
+//
+//vbi:wire
 type RunResult struct {
-	System   string
-	Workload string
+	System   string `json:"System"`
+	Workload string `json:"Workload"`
 
-	Cycles  uint64
-	Instrs  uint64
-	MemRefs uint64
-	IPC     float64
+	Cycles  uint64  `json:"Cycles"`
+	Instrs  uint64  `json:"Instrs"`
+	MemRefs uint64  `json:"MemRefs"`
+	IPC     float64 `json:"IPC"`
 
 	// DRAMAccesses counts reads+writes during the measured phase
 	// (including translation-structure traffic), the metric behind the
 	// paper's "reduces the total number of DRAM accesses" claims.
-	DRAMAccesses uint64
+	DRAMAccesses uint64 `json:"DRAMAccesses"`
 
 	// Extra carries system-specific counters (TLB misses, walks, zero
 	// lines, faults, ...).
-	Extra stats.Counters
+	Extra stats.Counters `json:"Extra"`
 }
 
 // coreRunner is one simulated hardware context; multicore runs interleave
@@ -55,18 +60,26 @@ type Machine struct {
 func (m *Machine) Name() string { return m.name }
 
 // Run executes warmup + measured references and returns the result.
+//
+//vbi:hotpath
 func (m *Machine) Run() (RunResult, error) {
 	for i := 0; i < m.cfg.Warmup; i++ {
+		//vbi:allow hotalloc coreRunner dispatch is the one deliberate dynamic call per step; the runners themselves are devirtualized internally
 		if err := m.runner.step(); err != nil {
+			//vbi:allow hotalloc error path only; a failed step aborts the run
 			return RunResult{}, fmt.Errorf("%s warmup: %w", m.name, err)
 		}
 	}
+	//vbi:allow hotalloc once per run, outside the step loops
 	m.runner.beginMeasurement()
 	for i := 0; i < m.cfg.Refs; i++ {
+		//vbi:allow hotalloc coreRunner dispatch is the one deliberate dynamic call per step; the runners themselves are devirtualized internally
 		if err := m.runner.step(); err != nil {
+			//vbi:allow hotalloc error path only; a failed step aborts the run
 			return RunResult{}, fmt.Errorf("%s: %w", m.name, err)
 		}
 	}
+	//vbi:allow hotalloc once per run, outside the step loops
 	return m.runner.result(), nil
 }
 

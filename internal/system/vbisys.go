@@ -148,6 +148,7 @@ func unpackVAddr(a uint64) core.VAddr {
 	return core.VAddr{Index: int(a >> 48), Offset: a & (1<<48 - 1)}
 }
 
+//vbi:hotpath
 func (r *vbiRunner) step() error {
 	ref := r.gen.Next()
 	op := ref.Op
@@ -158,6 +159,7 @@ func (r *vbiRunner) step() error {
 		op.Addr = packVAddr(r.indices[ref.StructIdx], ref.Offset)
 	}
 	var stepErr error
+	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
 	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
 		lat, err := r.access(o, at)
 		if err != nil {

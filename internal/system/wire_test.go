@@ -1,0 +1,36 @@
+package system
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vbi/internal/stats"
+)
+
+// TestRunResultJSONPinned byte-pins RunResult's JSON form. The struct is
+// the payload of the harness result cache and the dist wire, and its json
+// tags deliberately repeat the historical (untagged) field names: if this
+// test breaks, cached results and mixed-version fleets break with it, so
+// the fix is to revert the field rename — not to update the expectation
+// (that requires a harness.Version bump).
+func TestRunResultJSONPinned(t *testing.T) {
+	r := RunResult{
+		System:       "VBI-Full",
+		Workload:     "mcf",
+		Cycles:       12345,
+		Instrs:       6789,
+		MemRefs:      1000,
+		IPC:          0.55,
+		DRAMAccesses: 42,
+		Extra:        stats.Counters{"tlb_misses": 7},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"System":"VBI-Full","Workload":"mcf","Cycles":12345,"Instrs":6789,` +
+		`"MemRefs":1000,"IPC":0.55,"DRAMAccesses":42,"Extra":{"tlb_misses":7}}`
+	if string(b) != want {
+		t.Errorf("RunResult wire form changed:\n got %s\nwant %s", b, want)
+	}
+}

@@ -122,6 +122,7 @@ func (t *RangeTLB) evictIfFull() {
 	// Ties on the LRU stamp break toward the smaller key: picking the map
 	// iteration's first match would make eviction (and so timing)
 	// nondeterministic across runs.
+	//vbi:allow maporder min-reduction with total order (LRU stamp, then smallest key); visit order cannot change the pick
 	for k, s := range t.pages {
 		if s.used < oldest || (fromPage && s.used == oldest && k < pageKey) {
 			oldest = s.used

@@ -6,6 +6,8 @@
 // page to an entire directly-mapped VB (§5.2).
 package tlb
 
+import "slices"
+
 // Stats counts TLB events.
 type Stats struct {
 	Hits      uint64
@@ -107,19 +109,24 @@ func (t *TLB) InvalidateAll() {
 }
 
 // InvalidateIf drops entries whose key matches pred, returning the count.
+// Keys are visited in sorted order so the drop sequence (and a stateful
+// pred's view) never depends on map iteration order.
 func (t *TLB) InvalidateIf(pred func(key uint64) bool) int {
-	var doomed []uint64
+	keys := make([]uint64, 0, len(t.index))
 	for k := range t.index {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	doomed := 0
+	for _, k := range keys {
 		if pred(k) {
-			doomed = append(doomed, k)
+			i := t.index[k]
+			t.entries[i] = entry{}
+			delete(t.index, k)
+			doomed++
 		}
 	}
-	for _, k := range doomed {
-		i := t.index[k]
-		t.entries[i] = entry{}
-		delete(t.index, k)
-	}
-	return len(doomed)
+	return doomed
 }
 
 // Occupied returns the number of valid entries (for tests).
