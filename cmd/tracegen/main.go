@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"vbi/internal/dist"
 	"vbi/internal/trace"
 	"vbi/internal/workloads"
 )
@@ -29,8 +30,13 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		dump     = flag.Bool("dump", false, "dump raw references (struct, offset, W/R, dep) instead of a summary")
 		list     = flag.Bool("list", false, "list registered workload profiles")
+		version  = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("tracegen"))
+		return
+	}
 
 	if *list {
 		for _, name := range workloads.Names() {

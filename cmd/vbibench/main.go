@@ -35,6 +35,7 @@ import (
 	"vbi/internal/dist"
 	"vbi/internal/exp"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 	"vbi/internal/stats"
 )
 
@@ -43,6 +44,8 @@ func main() {
 	tlsOpts := &dist.TLSOptions{}
 	var (
 		baseline = flag.String("bench-baseline", "", "measure the Figure 6 matrix locally and write the per-system timing baseline to this file")
+		profile  = flag.String("profile", "", `capture pprof profiles of this process: "cpu,heap,out=DIR" (either profile kind, comma-separated; out= names the directory)`)
+		version  = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	var (
 		which   = flag.String("exp", "all", "experiment: table1, table2, fig6, fig7, fig8, fig9, fig10, dram, ablation, cvt or all")
@@ -61,11 +64,28 @@ func main() {
 	flag.Var(params, "param", "parameter override name=value applied to every run (repeatable; see vbisweep -list)")
 	tlsOpts.Flags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("vbibench"))
+		return
+	}
 
 	overlay, err := params.Overlay()
 	if err != nil {
 		fatal(err)
 	}
+
+	// -profile wraps the whole invocation: CPU capture starts before the
+	// first figure and the heap snapshot is taken after the last, so one
+	// run yields where simulation time and memory actually go.
+	profiles, err := obs.StartProfiles(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := profiles.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vbibench: profile:", err)
+		}
+	}()
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -25,16 +25,22 @@ import (
 	"os"
 	"strings"
 
+	"vbi/internal/dist"
 	"vbi/internal/lint"
 	"vbi/internal/lint/load"
 )
 
 func main() {
 	var (
-		only = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		only    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		version = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("vbilint"))
+		return
+	}
 
 	if *list {
 		for _, a := range lint.Suite() {

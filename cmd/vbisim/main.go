@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"vbi/internal/dist"
 	"vbi/internal/harness"
 	"vbi/internal/system"
 	"vbi/internal/workloads"
@@ -31,9 +32,14 @@ func main() {
 		list     = flag.Bool("list", false, "list systems, workloads and parameters")
 		hetero   = flag.String("hetero", "", "heterogeneous memory: PCM-DRAM or TL-DRAM")
 		policy   = flag.String("policy", "VBI", "placement policy: Unaware, VBI or IDEAL")
+		version  = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	flag.Var(params, "param", "parameter override name=value (repeatable; see -list)")
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("vbisim"))
+		return
+	}
 
 	if *list {
 		harness.WriteSpecList(os.Stdout)

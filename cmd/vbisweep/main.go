@@ -85,6 +85,7 @@ import (
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 	"vbi/internal/stats"
 	"vbi/internal/sweepd"
 	"vbi/internal/workloads"
@@ -93,6 +94,7 @@ import (
 func main() {
 	params := harness.ParamAxes{}
 	tlsOpts := &dist.TLSOptions{}
+	logOpts := &obs.LogOptions{}
 	var (
 		daemon  = flag.String("daemon", "", "vbisweepd address; switches to client mode (-submit/-watch/-cancel)")
 		submitF = flag.Bool("submit", false, "submit the grid to -daemon and print the sweep id")
@@ -121,10 +123,21 @@ func main() {
 		csvOut     = flag.String("csv", "", "write the matrix as CSV to this file")
 		list       = flag.Bool("list", false, "list systems, specs, workloads, memories, policies and parameters")
 		verbose    = flag.Bool("v", false, "log every run")
+		versionF   = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	flag.Var(params, "param", "parameter axis name=v1,v2,... (repeatable; see -list)")
 	tlsOpts.Flags(flag.CommandLine)
+	logOpts.Flags(flag.CommandLine)
 	flag.Parse()
+
+	if *versionF {
+		fmt.Println(dist.VersionLine("vbisweep"))
+		return
+	}
+	logger, err := logOpts.New(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		printList()
@@ -295,6 +308,7 @@ func main() {
 			Cache:     runner.Cache,
 			Local:     runner,
 			Client:    httpc,
+			Logger:    logger,
 		}
 		if *verbose {
 			coord.Progress = os.Stderr
@@ -384,6 +398,10 @@ func watchSweep(client *sweepd.Client, id, jsonOut, csvOut string) {
 		}
 		line := fmt.Sprintf("sweep %s: %s %d/%d (%d cached, %d in flight, %d queued)",
 			sr.ID, sr.State, sr.Completed, sr.Total, sr.Cached, sr.InFlight, sr.Queued)
+		if sr.JobsPerSecond > 0 {
+			line += fmt.Sprintf(" — %.1f jobs/s, ETA %s", sr.JobsPerSecond,
+				(time.Duration(sr.ETASeconds * float64(time.Second))).Round(time.Second))
+		}
 		if line != last {
 			fmt.Fprintln(os.Stderr, line)
 			last = line
@@ -400,6 +418,13 @@ func watchSweep(client *sweepd.Client, id, jsonOut, csvOut string) {
 			}
 			fmt.Print(t.Render())
 			fmt.Printf("\n%d runs (%d served from daemon cache)\n", sr.Total, sr.Cached)
+			if sr.SimSeconds > 0 {
+				fmt.Printf("worker compute: %.2fs across %d simulated jobs\n",
+					sr.SimSeconds, sr.Total-sr.Cached)
+			}
+			if sr.Phases != nil {
+				fmt.Printf("phase events: %s\n", sr.Phases)
+			}
 			if jsonOut != "" {
 				f, err := os.Create(jsonOut)
 				if err != nil {

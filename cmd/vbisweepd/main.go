@@ -44,11 +44,13 @@ import (
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 	"vbi/internal/sweepd"
 )
 
 func main() {
 	tlsOpts := &dist.TLSOptions{}
+	logOpts := &obs.LogOptions{}
 	var (
 		addr      = flag.String("addr", "127.0.0.1:9600", "listen address for the API and the fleet routes")
 		journal   = flag.String("journal", ".vbisweepd", "journal directory: one record per sweep, replayed on restart")
@@ -57,9 +59,19 @@ func main() {
 		authToken = flag.String("auth-token", "", "shared token gating every route and sent to workers (default $"+dist.AuthEnv+")")
 		shard     = flag.Int("shard", 4, "jobs per dispatched shard")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "per-shard worker request timeout")
+		version   = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	tlsOpts.Flags(flag.CommandLine)
+	logOpts.Flags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("vbisweepd"))
+		return
+	}
+	logger, err := logOpts.New(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	token := dist.ResolveToken(*authToken)
 
 	tlsCfg, err := tlsOpts.ServerConfig()
@@ -81,7 +93,7 @@ func main() {
 		ShardSize: *shard,
 		Timeout:   *timeout,
 		Client:    client,
-		Log:       os.Stderr,
+		Logger:    logger,
 	}
 	if *cacheDir != "" {
 		srv.Cache = &harness.Cache{Dir: *cacheDir}

@@ -43,10 +43,12 @@ import (
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 )
 
 func main() {
 	tlsOpts := &dist.TLSOptions{}
+	logOpts := &obs.LogOptions{}
 	var (
 		addr      = flag.String("addr", ":9471", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -56,9 +58,20 @@ func main() {
 		authToken = flag.String("auth-token", "", "shared fleet token gating this worker's endpoints and sent on -join (default $"+dist.AuthEnv+")")
 		drainWait = flag.Duration("drain-timeout", 15*time.Minute, "how long a drain waits for in-flight shards before force-quitting")
 		verbose   = flag.Bool("v", false, "also log every individual run (shard activity is always logged)")
+		pprof     = flag.Bool("pprof", false, "serve /debug/pprof/ on the worker's (auth-gated) listener for live profiling")
+		version   = flag.Bool("version", false, "print protocol and harness versions, then exit")
 	)
 	tlsOpts.Flags(flag.CommandLine)
+	logOpts.Flags(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(dist.VersionLine("vbiworker"))
+		return
+	}
+	logger, err := logOpts.New(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
 	token := dist.ResolveToken(*authToken)
 
 	tlsCfg, err := tlsOpts.ServerConfig()
@@ -73,7 +86,7 @@ func main() {
 	if *cacheDir != "" {
 		runner.Cache = &harness.Cache{Dir: *cacheDir}
 	}
-	w := &dist.Worker{Runner: runner, AuthToken: token, Log: os.Stderr}
+	w := &dist.Worker{Runner: runner, AuthToken: token, Logger: logger, Pprof: *pprof}
 	if *verbose {
 		runner.Progress = os.Stderr
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 )
 
 // Coordinator executes job batches by sharding them across remote Worker
@@ -70,10 +72,35 @@ type Coordinator struct {
 	PollInterval time.Duration
 	// Progress, when non-nil, receives shard-level progress lines.
 	Progress io.Writer
+	// Logger, when non-nil, receives structured shard-lifecycle records
+	// (dispatch, completion, failure). Each Run mints a root trace ID and
+	// numbers its shards ("<root>/<seq>"); the chain is sent to workers in
+	// the obs.TraceHeader header and attached to every record here, so one
+	// grep follows a shard through both processes' logs.
+	Logger *slog.Logger
 	// Client, when non-nil, overrides the HTTP client (tests).
 	Client *http.Client
 
 	mu sync.Mutex // guards Progress
+}
+
+// traceSeq numbers one Run's shard dispatches under its root trace ID.
+// Per-run (not per-Coordinator) state, so a reused Coordinator value
+// keeps runs' chains distinct.
+type traceSeq struct {
+	root string
+	seq  atomic.Int64
+}
+
+func (t *traceSeq) next() string {
+	return obs.ChildID(t.root, t.seq.Add(1))
+}
+
+func (c *Coordinator) log() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.Discard
 }
 
 var _ harness.Executor = (*Coordinator)(nil)
@@ -244,7 +271,9 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 		q.push(miss[lo:hi])
 		nshards++
 	}
+	ts := &traceSeq{root: obs.NewTraceID()}
 	c.logf("dist: %d jobs in %d shards across %d workers", len(miss), nshards, len(reg.Live()))
+	c.log().Info("batch start", "trace", ts.root, "jobs", len(miss), "shards", nshards, "workers", len(reg.Live()))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -270,7 +299,7 @@ func (c *Coordinator) Run(ctx context.Context, jobs []harness.Job) ([]harness.Re
 		}
 	}
 
-	c.schedule(runCtx, reg, q, jobs, results, &remaining, merged, done, fail)
+	c.schedule(runCtx, reg, q, ts, jobs, results, &remaining, merged, done, fail)
 
 	fatalMu.Lock()
 	err = fatalErr
@@ -299,7 +328,7 @@ type memberLoop struct {
 // serve loop immediately, an evicted or quarantined member has its loop
 // cancelled (in-flight shards requeue through the normal failure path),
 // and a static-only fleet running dry fails the batch.
-func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue,
+func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue, ts *traceSeq,
 	jobs []harness.Job, results []harness.Result,
 	remaining *atomic.Int64, merged func(int64), done <-chan struct{}, fail func(error)) {
 
@@ -361,7 +390,7 @@ func (c *Coordinator) schedule(ctx context.Context, reg *Registry, q *shardQueue
 			go func(m Member) {
 				defer close(l.done)
 				defer mcancel()
-				c.serve(mctx, m, reg, q, jobs, results, remaining, merged, fail, recordErr)
+				c.serve(mctx, m, reg, q, ts, jobs, results, remaining, merged, fail, recordErr)
 			}(m)
 		}
 		if len(active) == 0 && remaining.Load() > 0 {
@@ -501,7 +530,7 @@ func Probe(ctx context.Context, client *http.Client, base, token string) (Hello,
 // them as one request, merge or requeue. It exits when the member's
 // context is cancelled (eviction, or the run ending) or when the member
 // is dropped for consecutive failures.
-func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *shardQueue,
+func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *shardQueue, ts *traceSeq,
 	jobs []harness.Job, results []harness.Result,
 	remaining *atomic.Int64, merged func(int64), fail, recordErr func(error)) {
 	consecutive := 0
@@ -527,9 +556,14 @@ func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *sha
 		for _, s := range shards {
 			indices = append(indices, s...)
 		}
-		resp, fatal, err := c.runShard(ctx, m, indices, jobs)
+		trace := ts.next()
+		log := c.log().With("trace", trace, "worker", m.ID)
+		log.Info("shard dispatch", "jobs", len(indices))
+		start := time.Now()
+		resp, fatal, err := c.runShard(ctx, m, indices, jobs, trace)
 		if fatal != nil {
 			q.push(shards...)
+			log.Error("shard fatal", "err", fatal)
 			fail(fatal)
 			return
 		}
@@ -543,11 +577,13 @@ func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *sha
 			consecutive++
 			if consecutive >= c.retries() {
 				c.logf("dist: dropping worker %s after %d consecutive failures: %v", m.ID, consecutive, err)
+				log.Warn("worker dropped", "failures", consecutive, "err", err)
 				recordErr(fmt.Errorf("last error from %s: %w", m.ID, err))
 				reg.Remove(m.ID)
 				return
 			}
 			c.logf("dist: %s failed (attempt %d, %d jobs requeued): %v", m.ID, consecutive, len(indices), err)
+			log.Warn("shard requeued", "attempt", consecutive, "jobs", len(indices), "err", err)
 			if sleepCtx(ctx, time.Duration(consecutive)*100*time.Millisecond) != nil {
 				return
 			}
@@ -556,7 +592,10 @@ func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *sha
 		consecutive = 0
 		for k, idx := range indices {
 			jr := resp.Results[k]
-			results[idx] = harness.Result{Job: jobs[idx], Results: jr.Results, Cached: jr.Cached}
+			// Timing rides beside the results into the merged matrix; the
+			// cache stores only jr.Results, so cached bytes stay identical
+			// to a serial local run.
+			results[idx] = harness.Result{Job: jobs[idx], Results: jr.Results, Cached: jr.Cached, Timing: jr.Timing}
 			if c.Cache != nil {
 				if err := c.Cache.Put(jobs[idx], jr.Results); err != nil {
 					fail(fmt.Errorf("cache put: %w", err))
@@ -566,6 +605,7 @@ func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *sha
 			merged(1)
 		}
 		c.logf("dist: %s completed %d jobs (%d remaining)", m.ID, len(indices), remaining.Load())
+		log.Info("shard complete", "jobs", len(indices), "seconds", time.Since(start).Seconds(), "remaining", remaining.Load())
 	}
 }
 
@@ -573,12 +613,12 @@ func (c *Coordinator) serve(ctx context.Context, m Member, reg *Registry, q *sha
 // error (version mismatch: abort the run), the third a retryable one
 // (requeue the shards).
 func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
-	jobs []harness.Job) (RunResponse, error, error) {
+	jobs []harness.Job, trace string) (RunResponse, error, error) {
 	batch := make([]harness.Job, len(indices))
 	for k, idx := range indices {
 		batch[k] = jobs[idx]
 	}
-	return ExecuteShard(ctx, c.client(), m, c.AuthToken, c.timeout(), batch)
+	return ExecuteShard(ctx, c.client(), m, c.AuthToken, c.timeout(), batch, trace)
 }
 
 // ExecuteShard sends one job batch to one member over the wire protocol
@@ -587,8 +627,10 @@ func (c *Coordinator) runShard(ctx context.Context, m Member, indices []int,
 // third a retryable one (requeue the shard for the rest of the fleet).
 // The coordinator's dispatch loop and the sweep daemon's scheduler share
 // it, so the protocol cannot drift between the one-shot and daemon paths.
+// A non-empty trace is sent as the obs.TraceHeader header; the worker
+// attaches it to its shard log records, joining the two processes' logs.
 func ExecuteShard(ctx context.Context, client *http.Client, m Member, token string,
-	timeout time.Duration, batch []harness.Job) (RunResponse, error, error) {
+	timeout time.Duration, batch []harness.Job, trace string) (RunResponse, error, error) {
 	body, err := json.Marshal(RunRequest{Version: ProtocolVersion, Jobs: batch})
 	if err != nil {
 		return RunResponse{}, nil, err
@@ -600,6 +642,9 @@ func ExecuteShard(ctx context.Context, client *http.Client, m Member, token stri
 		return RunResponse{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	setAuth(req, token)
 	resp, err := client.Do(req)
 	if err != nil {

@@ -24,20 +24,33 @@
 package dist
 
 import (
+	"fmt"
+
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 	"vbi/internal/system"
 )
+
+// VersionLine is the canonical `-version` output every cmd/ binary
+// prints: the wire protocol this build speaks and the harness schema
+// its caches and journals are keyed under. One helper so the seven
+// binaries cannot drift in format.
+func VersionLine(tool string) string {
+	return fmt.Sprintf("%s %s (harness %s)", tool, ProtocolVersion, harness.Version)
+}
 
 // ProtocolVersion names the dist wire format: the harness.Version (timing
 // model + job schema) plus a wire revision. Every handshake, run request
 // and registration carries it, and a mismatch on either side is fatal —
 // the same "never mix models" stance as before, now also covering wire
-// shape. wire2 is the self-describing-job protocol: RunRequest jobs carry
-// their fully resolved system.Spec, so a worker executes exactly the
-// configuration the coordinator resolved and never consults its own spec
-// registry (a variant registered only in the coordinator runs on any
-// worker).
-const ProtocolVersion = harness.Version + "+wire2"
+// shape. wire2 made jobs self-describing (RunRequest jobs carry their
+// fully resolved system.Spec, so a worker executes exactly the
+// configuration the coordinator resolved and never consults its own
+// spec registry); wire3 adds per-job timing to RunResponse: every
+// JobResult carries an obs.JobTiming beside its results, so the
+// coordinator sees where remote time went without the deterministic
+// result payload changing by a byte.
+const ProtocolVersion = harness.Version + "+wire3"
 
 // URL paths of the fleet protocol. PathHealthz and PathRun are served by
 // workers; PathRegister and PathLeave are served by the coordinator's
@@ -45,8 +58,11 @@ const ProtocolVersion = harness.Version + "+wire2"
 // is configured, every route on a gated server requires it
 // (Authorization: Bearer <token>).
 const (
-	PathHealthz  = "/healthz"
-	PathRun      = "/run"
+	PathHealthz = "/healthz"
+	PathRun     = "/run"
+	// PathMetrics is the worker's Prometheus text exposition: jobs run,
+	// per-phase event counters, job-latency histogram, in-flight gauge.
+	PathMetrics  = "/metrics"
 	PathRegister = "/register"
 	// PathLeave is a draining worker's voluntary deregistration: the
 	// member is removed at once instead of lingering until TTL eviction,
@@ -91,6 +107,11 @@ type RunRequest struct {
 type JobResult struct {
 	Results []system.RunResult `json:"results"`
 	Cached  bool               `json:"cached"`
+	// Timing is the job's measurement record on the worker (wall time,
+	// queue wait, phase breakdown) — wire3's addition. It travels beside
+	// Results, never inside them, so Results (what the coordinator caches
+	// and renders) stays byte-identical to a serial local run.
+	Timing *obs.JobTiming `json:"timing,omitempty"`
 }
 
 // RunResponse answers a RunRequest.

@@ -231,7 +231,7 @@ func TestWorkerDrain(t *testing.T) {
 		t.Error("draining worker's handshake does not advertise Draining")
 	}
 	_, fatal, retry := ExecuteShard(context.Background(), http.DefaultClient,
-		Member{ID: base, Base: base}, "", time.Minute, testJobs(t)[:1])
+		Member{ID: base, Base: base}, "", time.Minute, testJobs(t)[:1], "")
 	if fatal != nil {
 		t.Fatalf("draining refusal was fatal: %v", fatal)
 	}

@@ -3,20 +3,23 @@ package dist
 import (
 	"encoding/json"
 	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 )
 
 // Worker serves harness job batches over the dist protocol. It wraps a
 // local harness.Runner: /run executes a shard through the runner's pool
-// (and cache, when configured) and returns positional results; /healthz
-// serves the version handshake. cmd/vbiworker is the daemon around it,
-// but any http server can mount Handler (the tests use httptest).
+// (and cache, when configured) and returns positional results plus
+// per-job timing; /healthz serves the version handshake; /metrics the
+// Prometheus exposition. cmd/vbiworker is the daemon around it, but any
+// http server can mount Handler (the tests use httptest).
 type Worker struct {
 	// Runner executes the shards. A nil Runner means a default local pool
 	// (GOMAXPROCS workers, no cache).
@@ -25,11 +28,18 @@ type Worker struct {
 	// compare, 401 on mismatch), so an unauthenticated coordinator cannot
 	// hand this worker shards. It must match the coordinator's token.
 	AuthToken string
-	// Log, when non-nil, receives one line per request.
-	Log io.Writer
+	// Logger, when non-nil, receives one structured record per shard.
+	// Records carry the coordinator's trace-ID chain (the obs.TraceHeader
+	// request header) as a "trace" attribute, so one job's lifecycle
+	// greps across the coordinator's and this worker's logs.
+	Logger *slog.Logger
+	// Pprof, when true, mounts net/http/pprof's handlers under
+	// /debug/pprof/ on the same (auth-gated) mux — opt-in, because
+	// profiles expose process internals beyond what shard peers need.
+	Pprof bool
 
-	mu       sync.Mutex // guards Log
 	draining atomic.Bool
+	metrics  workerMetrics
 }
 
 // SetDraining flips the worker into (or out of) drain mode: /run refuses
@@ -57,21 +67,31 @@ func (w *Worker) PoolWidth() int {
 	return n
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.Log == nil {
-		return
+func (w *Worker) log() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	fmt.Fprintf(w.Log, format+"\n", args...)
+	return obs.Discard
 }
 
-// Handler returns the worker's HTTP handler, serving PathHealthz and
-// PathRun, auth-gated when AuthToken is set.
+// Handler returns the worker's HTTP handler, serving PathHealthz,
+// PathRun and PathMetrics (plus /debug/pprof/ when Pprof is set),
+// auth-gated when AuthToken is set.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealthz, w.handleHealthz)
 	mux.HandleFunc(PathRun, w.handleRun)
+	mux.HandleFunc(PathMetrics, w.handleMetrics)
+	if w.Pprof {
+		// Mounted explicitly (not via the package's init-time
+		// DefaultServeMux registration) so the profiles sit behind the
+		// same auth gate as every other route.
+		mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+	}
 	return requireAuth(w.AuthToken, mux)
 }
 
@@ -94,10 +114,26 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, req *http.Request) {
 	})
 }
 
+func (w *Worker) handleMetrics(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rw.WriteHeader(http.StatusOK)
+	w.metrics.write(rw)
+}
+
 func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
+	}
+	// The coordinator's trace chain ("<root>/<shard-seq>"); every log
+	// record of this shard carries it so the two processes' logs join.
+	log := w.log()
+	if trace := req.Header.Get(obs.TraceHeader); trace != "" {
+		log = log.With("trace", trace)
 	}
 	if w.Draining() {
 		// 503, not 412: the shard is fine, this worker just won't take it.
@@ -116,7 +152,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	// wire format into the coordinator's matrix. 412 tells the coordinator
 	// this is fatal, not retryable.
 	if rr.Version != ProtocolVersion {
-		w.logf("dist: refused shard: coordinator is %s, worker is %s", rr.Version, ProtocolVersion)
+		log.Warn("refused shard: version mismatch", "coordinator", rr.Version, "worker", ProtocolVersion)
 		writeJSON(rw, http.StatusPreconditionFailed, errorBody{
 			Error: fmt.Sprintf("version mismatch: coordinator %s, worker %s", rr.Version, ProtocolVersion)})
 		return
@@ -125,18 +161,23 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	if r == nil {
 		r = &harness.Runner{}
 	}
+	log.Info("shard accepted", "jobs", len(rr.Jobs))
+	w.metrics.shardStart(len(rr.Jobs))
+	start := time.Now()
 	// The request context cancels the shard when the coordinator hangs up
 	// (timeout, abort): in-flight jobs finish, queued jobs are skipped.
 	results, err := r.Run(req.Context(), rr.Jobs)
+	w.metrics.shardEnd(len(rr.Jobs))
 	if err != nil {
-		w.logf("dist: shard of %d failed: %v", len(rr.Jobs), err)
+		log.Error("shard failed", "jobs", len(rr.Jobs), "err", err)
 		writeJSON(rw, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
 	resp := RunResponse{Results: make([]JobResult, len(results))}
 	for i, res := range results {
-		resp.Results[i] = JobResult{Results: res.Results, Cached: res.Cached}
+		resp.Results[i] = JobResult{Results: res.Results, Cached: res.Cached, Timing: res.Timing}
+		w.metrics.observeJob(res)
 	}
-	w.logf("dist: shard of %d done", len(rr.Jobs))
+	log.Info("shard done", "jobs", len(rr.Jobs), "seconds", time.Since(start).Seconds())
 	writeJSON(rw, http.StatusOK, resp)
 }

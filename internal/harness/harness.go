@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"vbi/internal/obs"
 	"vbi/internal/system"
 	"vbi/internal/trace"
 	"vbi/internal/workloads"
@@ -88,6 +89,14 @@ type Result struct {
 	// results that crossed the dist wire). Excluded from JSON like Cached:
 	// it is measurement metadata, not part of the deterministic payload.
 	Elapsed time.Duration `json:"-"`
+	// Timing is the job's full measurement record: wall time, queue wait,
+	// cache-hit flag and the per-phase event breakdown. Unlike Elapsed it
+	// survives the dist wire (JobResult carries it beside the results), so
+	// a coordinator sees where remote time went. Excluded from JSON for
+	// the same reason as Cached and Elapsed: the deterministic result
+	// payload — and therefore every cache entry and rendered matrix — must
+	// be byte-identical whether or not anyone timed the run.
+	Timing *obs.JobTiming `json:"-"`
 }
 
 // Validate checks the job without running it.
@@ -273,13 +282,16 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 		stopOnce.Do(func() { close(stop) })
 	}
+	// Every job's queue wait is measured against the batch start: how
+	// long it sat behind the pool before its own simulation began.
+	batchStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := r.runOne(jobs[i])
+				res, err := r.runOne(jobs[i], batchStart)
 				if err != nil {
 					fail(fmt.Errorf("job %d (%s): %w", i, jobs[i].Describe(), err))
 					return
@@ -316,25 +328,33 @@ feed:
 	return results, nil
 }
 
-// runOne serves one job from cache or simulation.
-func (r *Runner) runOne(j Job) (Result, error) {
+// runOne serves one job from cache or simulation, wrapping the run in
+// an obs.Timer so every result carries its measurement record.
+func (r *Runner) runOne(j Job, queuedAt time.Time) (Result, error) {
 	if r.Cache != nil {
 		if res, ok := r.Cache.Get(j); ok {
 			r.logf("  [cache] %s", j.Describe())
-			return Result{Job: j, Results: res, Cached: true}, nil
+			// A hit costs no simulation time, but its phase counters are
+			// part of the cached result and still attribute the work.
+			return Result{Job: j, Results: res, Cached: true,
+				Timing: &obs.JobTiming{Cached: true, Phases: system.SumPhases(res)}}, nil
 		}
 	}
-	start := time.Now()
+	t := obs.StartTimer(queuedAt)
 	res, err := j.run()
 	if err != nil {
 		return Result{}, err
 	}
-	elapsed := time.Since(start)
+	elapsed, queued := t.Stop()
 	if r.Cache != nil {
 		if err := r.Cache.Put(j, res); err != nil {
 			return Result{}, fmt.Errorf("cache put: %w", err)
 		}
 	}
 	r.logf("  %-34s IPC=%.4f DRAM=%d", j.Describe(), res[0].IPC, res[0].DRAMAccesses)
-	return Result{Job: j, Results: res, Elapsed: elapsed}, nil
+	return Result{Job: j, Results: res, Elapsed: elapsed, Timing: &obs.JobTiming{
+		WallNanos:  elapsed.Nanoseconds(),
+		QueueNanos: queued.Nanoseconds(),
+		Phases:     system.SumPhases(res),
+	}}, nil
 }

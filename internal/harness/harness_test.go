@@ -34,12 +34,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Elapsed is wall-clock bookkeeping (json:"-", excluded from the
-	// cache and the wire), so it is outside the determinism contract.
+	// Elapsed and Timing are wall-clock bookkeeping (json:"-", excluded
+	// from the cache and the deterministic result bytes), so they are
+	// outside the determinism contract.
 	stripElapsed := func(rs []Result) []Result {
 		out := make([]Result, len(rs))
 		for i, r := range rs {
 			r.Elapsed = 0
+			r.Timing = nil
 			out[i] = r
 		}
 		return out

@@ -2,7 +2,10 @@
 // and dynamic dispatch are flagged only inside //vbi:hotpath functions.
 package hotalloc
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 type counter interface{ Bump() }
 
@@ -71,4 +74,58 @@ func hotIndexed(xs []int, p *point) int {
 func hotAllowed(n int) []int {
 	//vbi:allow hotalloc fixture: setup allocation, amortized over the run
 	return make([]int, n)
+}
+
+// timer mirrors obs.Timer: a value type with concrete methods, the shape
+// the runner threads through its per-job dispatch path. The fixture
+// module cannot import vbi packages, so the contract is pinned here in
+// miniature: value construction and concrete method calls stay silent on
+// a hot path, while the tempting pointer-and-closure variants are
+// exactly what the analyzer exists to reject.
+type timer struct {
+	queuedAt  time.Time
+	startedAt time.Time
+}
+
+func startTimer(queuedAt time.Time) timer {
+	return timer{queuedAt: queuedAt, startedAt: time.Now()}
+}
+
+func (t timer) stop() time.Duration { return time.Since(t.startedAt) }
+
+// hotTimed wraps work in a timer the way harness.Runner wraps each job:
+// no diagnostics — the whole point of the value-type design.
+//
+//vbi:hotpath
+func hotTimed(xs []int) (int, time.Duration) {
+	tm := startTimer(time.Time{})
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total, tm.stop()
+}
+
+// hotTimerEscape is the rejected variant: a per-job *timer escapes and
+// costs an allocation per measurement.
+//
+//vbi:hotpath
+func hotTimerEscape() *timer {
+	return &timer{startedAt: time.Now()} // want `hot path hotTimerEscape: &composite-literal escapes to the heap`
+}
+
+// hotTimerClosure is the other rejected variant: deferring the stop via
+// a closure allocates on every call.
+//
+//vbi:hotpath
+func hotTimerClosure(xs []int) int {
+	tm := startTimer(time.Time{})
+	defer func() { // want `hot path hotTimerClosure: function literal allocates a closure per call`
+		_ = tm.stop()
+	}()
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
 }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// Profiles captures pprof profiles around a region of work — the
+// mechanism behind `vbibench -profile cpu,heap,out=dir/`. Start it
+// before the region, Stop after; the profiles land as cpu.pprof and
+// heap.pprof in the output directory, ready for `go tool pprof`.
+type Profiles struct {
+	dir  string
+	heap bool
+	cpu  *os.File
+}
+
+// StartProfiles parses a -profile spec and starts the requested
+// captures. The spec is a comma list of "cpu", "heap" and "out=DIR"
+// (default directory "."): "cpu,heap,out=prof/" captures both into
+// prof/. An empty spec returns nil — callers can pass the flag value
+// straight through and Stop handles the nil receiver.
+func StartProfiles(spec string) (*Profiles, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Profiles{dir: "."}
+	wantCPU := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+		case part == "cpu":
+			wantCPU = true
+		case part == "heap":
+			p.heap = true
+		case strings.HasPrefix(part, "out="):
+			p.dir = strings.TrimPrefix(part, "out=")
+		default:
+			return nil, fmt.Errorf("obs: bad -profile element %q (want cpu, heap or out=DIR)", part)
+		}
+	}
+	if !wantCPU && !p.heap {
+		return nil, fmt.Errorf("obs: -profile %q selects no profile (want cpu and/or heap)", spec)
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	if wantCPU {
+		f, err := os.Create(filepath.Join(p.dir, "cpu.pprof"))
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop ends the captures and writes the heap profile. Safe on a nil
+// receiver (the no-profiling case).
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	if p.heap {
+		f, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		// An up-to-date GC cycle makes the heap profile reflect live
+		// memory at Stop, not whenever the last cycle happened to run.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		p.heap = false
+	}
+	return nil
+}

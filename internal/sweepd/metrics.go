@@ -1,23 +1,28 @@
 package sweepd
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
+
+	"vbi/internal/obs"
 )
 
 // metrics is the daemon's counter set, rendered on PathMetrics in the
-// Prometheus text exposition format (hand-rolled — the format is three
-// lines per family and not worth a dependency). Counters are cumulative
-// over the daemon process lifetime; queue depths, fleet size and sweep
-// states are gauges computed at scrape time from live state.
+// Prometheus text exposition format through the shared internal/obs
+// writer. Counters are cumulative over the daemon process lifetime;
+// queue depths, fleet size and sweep states are gauges computed at
+// scrape time from live state. Rendering is deterministic — fixed family
+// order, sorted label values — so two scrapes of the same state are
+// byte-identical.
 type metrics struct {
 	mu sync.Mutex
 	// per-worker counters, keyed by member ID
 	shardsDispatched map[string]int64
 	shardsCompleted  map[string]int64
 	shardFailures    map[string]int64
+	// per-worker shard round-trip latency (dispatch to merged response)
+	shardSeconds map[string]*obs.Histogram
 	// job + sweep counters
 	jobsCompleted   int64
 	jobsFromCache   int64 // completions served by the daemon's cache pre-pass
@@ -32,6 +37,7 @@ func newMetrics() *metrics {
 		shardsDispatched: map[string]int64{},
 		shardsCompleted:  map[string]int64{},
 		shardFailures:    map[string]int64{},
+		shardSeconds:     map[string]*obs.Histogram{},
 	}
 }
 
@@ -45,6 +51,19 @@ func (m *metrics) completedShards(worker string, shards int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.shardsCompleted[worker] += int64(shards)
+}
+
+// observeShard records one completed shard request's round-trip seconds
+// against its worker.
+func (m *metrics) observeShard(worker string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.shardSeconds[worker]
+	if !ok {
+		h = obs.NewHistogram(obs.LatencyBuckets()...)
+		m.shardSeconds[worker] = h
+	}
+	m.mu.Unlock()
+	h.Observe(seconds)
 }
 
 func (m *metrics) failed(worker string) {
@@ -77,35 +96,59 @@ func (m *metrics) sweepEvent(state string) {
 	}
 }
 
-// write renders one metric family: HELP/TYPE header plus each sample.
-func writeFamily(w io.Writer, name, help, typ string, samples []sample) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	for _, s := range samples {
-		if s.label == "" {
-			fmt.Fprintf(w, "%s %v\n", name, s.value)
-		} else {
-			fmt.Fprintf(w, "%s{%s=%q} %v\n", name, s.labelKey, s.label, s.value)
+// latency summarizes every worker's shard round-trip histogram for
+// /status, sorted by worker ID.
+func (m *metrics) latency() []WorkerLatency {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.shardSeconds))
+	for id := range m.shardSeconds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	snaps := make([]obs.HistogramSnapshot, len(ids))
+	for i, id := range ids {
+		snaps[i] = m.shardSeconds[id].Snapshot()
+	}
+	m.mu.Unlock()
+	out := make([]WorkerLatency, len(ids))
+	for i, id := range ids {
+		s := snaps[i]
+		out[i] = WorkerLatency{
+			Worker:     id,
+			Count:      s.Count,
+			P50Seconds: s.Quantile(0.5),
+			P90Seconds: s.Quantile(0.9),
+			P99Seconds: s.Quantile(0.99),
 		}
 	}
-}
-
-type sample struct {
-	labelKey string
-	label    string
-	value    any
+	return out
 }
 
 // perWorker renders a per-worker counter map as sorted samples (sorted so
 // scrapes are diffable).
-func perWorker(counts map[string]int64) []sample {
+func perWorker(counts map[string]int64) []obs.Sample {
 	ids := make([]string, 0, len(counts))
 	for id := range counts {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	out := make([]sample, len(ids))
+	out := make([]obs.Sample, len(ids))
 	for i, id := range ids {
-		out[i] = sample{labelKey: "worker", label: id, value: counts[id]}
+		out[i] = obs.S(counts[id], obs.L("worker", id))
+	}
+	return out
+}
+
+// perSweep renders a per-sweep float gauge map as sorted samples.
+func perSweep(values map[string]float64) []obs.Sample {
+	ids := make([]string, 0, len(values))
+	for id := range values {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]obs.Sample, len(ids))
+	for i, id := range ids {
+		out[i] = obs.S(values[id], obs.L("sweep", id))
 	}
 	return out
 }
@@ -117,67 +160,85 @@ func (m *metrics) WriteMetrics(w io.Writer, gauges gauges) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	writeFamily(w, "sweepd_fleet_workers", "Live fleet members.", "gauge",
-		[]sample{{value: gauges.workers}})
-	writeFamily(w, "sweepd_fleet_workers_quarantined", "Registered members currently quarantined after failures.", "gauge",
-		[]sample{{value: gauges.quarantined}})
+	obs.WriteFamily(w, "sweepd_fleet_workers", "Live fleet members.", "gauge",
+		[]obs.Sample{obs.S(gauges.workers)})
+	obs.WriteFamily(w, "sweepd_fleet_workers_quarantined", "Registered members currently quarantined after failures.", "gauge",
+		[]obs.Sample{obs.S(gauges.quarantined)})
 
-	var states []sample
+	var states []obs.Sample
 	for _, st := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
-		states = append(states, sample{labelKey: "state", label: st, value: gauges.sweepStates[st]})
+		states = append(states, obs.S(gauges.sweepStates[st], obs.L("state", st)))
 	}
-	writeFamily(w, "sweepd_sweeps", "Known sweeps by state.", "gauge", states)
+	obs.WriteFamily(w, "sweepd_sweeps", "Known sweeps by state.", "gauge", states)
 
-	var depths []sample
+	var depths []obs.Sample
 	ids := make([]string, 0, len(gauges.queueDepths))
 	for id := range gauges.queueDepths {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		depths = append(depths, sample{labelKey: "sweep", label: id, value: gauges.queueDepths[id]})
+		depths = append(depths, obs.S(gauges.queueDepths[id], obs.L("sweep", id)))
 	}
-	writeFamily(w, "sweepd_queue_depth_shards", "Pending shards per active sweep.", "gauge", depths)
-	writeFamily(w, "sweepd_jobs_queued", "Jobs not yet completed across active sweeps.", "gauge",
-		[]sample{{value: gauges.jobsQueued}})
-	writeFamily(w, "sweepd_jobs_in_flight", "Jobs currently dispatched to workers.", "gauge",
-		[]sample{{value: gauges.jobsInFlight}})
+	obs.WriteFamily(w, "sweepd_queue_depth_shards", "Pending shards per active sweep.", "gauge", depths)
+	obs.WriteFamily(w, "sweepd_jobs_queued", "Jobs not yet completed across active sweeps.", "gauge",
+		[]obs.Sample{obs.S(gauges.jobsQueued)})
+	obs.WriteFamily(w, "sweepd_jobs_in_flight", "Jobs currently dispatched to workers.", "gauge",
+		[]obs.Sample{obs.S(gauges.jobsInFlight)})
+	obs.WriteFamily(w, "sweepd_sweep_jobs_per_second", "Remote job completion rate per active sweep.", "gauge",
+		perSweep(gauges.jobsPerSecond))
+	obs.WriteFamily(w, "sweepd_sweep_eta_seconds", "Projected seconds to drain each active sweep at its current rate.", "gauge",
+		perSweep(gauges.etaSeconds))
 
-	writeFamily(w, "sweepd_sweeps_submitted_total", "Sweeps accepted since daemon start.", "counter",
-		[]sample{{value: m.sweepsSubmitted}})
-	writeFamily(w, "sweepd_sweeps_completed_total", "Sweeps finished since daemon start.", "counter",
-		[]sample{
-			{labelKey: "state", label: StateDone, value: m.sweepsDone},
-			{labelKey: "state", label: StateFailed, value: m.sweepsFailed},
-			{labelKey: "state", label: StateCancelled, value: m.sweepsCancelled},
+	obs.WriteFamily(w, "sweepd_sweeps_submitted_total", "Sweeps accepted since daemon start.", "counter",
+		[]obs.Sample{obs.S(m.sweepsSubmitted)})
+	obs.WriteFamily(w, "sweepd_sweeps_completed_total", "Sweeps finished since daemon start.", "counter",
+		[]obs.Sample{
+			obs.S(m.sweepsDone, obs.L("state", StateDone)),
+			obs.S(m.sweepsFailed, obs.L("state", StateFailed)),
+			obs.S(m.sweepsCancelled, obs.L("state", StateCancelled)),
 		})
-	writeFamily(w, "sweepd_jobs_completed_total", "Jobs completed since daemon start.", "counter",
-		[]sample{{value: m.jobsCompleted}})
-	writeFamily(w, "sweepd_jobs_cache_served_total", "Job completions served from the shared result cache.", "counter",
-		[]sample{{value: m.jobsFromCache}})
+	obs.WriteFamily(w, "sweepd_jobs_completed_total", "Jobs completed since daemon start.", "counter",
+		[]obs.Sample{obs.S(m.jobsCompleted)})
+	obs.WriteFamily(w, "sweepd_jobs_cache_served_total", "Job completions served from the shared result cache.", "counter",
+		[]obs.Sample{obs.S(m.jobsFromCache)})
 
-	writeFamily(w, "sweepd_shards_dispatched_total", "Shards sent to each worker.", "counter",
+	obs.WriteFamily(w, "sweepd_shards_dispatched_total", "Shards sent to each worker.", "counter",
 		perWorker(m.shardsDispatched))
-	writeFamily(w, "sweepd_shards_completed_total", "Shards each worker completed (rate = shard throughput).", "counter",
+	obs.WriteFamily(w, "sweepd_shards_completed_total", "Shards each worker completed (rate = shard throughput).", "counter",
 		perWorker(m.shardsCompleted))
-	writeFamily(w, "sweepd_shard_failures_total", "Failed shard requests per worker.", "counter",
+	obs.WriteFamily(w, "sweepd_shard_failures_total", "Failed shard requests per worker.", "counter",
 		perWorker(m.shardFailures))
 
-	writeFamily(w, "sweepd_cache_hits_total", "Result-cache hits in this daemon process.", "counter",
-		[]sample{{value: gauges.cacheHits}})
-	writeFamily(w, "sweepd_cache_misses_total", "Result-cache misses in this daemon process.", "counter",
-		[]sample{{value: gauges.cacheMisses}})
+	var lat []obs.Sample
+	wids := make([]string, 0, len(m.shardSeconds))
+	for id := range m.shardSeconds {
+		wids = append(wids, id)
+	}
+	sort.Strings(wids)
+	for _, id := range wids {
+		lat = append(lat, obs.QuantileSamples(m.shardSeconds[id].Snapshot(),
+			[]float64{0.5, 0.9, 0.99}, obs.L("worker", id))...)
+	}
+	obs.WriteFamily(w, "sweepd_shard_seconds_quantile", "Estimated shard round-trip latency quantiles per worker.", "gauge", lat)
+
+	obs.WriteFamily(w, "sweepd_cache_hits_total", "Result-cache hits in this daemon process.", "counter",
+		[]obs.Sample{obs.S(gauges.cacheHits)})
+	obs.WriteFamily(w, "sweepd_cache_misses_total", "Result-cache misses in this daemon process.", "counter",
+		[]obs.Sample{obs.S(gauges.cacheMisses)})
 }
 
 // gauges is the scrape-time snapshot of live state: everything /metrics
 // reports that is not a monotonic counter.
 type gauges struct {
-	workers      int
-	quarantined  int
-	sweepStates  map[string]int
-	queueDepths  map[string]int
-	jobsQueued   int
-	jobsInFlight int
-	cacheHits    int64
-	cacheMisses  int64
+	workers       int
+	quarantined   int
+	sweepStates   map[string]int
+	queueDepths   map[string]int
+	jobsQueued    int
+	jobsInFlight  int
+	jobsPerSecond map[string]float64
+	etaSeconds    map[string]float64
+	cacheHits     int64
+	cacheMisses   int64
 }

@@ -25,6 +25,7 @@ import (
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 )
 
 // URL paths of the sweep service API. The daemon additionally serves the
@@ -113,6 +114,35 @@ type SweepStatus struct {
 	FinishedAt time.Time `json:"finished_at"`
 	// Error is the failure reason for StateFailed.
 	Error string `json:"error,omitempty"`
+
+	// Observability fields, derived from per-job timing records (wire3).
+	// JobsPerSecond is the fleet's remote completion rate for this sweep
+	// (cache pre-pass hits excluded) and ETASeconds the projected time to
+	// drain the remaining jobs at that rate; both are zero until the first
+	// remote completion and absent on terminal sweeps.
+	JobsPerSecond float64 `json:"jobs_per_second,omitempty"`
+	ETASeconds    float64 `json:"eta_seconds,omitempty"`
+	// SimSeconds is the summed worker wall-clock across this sweep's
+	// simulated (non-cached) jobs — the compute the sweep actually bought.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// Phases is the summed per-phase event breakdown (TLB, PWC, walk,
+	// cache, DRAM) across completed jobs, cached ones included.
+	Phases *obs.PhaseCounts `json:"phases,omitempty"`
+}
+
+// WorkerLatency is one worker's shard-latency summary in StatusResponse:
+// quantile estimates from the daemon's per-worker shard-seconds
+// histogram.
+//
+//vbi:wire
+type WorkerLatency struct {
+	Worker string `json:"worker"`
+	// Count is the number of completed shard requests observed.
+	Count uint64 `json:"count"`
+	// P50/P90/P99 are estimated shard round-trip seconds.
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // SweepResponse answers GET /sweeps/{id}: the status plus, for a done
@@ -143,6 +173,9 @@ type StatusResponse struct {
 	Fleet []dist.MemberInfo `json:"fleet"`
 	// Sweeps lists every known sweep's progress, submission order.
 	Sweeps []SweepStatus `json:"sweeps"`
+	// Latency is each worker's shard round-trip summary, sorted by worker
+	// ID; empty until a shard completes.
+	Latency []WorkerLatency `json:"latency,omitempty"`
 }
 
 // errorBody is the JSON body of every non-200 response.

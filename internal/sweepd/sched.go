@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 )
 
 // task is one dispatchable shard: a contiguous slice of job indices
@@ -145,10 +147,18 @@ type scheduler struct {
 
 	queue *fairQueue
 	wake  chan struct{} // nudged on submit so idle loops pull immediately
+
+	// trace is the scheduler-lifetime root trace ID; every dispatched
+	// shard gets a numbered child ("<root>/<seq>") sent to the worker in
+	// the obs.TraceHeader header, so one grep joins the daemon's and the
+	// worker's records for a shard.
+	trace string
+	seq   atomic.Int64
 }
 
 func newScheduler(srv *Server) *scheduler {
-	return &scheduler{srv: srv, queue: newFairQueue(), wake: make(chan struct{}, 1)}
+	return &scheduler{srv: srv, queue: newFairQueue(), wake: make(chan struct{}, 1),
+		trace: obs.NewTraceID()}
 }
 
 func (s *scheduler) nudge() {
@@ -247,8 +257,12 @@ func (s *scheduler) serve(ctx context.Context, m dist.Member) {
 		}
 		s.srv.metrics.dispatched(m.ID, len(tasks))
 		s.srv.markInFlight(refs, +1)
+		trace := obs.ChildID(s.trace, s.seq.Add(1))
+		log := s.srv.log().With("trace", trace, "worker", m.ID)
+		log.Info("shard dispatch", "jobs", len(batch), "shards", len(tasks))
+		start := time.Now()
 		resp, fatal, err := dist.ExecuteShard(ctx, s.srv.client(), m, s.srv.AuthToken,
-			s.srv.timeout(), batch)
+			s.srv.timeout(), batch, trace)
 		s.srv.markInFlight(refs, -1)
 		if fatal != nil {
 			// A stale worker binary cannot serve this daemon, ever. Unlike
@@ -282,13 +296,16 @@ func (s *scheduler) serve(ctx context.Context, m dist.Member) {
 			continue
 		}
 		consecutive = 0
+		elapsed := time.Since(start)
 		s.srv.metrics.completedShards(m.ID, len(tasks))
+		s.srv.metrics.observeShard(m.ID, elapsed.Seconds())
+		log.Info("shard complete", "jobs", len(batch), "seconds", elapsed.Seconds())
 		k := 0
 		for _, t := range tasks {
 			for _, idx := range t.indices {
 				jr := resp.Results[k]
 				k++
-				s.srv.complete(t.sweepID, idx, jr.Results, false)
+				s.srv.complete(t.sweepID, idx, jr.Results, false, jr.Timing)
 			}
 		}
 	}

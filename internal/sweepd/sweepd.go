@@ -8,8 +8,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -20,6 +20,7 @@ import (
 
 	"vbi/internal/dist"
 	"vbi/internal/harness"
+	"vbi/internal/obs"
 	"vbi/internal/system"
 )
 
@@ -56,8 +57,10 @@ type Server struct {
 	MaxShardAttempts int
 	// PollInterval is the membership poll cadence (<=0 = 250ms).
 	PollInterval time.Duration
-	// Log, when non-nil, receives daemon activity lines.
-	Log io.Writer
+	// Logger, when non-nil, receives the daemon's structured activity
+	// records. cmd/vbisweepd wires it to -log-format/-log-level; shard
+	// dispatch records carry the scheduler's trace-ID chain.
+	Logger *slog.Logger
 	// Client, when non-nil, overrides the HTTP client used for worker
 	// requests (TLS, tests).
 	Client *http.Client
@@ -67,8 +70,6 @@ type Server struct {
 	order   []string // submission order, for listings and resume
 	sched   *scheduler
 	metrics *metrics
-
-	logMu sync.Mutex
 }
 
 // sweep is one sweep's in-memory state. results/completed are positional
@@ -81,6 +82,13 @@ type sweep struct {
 	remaining int
 	cached    int
 	inflight  int
+	// Observability accounting, accumulated from per-job timing records:
+	// summed worker wall nanos (cache hits excluded), summed phase events,
+	// and the remote-completion rate basis for throughput/ETA.
+	simNanos    int64
+	phases      obs.PhaseCounts
+	remoteDone  int
+	firstRemote time.Time
 }
 
 // record is the journal document: everything needed to resume (the
@@ -153,13 +161,18 @@ func (s *Server) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (s *Server) log() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return obs.Discard
+}
+
 func (s *Server) logf(format string, args ...any) {
-	if s.Log == nil {
+	if s.Logger == nil {
 		return
 	}
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	fmt.Fprintf(s.Log, format+"\n", args...)
+	s.Logger.Info(fmt.Sprintf(format, args...))
 }
 
 // Start replays the journal and launches the scheduler. It returns after
@@ -346,7 +359,10 @@ func (s *Server) admit(sw *sweep) {
 	for i, j := range sw.jobs {
 		if s.Cache != nil {
 			if res, ok := s.Cache.Get(j); ok {
-				s.complete(sw.rec.ID, i, res, true)
+				// Same timing shape the harness gives cache hits: no wall
+				// time, phases recovered from the stored counters.
+				s.complete(sw.rec.ID, i, res, true,
+					&obs.JobTiming{Cached: true, Phases: system.SumPhases(res)})
 				continue
 			}
 		}
@@ -368,8 +384,10 @@ func (s *Server) admit(sw *sweep) {
 // complete records one finished job. Duplicate completions (a shard
 // requeued past a slow worker that eventually answered) are ignored; the
 // first result wins, and determinism makes the duplicates identical
-// anyway. The last completion finalizes the sweep.
-func (s *Server) complete(sweepID string, idx int, results []system.RunResult, fromCache bool) {
+// anyway. The last completion finalizes the sweep. timing, when non-nil,
+// feeds the sweep's throughput/ETA and phase accounting — observability
+// only, never part of the journaled result table.
+func (s *Server) complete(sweepID string, idx int, results []system.RunResult, fromCache bool, timing *obs.JobTiming) {
 	s.mu.Lock()
 	sw, ok := s.sweeps[sweepID]
 	if !ok || terminal(sw.rec.State) || sw.completed[idx] {
@@ -379,9 +397,21 @@ func (s *Server) complete(sweepID string, idx int, results []system.RunResult, f
 	sw.results[idx] = results
 	sw.completed[idx] = true
 	sw.remaining--
+	if timing != nil {
+		sw.phases = sw.phases.Add(timing.Phases)
+		if !timing.Cached {
+			sw.simNanos += timing.WallNanos
+		}
+	}
 	if fromCache {
 		sw.cached++
-	} else if s.Cache != nil {
+	} else {
+		if sw.remoteDone == 0 {
+			sw.firstRemote = time.Now()
+		}
+		sw.remoteDone++
+	}
+	if !fromCache && s.Cache != nil {
 		// Stream remote results into the shared cache exactly like the
 		// one-shot coordinator: this is what restart resumption reads.
 		if err := s.Cache.Put(sw.jobs[idx], results); err != nil {
@@ -476,6 +506,11 @@ func (s *Server) statusLocked(sw *sweep) SweepStatus {
 		SubmittedAt: sw.rec.SubmittedAt,
 		FinishedAt:  sw.rec.FinishedAt,
 		Error:       sw.rec.Error,
+		SimSeconds:  float64(sw.simNanos) / 1e9,
+	}
+	if !sw.phases.IsZero() {
+		p := sw.phases
+		st.Phases = &p
 	}
 	if !terminal(st.State) {
 		st.Queued = sw.remaining - sw.inflight
@@ -483,6 +518,14 @@ func (s *Server) statusLocked(sw *sweep) SweepStatus {
 			st.State = StateRunning
 		} else {
 			st.State = StateQueued
+		}
+		// Throughput from remote completions only: cache pre-pass hits
+		// complete instantly and would wildly overstate the fleet's rate.
+		if sw.remoteDone > 0 {
+			if elapsed := time.Since(sw.firstRemote).Seconds(); elapsed > 0 {
+				st.JobsPerSecond = float64(sw.remoteDone) / elapsed
+				st.ETASeconds = float64(sw.remaining) / st.JobsPerSecond
+			}
 		}
 	}
 	return st
@@ -619,6 +662,7 @@ func (s *Server) handleStatus(rw http.ResponseWriter, req *http.Request) {
 		Version: dist.ProtocolVersion,
 		Fleet:   s.Fleet.Snapshot(),
 		Sweeps:  []SweepStatus{},
+		Latency: s.metrics.latency(),
 	}
 	s.mu.Lock()
 	for _, id := range s.order {
@@ -633,7 +677,12 @@ func (s *Server) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 		writeJSON(rw, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 		return
 	}
-	g := gauges{sweepStates: map[string]int{}, queueDepths: map[string]int{}}
+	g := gauges{
+		sweepStates:   map[string]int{},
+		queueDepths:   map[string]int{},
+		jobsPerSecond: map[string]float64{},
+		etaSeconds:    map[string]float64{},
+	}
 	for _, m := range s.Fleet.Snapshot() {
 		if m.Quarantined {
 			g.quarantined++
@@ -649,6 +698,10 @@ func (s *Server) handleMetrics(rw http.ResponseWriter, req *http.Request) {
 			g.queueDepths[id] = s.sched.queue.depth(id)
 			g.jobsQueued += st.Queued
 			g.jobsInFlight += st.InFlight
+			if st.JobsPerSecond > 0 {
+				g.jobsPerSecond[id] = st.JobsPerSecond
+				g.etaSeconds[id] = st.ETASeconds
+			}
 		}
 	}
 	s.mu.Unlock()
