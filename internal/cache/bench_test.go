@@ -29,3 +29,22 @@ func BenchmarkHierarchyMissFill(b *testing.B) {
 		h.Fill(line, false)
 	}
 }
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := New("L1", 32<<10, 8)
+	// Working set twice the capacity: every insert past warm-up evicts.
+	lines := 2 * (32 << 10 / 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i%lines)*64, i%2 == 0)
+	}
+}
+
+func BenchmarkCacheMarkDirty(b *testing.B) {
+	c := New("L1", 32<<10, 8)
+	c.Insert(0, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.MarkDirty(0)
+	}
+}

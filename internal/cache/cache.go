@@ -36,7 +36,11 @@ type Stats struct {
 	Writebacks uint64 // dirty evictions
 }
 
-// Cache is one set-associative write-back cache level.
+// Cache is one set-associative write-back cache level. The probe path is
+// map-free: a line's set is a direct index into the flattened lines array
+// and the tag match is a linear scan over the set's ways (ways <= 16, so
+// the scan stays within one or two cache lines of host memory and beats a
+// hash probe). Probes never allocate.
 type Cache struct {
 	Name string
 	// Stats accumulates hit/miss/eviction counts.
@@ -47,7 +51,7 @@ type Cache struct {
 	setMask  uint64
 	lines    []way // sets*ways, row-major by set
 	tick     uint64
-	lineBase map[uint64]int // line address -> index in lines, for O(1) probe
+	occupied int // valid lines, maintained by Insert/Invalidate
 }
 
 // New builds a cache of sizeBytes capacity and the given associativity.
@@ -62,12 +66,11 @@ func New(name string, sizeBytes, ways int) *Cache {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, sets))
 	}
 	return &Cache{
-		Name:     name,
-		sets:     sets,
-		ways:     ways,
-		setMask:  uint64(sets - 1),
-		lines:    make([]way, sets*ways),
-		lineBase: make(map[uint64]int, sets*ways),
+		Name:    name,
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]way, sets*ways),
 	}
 }
 
@@ -81,10 +84,26 @@ func (c *Cache) setOf(line uint64) int {
 	return int((line >> LineShift) & c.setMask)
 }
 
+// probe returns the index of the line's way within the flattened array, or
+// -1. It is the one tag-match loop every probe shares and never allocates.
+//
+//vbi:hotpath
+func (c *Cache) probe(line uint64) int {
+	base := c.setOf(line) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == line {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup probes for the line, updating LRU state and (for writes) the dirty
 // bit. It reports whether the line was present and does not allocate.
+//
+//vbi:hotpath
 func (c *Cache) Lookup(line uint64, write bool) bool {
-	if i, ok := c.lineBase[line]; ok {
+	if i := c.probe(line); i >= 0 {
 		c.tick++
 		c.lines[i].used = c.tick
 		if write {
@@ -97,18 +116,35 @@ func (c *Cache) Lookup(line uint64, write bool) bool {
 	return false
 }
 
+// MarkDirty updates LRU state and sets the dirty bit exactly like a write
+// hit — same tick advance, same used stamp — but never touches Stats. It
+// reports whether the line was present. The hierarchy uses it for internal
+// bookkeeping probes (recording dirty state at the LLC on write fills and
+// writeback spills) that are not demand accesses and must not inflate the
+// demand hit/miss counters.
+//
+//vbi:hotpath
+func (c *Cache) MarkDirty(line uint64) bool {
+	if i := c.probe(line); i >= 0 {
+		c.tick++
+		c.lines[i].used = c.tick
+		c.lines[i].dirty = true
+		return true
+	}
+	return false
+}
+
 // Contains probes without perturbing LRU or statistics (for tests and
 // back-invalidation checks).
 func (c *Cache) Contains(line uint64) bool {
-	_, ok := c.lineBase[line]
-	return ok
+	return c.probe(line) >= 0
 }
 
 // IsDirty reports whether the line is present and dirty, without
 // perturbing LRU or statistics.
 func (c *Cache) IsDirty(line uint64) bool {
-	i, ok := c.lineBase[line]
-	return ok && c.lines[i].dirty
+	i := c.probe(line)
+	return i >= 0 && c.lines[i].dirty
 }
 
 // Victim describes a line evicted by Insert.
@@ -120,23 +156,28 @@ type Victim struct {
 
 // Insert fills the line into its set, evicting the LRU way if the set is
 // full. The returned victim is Valid when a live line was displaced.
+// Insert never allocates.
+//
+//vbi:hotpath
 func (c *Cache) Insert(line uint64, dirty bool) Victim {
-	if i, ok := c.lineBase[line]; ok {
-		// Already present (e.g. racing fill): just merge dirty state.
-		c.tick++
-		c.lines[i].used = c.tick
-		c.lines[i].dirty = c.lines[i].dirty || dirty
-		return Victim{}
-	}
 	set := c.setOf(line)
 	base := set * c.ways
 	victimIdx := base
 	var oldest uint64 = ^uint64(0)
 	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == line {
+			// Already present (e.g. racing fill): just merge dirty state.
+			c.tick++
+			c.lines[i].used = c.tick
+			c.lines[i].dirty = c.lines[i].dirty || dirty
+			return Victim{}
+		}
 		if !c.lines[i].valid {
-			victimIdx = i
-			oldest = 0
-			break
+			if oldest != 0 {
+				victimIdx = i
+				oldest = 0
+			}
+			continue
 		}
 		if c.lines[i].used < oldest {
 			oldest = c.lines[i].used
@@ -147,7 +188,7 @@ func (c *Cache) Insert(line uint64, dirty bool) Victim {
 	w := &c.lines[victimIdx]
 	if w.valid {
 		v = Victim{Line: w.tag, Dirty: w.dirty, Valid: true}
-		delete(c.lineBase, w.tag)
+		c.occupied--
 		c.Stats.Evictions++
 		if w.dirty {
 			c.Stats.Writebacks++
@@ -155,31 +196,46 @@ func (c *Cache) Insert(line uint64, dirty bool) Victim {
 	}
 	c.tick++
 	*w = way{tag: line, valid: true, dirty: dirty, used: c.tick}
-	c.lineBase[line] = victimIdx
+	c.occupied++
 	return v
 }
 
 // Invalidate drops the line if present, returning whether it was dirty.
 func (c *Cache) Invalidate(line uint64) (wasPresent, wasDirty bool) {
-	i, ok := c.lineBase[line]
-	if !ok {
+	i := c.probe(line)
+	if i < 0 {
 		return false, false
 	}
 	wasDirty = c.lines[i].dirty
 	c.lines[i] = way{}
-	delete(c.lineBase, line)
+	c.occupied--
 	return true, wasDirty
+}
+
+// InvalidateAll empties the cache in place: the flat array is cleared
+// without reallocating, so repeated invalidate/refill cycles are
+// allocation-free. The LRU clock keeps running (monotonic ticks are what
+// make eviction order reproducible).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = way{}
+	}
+	c.occupied = 0
 }
 
 // InvalidateIf drops every line for which pred returns true (used for the
 // lazy cache cleanup after disable_vb, §4.2.4) and returns the count.
+// This is the cold path: it collects and sorts the live line addresses
+// before calling pred or mutating, because an array-order walk would visit
+// lines in (set, way) placement order — a function of eviction history —
+// and the invalidation sequence (and a stateful pred's view) must depend
+// only on cache contents.
 func (c *Cache) InvalidateIf(pred func(line uint64) bool) int {
-	// Collect and sort before calling pred or mutating: a map-order walk
-	// would make the invalidation sequence (and a stateful pred's view)
-	// nondeterministic.
-	lines := make([]uint64, 0, len(c.lineBase))
-	for line := range c.lineBase {
-		lines = append(lines, line)
+	lines := make([]uint64, 0, c.occupied)
+	for i := range c.lines {
+		if c.lines[i].valid {
+			lines = append(lines, c.lines[i].tag)
+		}
 	}
 	slices.Sort(lines)
 	doomed := 0
@@ -193,4 +249,4 @@ func (c *Cache) InvalidateIf(pred func(line uint64) bool) int {
 }
 
 // OccupiedLines returns the number of valid lines (for tests).
-func (c *Cache) OccupiedLines() int { return len(c.lineBase) }
+func (c *Cache) OccupiedLines() int { return c.occupied }

@@ -137,3 +137,59 @@ func TestCacheCapacityBound(t *testing.T) {
 		t.Fatalf("occupied %d exceeds capacity %d", c.OccupiedLines(), c.Sets()*c.Ways())
 	}
 }
+
+func TestCacheMarkDirty(t *testing.T) {
+	c := New("L1", 1<<10, 8)
+	if c.MarkDirty(0x40) {
+		t.Fatal("MarkDirty hit on an empty cache")
+	}
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("MarkDirty touched stats: %+v", c.Stats)
+	}
+	c.Insert(0x40, false)
+	if c.IsDirty(0x40) {
+		t.Fatal("clean insert came out dirty")
+	}
+	if !c.MarkDirty(0x40) {
+		t.Fatal("MarkDirty missed a present line")
+	}
+	if !c.IsDirty(0x40) {
+		t.Fatal("MarkDirty did not set the dirty bit")
+	}
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("MarkDirty touched stats: %+v", c.Stats)
+	}
+	// MarkDirty refreshes recency exactly like a write hit: in a one-set
+	// cache, fill all 8 ways, re-touch line 0 via MarkDirty, then overflow
+	// the set. Line 0 must survive (line at 1*64 is now the LRU victim).
+	c2 := New("L2", 512, 8)
+	for i := uint64(0); i < 8; i++ {
+		c2.Insert(i*64, false)
+	}
+	c2.MarkDirty(0)
+	c2.Insert(8*64, false)
+	if !c2.Contains(0) {
+		t.Fatal("MarkDirty did not refresh recency: line 0 was evicted")
+	}
+	if c2.Contains(1 * 64) {
+		t.Fatal("wrong victim: expected line 0x40 (the LRU) to be evicted")
+	}
+}
+
+// Repeated InvalidateAll/refill cycles must not allocate: InvalidateAll
+// clears the flat line array in place and Insert recycles it.
+func TestCacheInvalidateRefillNoAllocs(t *testing.T) {
+	c := New("L1", 1<<12, 8)
+	for i := uint64(0); i < 64; i++ {
+		c.Insert(i*64, i%2 == 0)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.InvalidateAll()
+		for i := uint64(0); i < 64; i++ {
+			c.Insert(i*64, i%2 == 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("invalidate/refill cycle allocates %v times", allocs)
+	}
+}

@@ -31,7 +31,10 @@ type AccessResult struct {
 	// HitLevel is 1, 2 or 3 for cache hits, 0 for misses to memory.
 	HitLevel int
 	// Writebacks lists dirty lines pushed out of the LLC to memory by the
-	// fills this access performed.
+	// fills this access performed. The slice aliases the hierarchy's
+	// per-core scratch buffer: it is valid until the next
+	// Access/Fill/WalkerAccess call on this core's view and must be
+	// consumed (drained to memory) before then.
 	Writebacks []uint64
 }
 
@@ -50,28 +53,46 @@ type Hierarchy struct {
 	// private caches in a multi-core system) for back-invalidation. It is
 	// shared by pointer across the per-core Hierarchy views.
 	upper *upperSet
+
+	// wb is this core's reusable writeback scratch: every
+	// Access/Fill/WalkerAccess call resets it to length zero and appends
+	// the dirty LLC victims its fills displace, so the per-reference loop
+	// performs no slice allocations in steady state. Each per-core view
+	// owns its own scratch (views are single-threaded; multicore runs
+	// interleave step-by-step, never concurrently within a machine).
+	wb []uint64
 }
 
 type upperSet struct {
 	caches []*Cache
 }
 
+// wbScratchCap seeds the scratch capacity. A single access can displace at
+// most a handful of dirty lines (one per fill performed); the buffer grows
+// once at first use if a pathological chain exceeds it and then sticks.
+const wbScratchCap = 8
+
 // NewHierarchy builds a single-core hierarchy with its own LLC slice.
 func NewHierarchy(l1, l2, llc *Cache, lat Latencies) *Hierarchy {
 	return &Hierarchy{L1: l1, L2: l2, LLC: llc, Lat: lat,
-		upper: &upperSet{caches: []*Cache{l1, l2}}}
+		upper: &upperSet{caches: []*Cache{l1, l2}},
+		wb:    make([]uint64, 0, wbScratchCap)}
 }
 
 // ShareLLC registers another core's private caches with this hierarchy's
-// LLC for back-invalidation, and returns a Hierarchy view for that core.
+// LLC for back-invalidation, and returns a Hierarchy view for that core
+// (with its own writeback scratch).
 func (h *Hierarchy) ShareLLC(l1, l2 *Cache) *Hierarchy {
 	h.upper.caches = append(h.upper.caches, l1, l2)
-	return &Hierarchy{L1: l1, L2: l2, LLC: h.LLC, Lat: h.Lat, upper: h.upper}
+	return &Hierarchy{L1: l1, L2: l2, LLC: h.LLC, Lat: h.Lat, upper: h.upper,
+		wb: make([]uint64, 0, wbScratchCap)}
 }
 
 // Access performs a demand load or store of the line through the hierarchy.
 // On an LLC miss the caller is responsible for the memory access and must
 // then call Fill to install the line.
+//
+//vbi:hotpath
 func (h *Hierarchy) Access(line uint64, write bool) AccessResult {
 	line = LineOf(line)
 	if h.L1.Lookup(line, write) {
@@ -79,36 +100,45 @@ func (h *Hierarchy) Access(line uint64, write bool) AccessResult {
 	}
 	if h.L2.Lookup(line, write) {
 		res := AccessResult{Latency: h.Lat.L2Hit(), HitLevel: 2}
-		res.Writebacks = h.fillL1(line, write, res.Writebacks)
+		res.Writebacks = h.fillL1(line, write, h.wb[:0])
+		h.wb = res.Writebacks[:0]
 		return res
 	}
 	if h.LLC.Lookup(line, write) {
 		res := AccessResult{Latency: h.Lat.LLCHit(), HitLevel: 3}
-		res.Writebacks = h.fillUpper(line, write, res.Writebacks)
+		res.Writebacks = h.fillUpper(line, write, h.wb[:0])
+		h.wb = res.Writebacks[:0]
 		return res
 	}
 	return AccessResult{Latency: h.Lat.LLCHit(), MissedLLC: true}
 }
 
 // Fill installs a line fetched from memory into all levels and returns any
-// dirty LLC writebacks caused by the fills.
+// dirty LLC writebacks caused by the fills. The returned slice aliases the
+// per-core scratch buffer (see AccessResult.Writebacks).
+//
+//vbi:hotpath
 func (h *Hierarchy) Fill(line uint64, write bool) []uint64 {
 	line = LineOf(line)
-	var wbs []uint64
+	wbs := h.wb[:0]
 	if v := h.LLC.Insert(line, false); v.Valid {
 		wbs = h.evictFromLLC(v, wbs)
 	}
 	if write {
-		h.LLC.Lookup(line, true) // record dirty state at the LLC too
+		h.LLC.MarkDirty(line) // record dirty state at the LLC too
 	}
 	wbs = h.fillUpper(line, write, wbs)
+	h.wb = wbs[:0]
 	return wbs
 }
 
 // WalkerAccess performs a page-table-walker access: it probes L2 and LLC
 // (walker accesses do not consult or pollute the L1 data cache) and
 // allocates the line on a miss. The boolean result reports whether main
-// memory must be accessed.
+// memory must be accessed. The writebacks slice aliases the per-core
+// scratch buffer (see AccessResult.Writebacks).
+//
+//vbi:hotpath
 func (h *Hierarchy) WalkerAccess(line uint64) (latency uint64, missed bool, writebacks []uint64) {
 	line = LineOf(line)
 	if h.L2.Lookup(line, false) {
@@ -118,7 +148,7 @@ func (h *Hierarchy) WalkerAccess(line uint64) (latency uint64, missed bool, writ
 		return h.Lat.LLCHit(), false, nil
 	}
 	// Miss: fill into LLC and L2.
-	var wbs []uint64
+	wbs := h.wb[:0]
 	if v := h.LLC.Insert(line, false); v.Valid {
 		wbs = h.evictFromLLC(v, wbs)
 	}
@@ -127,10 +157,13 @@ func (h *Hierarchy) WalkerAccess(line uint64) (latency uint64, missed bool, writ
 			wbs = h.evictFromLLC(inner, wbs)
 		}
 	}
+	h.wb = wbs[:0]
 	return h.Lat.LLCHit(), true, wbs
 }
 
 // fillL1 inserts into L1 only (after an L2 hit), cascading dirty evictions.
+//
+//vbi:hotpath
 func (h *Hierarchy) fillL1(line uint64, write bool, wbs []uint64) []uint64 {
 	if v := h.L1.Insert(line, write); v.Valid && v.Dirty {
 		// Dirty L1 victim merges into L2; L2 should contain it
@@ -145,6 +178,8 @@ func (h *Hierarchy) fillL1(line uint64, write bool, wbs []uint64) []uint64 {
 }
 
 // fillUpper inserts into both private levels (after LLC hit or fill).
+//
+//vbi:hotpath
 func (h *Hierarchy) fillUpper(line uint64, write bool, wbs []uint64) []uint64 {
 	if v := h.L2.Insert(line, false); v.Valid && v.Dirty {
 		wbs = h.spillToLLC(v.Line, wbs)
@@ -152,8 +187,14 @@ func (h *Hierarchy) fillUpper(line uint64, write bool, wbs []uint64) []uint64 {
 	return h.fillL1(line, write, wbs)
 }
 
+// spillToLLC merges a dirty private-level victim into the LLC. The present
+// case is internal bookkeeping, not a demand access: MarkDirty keeps the
+// LRU and dirty state exactly as a write hit would but leaves the demand
+// hit/miss counters alone.
+//
+//vbi:hotpath
 func (h *Hierarchy) spillToLLC(line uint64, wbs []uint64) []uint64 {
-	if h.LLC.Lookup(line, true) {
+	if h.LLC.MarkDirty(line) {
 		return wbs
 	}
 	if v := h.LLC.Insert(line, true); v.Valid {
@@ -164,6 +205,8 @@ func (h *Hierarchy) spillToLLC(line uint64, wbs []uint64) []uint64 {
 
 // evictFromLLC handles an LLC victim: back-invalidate upper levels (pulling
 // in any dirtier copy) and emit a writeback if the line was dirty anywhere.
+//
+//vbi:hotpath
 func (h *Hierarchy) evictFromLLC(v Victim, wbs []uint64) []uint64 {
 	dirty := v.Dirty
 	for _, c := range h.upper.caches {
@@ -172,6 +215,7 @@ func (h *Hierarchy) evictFromLLC(v Victim, wbs []uint64) []uint64 {
 		}
 	}
 	if dirty {
+		//vbi:allow hotalloc append into the per-core scratch buffer: capacity is pre-sized in NewHierarchy/ShareLLC and retained across calls, so steady state never grows it
 		wbs = append(wbs, v.Line)
 	}
 	return wbs

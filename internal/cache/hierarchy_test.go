@@ -154,3 +154,37 @@ func TestHierarchySharedLLC(t *testing.T) {
 		t.Fatalf("core B access = %+v, want LLC hit", r)
 	}
 }
+
+// A cold write fill must not perturb LLC demand statistics: Fill and
+// spillToLLC use the non-stat MarkDirty probe for their internal dirty-bit
+// bookkeeping, so Stats.Hits/Misses count only demand accesses. (The old
+// Lookup(line, true) bookkeeping probe inflated LLC hits on every fill of
+// a line the LLC already held, and misses on every cold fill.)
+func TestFillColdWriteNoLLCDemandHits(t *testing.T) {
+	h := newTestHierarchy()
+	r := h.Access(0x2000, true)
+	if !r.MissedLLC {
+		t.Fatalf("cold access = %+v, want LLC miss", r)
+	}
+	hits, misses := h.LLC.Stats.Hits, h.LLC.Stats.Misses
+	h.Fill(0x2000, true)
+	if h.LLC.Stats.Hits != hits {
+		t.Fatalf("cold write fill added %d LLC demand hits", h.LLC.Stats.Hits-hits)
+	}
+	if h.LLC.Stats.Misses != misses {
+		t.Fatalf("cold write fill added %d LLC demand misses", h.LLC.Stats.Misses-misses)
+	}
+	// Re-filling a line the LLC still holds (an L1/L2 refill after an LLC
+	// hit) must not count either.
+	h.Fill(0x2000, true)
+	if h.LLC.Stats.Hits != hits || h.LLC.Stats.Misses != misses {
+		t.Fatalf("warm fill changed LLC demand stats: %+v", h.LLC.Stats)
+	}
+	// A genuine demand access still counts.
+	if r := h.Access(0x2000, false); r.MissedLLC {
+		t.Fatalf("line lost after fills: %+v", r)
+	}
+	if h.LLC.Stats.Hits != hits && h.LLC.Stats.Hits == hits+1 {
+		t.Fatalf("demand hit not counted")
+	}
+}

@@ -129,3 +129,82 @@ func hotTimerClosure(xs []int) int {
 	}
 	return total
 }
+
+// The shapes below mirror the per-reference probe paths in internal/cache
+// and internal/tlb after the map-free rewrite. The fixture module cannot
+// import vbi packages, so the contract is pinned here in miniature.
+
+type way struct {
+	tag   uint64
+	used  uint64
+	valid bool
+}
+
+type probeCache struct {
+	lines []way
+	ways  int
+	tick  uint64
+}
+
+// hotProbe is the direct set-indexed way scan every cache/TLB probe now
+// compiles down to: index arithmetic, a bounded flat-array walk, in-place
+// field updates. Nothing to flag.
+//
+//vbi:hotpath
+func (c *probeCache) hotProbe(line uint64, set int) int {
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == line {
+			c.tick++
+			c.lines[i].used = c.tick
+			return i
+		}
+	}
+	return -1
+}
+
+// hotScratchAppend is the scratch-buffer contract (Hierarchy.wb,
+// MTL.walkBuf): appending into a caller-owned buffer that retains its
+// capacity across calls is fine, but the analyzer cannot prove that, so
+// the site carries an explicit justification.
+//
+//vbi:hotpath
+func hotScratchAppend(scratch []uint64, victims ...uint64) []uint64 {
+	for _, v := range victims {
+		//vbi:allow hotalloc fixture: caller-owned scratch buffer, capacity retained across calls
+		scratch = append(scratch, v)
+	}
+	return scratch
+}
+
+// hotFreshSlice is the rejected variant of the same probe: building a
+// fresh result slice on every reference.
+//
+//vbi:hotpath
+func hotFreshSlice(c *probeCache, set int) []uint64 {
+	out := make([]uint64, 0, c.ways) // want `hot path hotFreshSlice: make allocates`
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].tag) // want `hot path hotFreshSlice: append may grow and reallocate`
+		}
+	}
+	return out
+}
+
+// hotMapProbe is the other rejected shape this PR removed: a per-probe
+// map side-index. Map reads are not allocations, so the analyzer stays
+// silent on the lookup itself — but the miss-path insert pattern the old
+// code used needed a map literal per rebuild, which is flagged.
+//
+//vbi:hotpath
+func hotMapProbe(idx map[uint64]int, line uint64) map[uint64]int {
+	if _, ok := idx[line]; ok {
+		return idx
+	}
+	if idx == nil {
+		idx = make(map[uint64]int) // want `hot path hotMapProbe: make allocates`
+	}
+	idx[line] = 0
+	return idx
+}

@@ -137,6 +137,11 @@ type MTL struct {
 	// sharing after clone_vb, §3.4). Absent means 1 for allocated frames.
 	frameRefs map[phys.Addr]int
 
+	// walkBuf is the reusable walk-access scratch buffer handed to
+	// radixTable.walk; Event.WalkAccesses aliases it until the next
+	// translation request, so per-reference walks never allocate.
+	walkBuf []phys.Addr
+
 	Stats Stats
 }
 
@@ -209,6 +214,7 @@ func New(cfg Config, zones []*Zone) *MTL {
 		swap:      memdata.New(),
 		files:     memdata.New(),
 		frameRefs: make(map[phys.Addr]int),
+		walkBuf:   make([]phys.Addr, 0, 8),
 	}
 }
 

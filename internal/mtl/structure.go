@@ -84,12 +84,32 @@ type nodeRef struct {
 // TransMulti (depth > 1, 4 KB nodes). Like the page tables of the
 // conventional baselines it is functional: Map installs real mappings and
 // Walk retraces the exact entry addresses hardware would read.
+//
+// Node contents are flat per-node arrays (entries[ni], parallel to
+// nodes[ni]) rather than a map keyed by entry address: a walk descends by
+// node index with plain array reads, and mapping a region during Prefill
+// never rehashes. Interior entries hold the child's node index; leaf-level
+// entries hold the mapped frame.
 type radixTable struct {
 	depth   int
 	topBits uint // index bits consumed at the root level
 	root    phys.Addr
-	pte     map[phys.Addr]phys.Addr
 	nodes   []nodeRef
+	entries [][]uint64
+}
+
+// absentEntry marks a non-present table entry. It can never collide with a
+// payload: child node indexes are small, and mapped frames are real
+// physical addresses below the pool capacity.
+const absentEntry = ^uint64(0)
+
+// newNodeEntries returns an all-absent entry array of n slots.
+func newNodeEntries(n int) []uint64 {
+	e := make([]uint64, n)
+	for i := range e {
+		e[i] = absentEntry
+	}
+	return e
 }
 
 // newRadixTable builds the table skeleton for a size class, allocating the
@@ -101,7 +121,7 @@ func (m *MTL) newRadixTable(vb *vbState, c addr.SizeClass) (*radixTable, error) 
 // newRadixTableBits builds a table over totalBits of index with the given
 // depth (depth 1 = single contiguous table, deeper = radix-9 nodes).
 func (m *MTL) newRadixTableBits(vb *vbState, totalBits uint, depth int) (*radixTable, error) {
-	t := &radixTable{depth: depth, pte: make(map[phys.Addr]phys.Addr)}
+	t := &radixTable{depth: depth}
 	var rootOrder int
 	if depth <= 1 {
 		t.depth = 1
@@ -127,6 +147,7 @@ func (m *MTL) newRadixTableBits(vb *vbState, totalBits uint, depth int) (*radixT
 	}
 	t.root = root
 	t.nodes = append(t.nodes, nodeRef{root, rootOrder})
+	t.entries = append(t.entries, newNodeEntries(1<<t.topBits))
 	return t, nil
 }
 
@@ -163,23 +184,27 @@ func tableEntryAddr(node phys.Addr, idx uint64) phys.Addr {
 	return node + phys.Addr(idx*8)
 }
 
-// walk returns the entry addresses a hardware walk of region touches, the
-// mapped frame, and whether the region is mapped. A walk that finds a hole
+// walk appends the entry addresses a hardware walk of region touches to
+// accesses (a caller-owned scratch buffer) and returns it along with the
+// mapped frame and whether the region is mapped. A walk that finds a hole
 // stops early (fewer accesses), mirroring a radix walker hitting a
 // non-present entry.
-func (t *radixTable) walk(region uint64) (accesses []phys.Addr, frame phys.Addr, ok bool) {
-	node := t.root
+//
+//vbi:hotpath
+func (t *radixTable) walk(region uint64, accesses []phys.Addr) ([]phys.Addr, phys.Addr, bool) {
+	ni := 0
 	for k := 0; k < t.depth; k++ {
-		e := tableEntryAddr(node, t.indexAt(region, k))
-		accesses = append(accesses, e)
-		val, present := t.pte[e]
-		if !present {
+		idx := t.indexAt(region, k)
+		//vbi:allow hotalloc append into the caller's scratch buffer, bounded by the table depth (at most 4); the MTL retains the capacity across walks
+		accesses = append(accesses, tableEntryAddr(t.nodes[ni].base, idx))
+		val := t.entries[ni][idx]
+		if val == absentEntry {
 			return accesses, phys.NoAddr, false
 		}
 		if k == t.depth-1 {
-			return accesses, val, true
+			return accesses, phys.Addr(val), true
 		}
-		node = val
+		ni = int(val)
 	}
 	return accesses, phys.NoAddr, false
 }
@@ -187,37 +212,38 @@ func (t *radixTable) walk(region uint64) (accesses []phys.Addr, frame phys.Addr,
 // mapRegion installs region -> frame, allocating intermediate nodes.
 func (m *MTL) mapRegion(vb *vbState, region uint64, frame phys.Addr) error {
 	t := vb.table
-	node := t.root
+	ni := 0
 	for k := 0; k < t.depth-1; k++ {
-		e := tableEntryAddr(node, t.indexAt(region, k))
-		next, ok := t.pte[e]
-		if !ok {
+		idx := t.indexAt(region, k)
+		val := t.entries[ni][idx]
+		if val == absentEntry {
 			n, err := m.allocNode(vb, 0)
 			if err != nil {
 				return err
 			}
+			val = uint64(len(t.nodes))
 			t.nodes = append(t.nodes, nodeRef{n, 0})
-			t.pte[e] = n
-			next = n
+			t.entries = append(t.entries, newNodeEntries(1<<tableIndexBits))
+			t.entries[ni][idx] = val
 		}
-		node = next
+		ni = int(val)
 	}
-	t.pte[tableEntryAddr(node, t.indexAt(region, t.depth-1))] = frame
+	t.entries[ni][t.indexAt(region, t.depth-1)] = uint64(frame)
 	return nil
 }
 
 // unmapRegion clears the leaf entry for region (nodes are retained until
 // the VB is disabled).
 func (t *radixTable) unmapRegion(region uint64) {
-	node := t.root
+	ni := 0
 	for k := 0; k < t.depth-1; k++ {
-		next, ok := t.pte[tableEntryAddr(node, t.indexAt(region, k))]
-		if !ok {
+		val := t.entries[ni][t.indexAt(region, k)]
+		if val == absentEntry {
 			return
 		}
-		node = next
+		ni = int(val)
 	}
-	delete(t.pte, tableEntryAddr(node, t.indexAt(region, t.depth-1)))
+	t.entries[ni][t.indexAt(region, t.depth-1)] = absentEntry
 }
 
 // freeTable releases every node of the VB's table.
@@ -317,7 +343,7 @@ func (m *MTL) newUniformTable(vb *vbState, c addr.SizeClass) (*radixTable, error
 	if int(c.OffsetBits()) > RegionShift {
 		totalBits = c.OffsetBits() - RegionShift
 	}
-	t := &radixTable{depth: 4, pte: make(map[phys.Addr]phys.Addr)}
+	t := &radixTable{depth: 4}
 	if totalBits > 27 {
 		t.topBits = totalBits - 27
 	}
@@ -327,6 +353,7 @@ func (m *MTL) newUniformTable(vb *vbState, c addr.SizeClass) (*radixTable, error
 	}
 	t.root = root
 	t.nodes = append(t.nodes, nodeRef{root, 0})
+	t.entries = append(t.entries, newNodeEntries(1<<t.topBits))
 	return t, nil
 }
 

@@ -27,7 +27,9 @@ type Event struct {
 	// on a VIT-cache miss (phys.NoAddr when none).
 	VITAccess phys.Addr
 	// WalkAccesses lists translation-structure reads (DRAM accesses at the
-	// memory controller).
+	// memory controller). The slice aliases an MTL-owned scratch buffer
+	// and is valid until the next translation request; callers charge the
+	// accesses immediately and never retain the slice.
 	WalkAccesses []phys.Addr
 	// AllocatedRegion is set when this request allocated a 4 KB region.
 	AllocatedRegion bool
@@ -190,12 +192,15 @@ func (m *MTL) translate(a addr.Addr, forWrite bool) (Event, error) {
 
 // walkAccesses returns the structure-entry addresses hardware reads to
 // translate the region (empty for direct-mapped VBs: the VIT entry itself
-// holds the base).
+// holds the base). The result aliases m.walkBuf — see Event.WalkAccesses.
+//
+//vbi:hotpath
 func (m *MTL) walkAccesses(vb *vbState, region uint64) []phys.Addr {
 	if vb.kind == TransDirect || vb.table == nil {
 		return nil
 	}
-	accesses, _, _ := vb.table.walk(vb.blockIndex(region))
+	accesses, _, _ := vb.table.walk(vb.blockIndex(region), m.walkBuf[:0])
+	m.walkBuf = accesses
 	return accesses
 }
 

@@ -2,6 +2,7 @@ package phys
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"vbi/internal/addr"
@@ -37,13 +38,42 @@ type blockKey struct {
 	order int
 }
 
-type blockState struct {
-	free bool
-	// owner is the reservation the block belongs to (0 = unreserved). For
-	// allocated blocks it records which reservation the block was carved
-	// from so that Free returns it to the right pool; note a block stolen
-	// by VB X from VB Y's reservation has owner Y here.
-	owner Owner
+// Per-frame block metadata, indexed by frame number (base >> FrameShift).
+// Only the frame a block *starts* at carries its record; since at most one
+// block is live at a given base, one byte suffices: liveness, freeness and
+// the block's order.
+const (
+	metaLive  uint8 = 1 << 7
+	metaFree  uint8 = 1 << 6
+	metaOrder uint8 = 0x1f
+)
+
+// bitset is a fixed-size bit vector over block indexes (frame >> order).
+type bitset []uint64
+
+func (bs bitset) set(i int)   { bs[i>>6] |= 1 << (uint(i) & 63) }
+func (bs bitset) clear(i int) { bs[i>>6] &^= 1 << (uint(i) & 63) }
+
+// nextSet returns the first set bit >= from, or -1 when none remains.
+func (bs bitset) nextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(bs) {
+		return -1
+	}
+	word := bs[w] & (^uint64(0) << (uint(from) & 63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(bs) {
+			return -1
+		}
+		word = bs[w]
+	}
 }
 
 // Buddy is a binary-buddy allocator with per-VB reservations (§5.3).
@@ -53,17 +83,44 @@ type blockState struct {
 // blocks reserved for X, (2) unreserved free blocks, (3) free blocks
 // reserved for other VBs (stealing, used only under memory pressure by
 // construction of the priority order).
+//
+// Book-keeping is flat and hash-free: block existence/state lives in a
+// per-frame metadata array, and the free blocks of each order are tracked
+// in per-order bitmaps searched lowest-base-first with find-first-set. A
+// per-order hint (a lower bound below which no bit is set) makes the
+// first-fit scan effectively O(1) under the allocator's own first-fit
+// placement. Placement is identical to the map-backed implementation this
+// replaced — both pick the lowest base at the smallest sufficient order —
+// but the hot path no longer hashes keys or churns map buckets, which
+// matters because region allocation sits on the machine-construction path
+// (Prefill) and, under delayed allocation (§5.1), on the per-writeback
+// path of the simulated run.
 type Buddy struct {
 	capacity uint64
-	// live holds every currently-existing block, free or allocated.
-	live map[blockKey]blockState
-	// freeUnres[o] is the set of unreserved free order-o blocks.
-	freeUnres [MaxOrder + 1]map[Addr]struct{}
-	// freeRes[o] maps base -> reservation owner for reserved free blocks.
-	freeRes [MaxOrder + 1]map[Addr]Owner
-	// byOwner indexes the free reserved blocks of each owner: owner ->
-	// order -> set of bases.
-	byOwner map[Owner]map[int]map[Addr]struct{}
+	nframes  uint64
+	// meta holds the block record of the frame each block starts at.
+	meta []uint8
+	// ownerOf is the interned owner index of the block starting at each
+	// frame (meaningful only where meta has metaLive).
+	ownerOf []uint16
+	// owners interns distinct reservation owners; owners[0] is the zero
+	// Owner ("unreserved").
+	owners   []Owner
+	ownerIdx map[Owner]uint16
+
+	// freeUnres[o]/freeRes[o] mark the free order-o blocks by block index,
+	// split by reservation state; hints are maintained lower bounds on the
+	// lowest set bit; counts allow O(1) emptiness tests per order.
+	freeUnres [MaxOrder + 1]bitset
+	freeRes   [MaxOrder + 1]bitset
+	hintUnres [MaxOrder + 1]int
+	hintRes   [MaxOrder + 1]int
+	cntUnres  [MaxOrder + 1]int
+	cntRes    [MaxOrder + 1]int
+	// cntResOwn[oi][o] counts reserved-free order-o blocks of owner index
+	// oi, for per-owner emptiness tests without a per-owner index.
+	cntResOwn [][MaxOrder + 1]int32
+
 	// allocatedFrom indexes allocated blocks carved out of each owner's
 	// reservation, so Unreserve can retag them.
 	allocatedFrom map[Owner]map[blockKey]struct{}
@@ -77,15 +134,22 @@ type Buddy struct {
 // is seeded with the greedy binary decomposition of the capacity.
 func NewBuddy(capacity uint64) *Buddy {
 	capacity &^= FrameSize - 1
+	nframes := capacity >> FrameShift
 	b := &Buddy{
 		capacity:      capacity,
-		live:          make(map[blockKey]blockState),
-		byOwner:       make(map[Owner]map[int]map[Addr]struct{}),
+		nframes:       nframes,
+		meta:          make([]uint8, nframes),
+		ownerOf:       make([]uint16, nframes),
+		owners:        []Owner{0},
+		ownerIdx:      make(map[Owner]uint16),
+		cntResOwn:     make([][MaxOrder + 1]int32, 1),
 		allocatedFrom: make(map[Owner]map[blockKey]struct{}),
 	}
 	for o := 0; o <= MaxOrder; o++ {
-		b.freeUnres[o] = make(map[Addr]struct{})
-		b.freeRes[o] = make(map[Addr]Owner)
+		nbits := (nframes + OrderBytes(o)>>FrameShift - 1) >> uint(o)
+		words := int((nbits + 63) / 64)
+		b.freeUnres[o] = make(bitset, words)
+		b.freeRes[o] = make(bitset, words)
 	}
 	// Seed with the largest aligned blocks that fit, high orders first.
 	base := Addr(0)
@@ -112,44 +176,66 @@ func (b *Buddy) FreeBytes() uint64 { return b.freeBytes }
 // ReservedBytes returns the free bytes currently reserved for some VB.
 func (b *Buddy) ReservedBytes() uint64 { return b.reservedBytes }
 
+// internOwner maps an owner to its stable small index, assigning one on
+// first sight. The zero owner is index 0 by construction.
+func (b *Buddy) internOwner(o Owner) uint16 {
+	if o == 0 {
+		return 0
+	}
+	if i, ok := b.ownerIdx[o]; ok {
+		return i
+	}
+	if len(b.owners) > 0xfffe {
+		panic("phys: too many distinct reservation owners")
+	}
+	i := uint16(len(b.owners))
+	b.owners = append(b.owners, o)
+	b.ownerIdx[o] = i
+	b.cntResOwn = append(b.cntResOwn, [MaxOrder + 1]int32{})
+	return i
+}
+
+//vbi:hotpath
 func (b *Buddy) addFree(base Addr, order int, owner Owner) {
-	b.live[blockKey{base, order}] = blockState{free: true, owner: owner}
-	if owner == 0 {
-		b.freeUnres[order][base] = struct{}{}
+	fi := uint64(base) >> FrameShift
+	b.meta[fi] = metaLive | metaFree | uint8(order)
+	oi := b.internOwner(owner)
+	b.ownerOf[fi] = oi
+	bi := int(fi >> uint(order))
+	if oi == 0 {
+		b.freeUnres[order].set(bi)
+		if bi < b.hintUnres[order] {
+			b.hintUnres[order] = bi
+		}
+		b.cntUnres[order]++
 	} else {
-		b.freeRes[order][base] = owner
-		m := b.byOwner[owner]
-		if m == nil {
-			m = make(map[int]map[Addr]struct{})
-			b.byOwner[owner] = m
+		b.freeRes[order].set(bi)
+		if bi < b.hintRes[order] {
+			b.hintRes[order] = bi
 		}
-		s := m[order]
-		if s == nil {
-			s = make(map[Addr]struct{})
-			m[order] = s
-		}
-		s[base] = struct{}{}
+		b.cntRes[order]++
+		b.cntResOwn[oi][order]++
 		b.reservedBytes += OrderBytes(order)
 	}
 }
 
-func (b *Buddy) removeFree(base Addr, order int, owner Owner) {
-	delete(b.live, blockKey{base, order})
-	if owner == 0 {
-		delete(b.freeUnres[order], base)
+// removeFree deletes the free block starting at base. The recorded owner
+// index (not the caller's owner argument) decides which bitmap the block
+// leaves, keeping the two views self-consistent by construction.
+//
+//vbi:hotpath
+func (b *Buddy) removeFree(base Addr, order int) {
+	fi := uint64(base) >> FrameShift
+	oi := b.ownerOf[fi]
+	b.meta[fi] = 0
+	bi := int(fi >> uint(order))
+	if oi == 0 {
+		b.freeUnres[order].clear(bi)
+		b.cntUnres[order]--
 	} else {
-		delete(b.freeRes[order], base)
-		if m := b.byOwner[owner]; m != nil {
-			if s := m[order]; s != nil {
-				delete(s, base)
-				if len(s) == 0 {
-					delete(m, order)
-				}
-			}
-			if len(m) == 0 {
-				delete(b.byOwner, owner)
-			}
-		}
+		b.freeRes[order].clear(bi)
+		b.cntRes[order]--
+		b.cntResOwn[oi][order]--
 		b.reservedBytes -= OrderBytes(order)
 	}
 }
@@ -157,8 +243,10 @@ func (b *Buddy) removeFree(base Addr, order int, owner Owner) {
 // splitTo repeatedly halves the free block (base, from, owner) until an
 // order-"to" block is available, re-tagging all pieces with the same owner.
 // It returns the base of the order-"to" block (always == base).
+//
+//vbi:hotpath
 func (b *Buddy) splitTo(base Addr, from, to int, owner Owner) Addr {
-	b.removeFree(base, from, owner)
+	b.removeFree(base, from)
 	for o := from; o > to; o-- {
 		half := OrderBytes(o - 1)
 		b.addFree(base+Addr(half), o-1, owner)
@@ -167,45 +255,56 @@ func (b *Buddy) splitTo(base Addr, from, to int, owner Owner) Addr {
 	return base
 }
 
-// lowestBase returns the smallest address in the set (first-fit). Picking
-// an arbitrary map element here would make allocation placement — and so
-// bank/row timing — vary between otherwise-identical runs. The scan is
-// O(free blocks at this order); the sets stay small (splitting keeps at
-// most a handful of blocks per order until heavy churn), so membership
-// maps plus a scan beat maintaining a sorted mirror of every set.
-func lowestBase[V any](m map[Addr]V, keep func(V) bool) (Addr, bool) {
-	best, found := NoAddr, false
-	//vbi:allow maporder min-reduction under a strict total order on base; any visit order yields the same minimum
-	for base, v := range m {
-		if keep != nil && !keep(v) {
-			continue
-		}
-		if !found || base < best {
-			best, found = base, true
-		}
-	}
-	return best, found
-}
-
 // takeFreeUnres finds an unreserved free block of order >= want and splits
-// it down. Smallest sufficient order first to limit fragmentation.
+// it down. Smallest sufficient order first to limit fragmentation; within
+// an order the lowest base wins (first fit), so allocation placement — and
+// with it bank/row timing — is identical between runs.
+//
+//vbi:hotpath
 func (b *Buddy) takeFreeUnres(want int) (Addr, bool) {
 	for o := want; o <= MaxOrder; o++ {
-		if base, ok := lowestBase(b.freeUnres[o], nil); ok {
-			return b.splitTo(base, o, want, 0), true
+		if b.cntUnres[o] == 0 {
+			continue
 		}
+		bi := b.freeUnres[o].nextSet(b.hintUnres[o])
+		b.hintUnres[o] = bi
+		base := Addr(uint64(bi) << uint(FrameShift+o))
+		return b.splitTo(base, o, want, 0), true
 	}
 	return NoAddr, false
 }
 
+// firstRes returns the lowest-base free reserved order-o block whose owner
+// index matches (equal=true) or differs from (equal=false) target.
+func (b *Buddy) firstRes(order int, target uint16, equal bool) (Addr, uint16, bool) {
+	bs := b.freeRes[order]
+	bi := bs.nextSet(b.hintRes[order])
+	if bi >= 0 {
+		// The hint may only advance to the first set bit: later bits are
+		// skipped by the filter, not cleared, and must stay reachable.
+		b.hintRes[order] = bi
+	}
+	for bi >= 0 {
+		oi := b.ownerOf[uint64(bi)<<uint(order)]
+		if (oi == target) == equal {
+			return Addr(uint64(bi) << uint(FrameShift+order)), oi, true
+		}
+		bi = bs.nextSet(bi + 1)
+	}
+	return NoAddr, 0, false
+}
+
 // takeFreeOwned finds a free block reserved for owner of order >= want.
 func (b *Buddy) takeFreeOwned(owner Owner, want int) (Addr, bool) {
-	m := b.byOwner[owner]
-	if m == nil {
+	oi, ok := b.ownerIdx[owner]
+	if !ok {
 		return NoAddr, false
 	}
 	for o := want; o <= MaxOrder; o++ {
-		if base, ok := lowestBase(m[o], nil); ok {
+		if b.cntResOwn[oi][o] == 0 {
+			continue
+		}
+		if base, _, ok := b.firstRes(o, oi, true); ok {
 			return b.splitTo(base, o, want, owner), true
 		}
 	}
@@ -214,9 +313,20 @@ func (b *Buddy) takeFreeOwned(owner Owner, want int) (Addr, bool) {
 
 // takeFreeStolen finds a free block reserved for any owner other than self.
 func (b *Buddy) takeFreeStolen(self Owner, want int) (Addr, Owner, bool) {
+	selfIdx := uint16(0)
+	if i, ok := b.ownerIdx[self]; ok {
+		selfIdx = i
+	}
 	for o := want; o <= MaxOrder; o++ {
-		if base, ok := lowestBase(b.freeRes[o], func(owner Owner) bool { return owner != self }); ok {
-			owner := b.freeRes[o][base]
+		own := int32(0)
+		if selfIdx != 0 {
+			own = b.cntResOwn[selfIdx][o]
+		}
+		if int32(b.cntRes[o])-own <= 0 {
+			continue
+		}
+		if base, oi, ok := b.firstRes(o, selfIdx, false); ok {
+			owner := b.owners[oi]
 			return b.splitTo(base, o, want, owner), owner, true
 		}
 	}
@@ -226,6 +336,8 @@ func (b *Buddy) takeFreeStolen(self Owner, want int) (Addr, Owner, bool) {
 // Alloc allocates an order-sized block for VB vb using the three-level
 // priority of §5.3. It returns ok=false only when no free block of
 // sufficient order exists anywhere.
+//
+//vbi:hotpath
 func (b *Buddy) Alloc(vb Owner, order int) (Addr, bool) {
 	if order < 0 || order > MaxOrder {
 		return NoAddr, false
@@ -248,13 +360,17 @@ func (b *Buddy) Alloc(vb Owner, order int) (Addr, bool) {
 	return NoAddr, false
 }
 
+//vbi:hotpath
 func (b *Buddy) markAllocated(base Addr, order int, reservedOwner Owner) {
-	b.removeFree(base, order, reservedOwner)
-	b.live[blockKey{base, order}] = blockState{free: false, owner: reservedOwner}
+	b.removeFree(base, order)
+	fi := uint64(base) >> FrameShift
+	b.meta[fi] = metaLive | uint8(order)
+	b.ownerOf[fi] = b.internOwner(reservedOwner)
 	b.freeBytes -= OrderBytes(order)
 	if reservedOwner != 0 {
 		m := b.allocatedFrom[reservedOwner]
 		if m == nil {
+			//vbi:allow hotalloc one map per owner with live reservation-backed allocations; owners are few and the map is reused for the owner's lifetime
 			m = make(map[blockKey]struct{})
 			b.allocatedFrom[reservedOwner] = m
 		}
@@ -268,23 +384,30 @@ func (b *Buddy) markAllocated(base Addr, order int, reservedOwner Owner) {
 // fixed position inside the VB's reservation (§5.3); it fails when the
 // region was stolen by another VB under memory pressure, which is the
 // signal that the VB has lost its direct mapping.
+//
+//vbi:hotpath
 func (b *Buddy) AllocAt(vb Owner, base Addr, order int) bool {
 	if order < 0 || order > MaxOrder || uint64(base)%OrderBytes(order) != 0 {
+		return false
+	}
+	if uint64(base)>>FrameShift >= b.nframes {
 		return false
 	}
 	// Find the free block containing [base, base+2^order): the smallest
 	// enclosing aligned block that exists and is free.
 	for o := order; o <= MaxOrder; o++ {
 		enclosing := base &^ Addr(OrderBytes(o)-1)
-		st, ok := b.live[blockKey{enclosing, o}]
-		if !ok {
+		fi := uint64(enclosing) >> FrameShift
+		m := b.meta[fi]
+		if m&metaLive == 0 || int(m&metaOrder) != o {
 			continue
 		}
-		if !st.free {
+		if m&metaFree == 0 {
 			return false // region (or part of it) already allocated
 		}
-		b.splitToAt(enclosing, o, base, order, st.owner)
-		b.markAllocated(base, order, st.owner)
+		owner := b.owners[b.ownerOf[fi]]
+		b.splitToAt(enclosing, o, base, order, owner)
+		b.markAllocated(base, order, owner)
 		return true
 	}
 	return false
@@ -293,8 +416,10 @@ func (b *Buddy) AllocAt(vb Owner, base Addr, order int) bool {
 // splitToAt splits the free block (blockBase, from, owner) down to an
 // order-"to" block at exactly target, keeping every split-off sibling free
 // with the same owner.
+//
+//vbi:hotpath
 func (b *Buddy) splitToAt(blockBase Addr, from int, target Addr, to int, owner Owner) {
-	b.removeFree(blockBase, from, owner)
+	b.removeFree(blockBase, from)
 	cur := blockBase
 	for o := from; o > to; o-- {
 		half := Addr(OrderBytes(o - 1))
@@ -321,7 +446,7 @@ func (b *Buddy) Reserve(vb Owner, order int) (Addr, bool) {
 		return NoAddr, false
 	}
 	// Retag the block as reserved-free for vb.
-	b.removeFree(base, order, 0)
+	b.removeFree(base, order)
 	b.addFree(base, order, vb)
 	return base, true
 }
@@ -329,33 +454,49 @@ func (b *Buddy) Reserve(vb Owner, order int) (Addr, bool) {
 // Free returns an allocated block to the pool. The block rejoins the
 // reservation it was carved from (if that reservation still stands) and
 // merges with same-state buddies.
+//
+//vbi:hotpath
 func (b *Buddy) Free(base Addr, order int) {
-	k := blockKey{base, order}
-	st, ok := b.live[k]
-	if !ok || st.free {
+	fi := uint64(base) >> FrameShift
+	var m uint8
+	if order >= 0 && order <= MaxOrder && fi < b.nframes {
+		m = b.meta[fi]
+	}
+	if m&metaLive == 0 || int(m&metaOrder) != order || m&metaFree != 0 {
+		//vbi:allow hotalloc panic formatting on a caller bug, never reached by a correct simulation
 		panic(fmt.Sprintf("phys: Free of non-allocated block %v order %d", base, order))
 	}
-	delete(b.live, k)
-	if st.owner != 0 {
-		if m := b.allocatedFrom[st.owner]; m != nil {
-			delete(m, k)
-			if len(m) == 0 {
-				delete(b.allocatedFrom, st.owner)
+	owner := b.owners[b.ownerOf[fi]]
+	b.meta[fi] = 0
+	if owner != 0 {
+		k := blockKey{base, order}
+		if am := b.allocatedFrom[owner]; am != nil {
+			delete(am, k)
+			if len(am) == 0 {
+				delete(b.allocatedFrom, owner)
 			}
 		}
 	}
 	b.freeBytes += OrderBytes(order)
-	b.freeAndMerge(base, order, st.owner)
+	b.freeAndMerge(base, order, owner)
 }
 
+//vbi:hotpath
 func (b *Buddy) freeAndMerge(base Addr, order int, owner Owner) {
 	for order < MaxOrder {
 		buddy := base ^ Addr(OrderBytes(order))
-		st, ok := b.live[blockKey{buddy, order}]
-		if !ok || !st.free || st.owner != owner {
+		bfi := uint64(buddy) >> FrameShift
+		if bfi >= b.nframes {
 			break
 		}
-		b.removeFree(buddy, order, owner)
+		m := b.meta[bfi]
+		if m&metaLive == 0 || m&metaFree == 0 || int(m&metaOrder) != order {
+			break
+		}
+		if b.owners[b.ownerOf[bfi]] != owner {
+			break
+		}
+		b.removeFree(buddy, order)
 		if buddy < base {
 			base = buddy
 		}
@@ -369,29 +510,34 @@ func (b *Buddy) freeAndMerge(base Addr, order int, owner Owner) {
 // reservation are retagged so that freeing them later returns them to the
 // unreserved pool.
 func (b *Buddy) Unreserve(vb Owner) {
-	if m := b.byOwner[vb]; m != nil {
+	if oi, ok := b.ownerIdx[vb]; ok {
 		type fb struct {
 			base  Addr
 			order int
 		}
 		var blocks []fb
-		//vbi:allow maporder collected blocks are sorted below before any state changes
-		for o, set := range m {
-			//vbi:allow maporder collected blocks are sorted below before any state changes
-			for base := range set {
-				blocks = append(blocks, fb{base, o})
+		for o := 0; o <= MaxOrder; o++ {
+			if b.cntResOwn[oi][o] == 0 {
+				continue
+			}
+			bs := b.freeRes[o]
+			for bi := bs.nextSet(b.hintRes[o]); bi >= 0; bi = bs.nextSet(bi + 1) {
+				if b.ownerOf[uint64(bi)<<uint(o)] == oi {
+					blocks = append(blocks, fb{Addr(uint64(bi) << uint(FrameShift+o)), o})
+				}
 			}
 		}
 		// Deterministic order for reproducible merging.
 		sort.Slice(blocks, func(i, j int) bool { return blocks[i].base < blocks[j].base })
 		for _, blk := range blocks {
-			b.removeFree(blk.base, blk.order, vb)
+			b.removeFree(blk.base, blk.order)
 			b.freeAndMerge(blk.base, blk.order, 0)
 		}
 	}
 	if m := b.allocatedFrom[vb]; m != nil {
+		//vbi:allow maporder retagging each block's owner independently; no state read depends on visit order
 		for k := range m {
-			b.live[k] = blockState{free: false, owner: 0}
+			b.ownerOf[uint64(k.base)>>FrameShift] = 0
 		}
 		delete(b.allocatedFrom, vb)
 	}
@@ -402,18 +548,20 @@ func (b *Buddy) Unreserve(vb Owner) {
 // block Alloc(vb, order) would currently succeed for), or -1 when nothing
 // is free.
 func (b *Buddy) LargestFreeOrder(vb Owner) int {
+	vbIdx, hasIdx := b.ownerIdx[vb]
 	for o := MaxOrder; o >= 0; o-- {
-		if len(b.freeUnres[o]) > 0 {
+		if b.cntUnres[o] > 0 {
 			return o
 		}
-		if m := b.byOwner[vb]; m != nil && len(m[o]) > 0 {
+		own := int32(0)
+		if hasIdx {
+			own = b.cntResOwn[vbIdx][o]
+		}
+		if own > 0 {
 			return o
 		}
-		//vbi:allow maporder existence test; the returned order is the same whichever entry matches
-		for _, owner := range b.freeRes[o] {
-			if owner != vb {
-				return o
-			}
+		if int32(b.cntRes[o])-own > 0 {
+			return o
 		}
 	}
 	return -1
@@ -423,7 +571,7 @@ func (b *Buddy) LargestFreeOrder(vb Owner) int {
 // block (the contiguity Reserve can still satisfy), or -1 when none.
 func (b *Buddy) LargestUnreservedOrder() int {
 	for o := MaxOrder; o >= 0; o-- {
-		if len(b.freeUnres[o]) > 0 {
+		if b.cntUnres[o] > 0 {
 			return o
 		}
 	}
@@ -433,23 +581,40 @@ func (b *Buddy) LargestUnreservedOrder() int {
 // CheckInvariants verifies structural invariants and returns an error
 // describing the first violation. It is exercised by the property tests.
 func (b *Buddy) CheckInvariants() error {
-	type span struct {
-		base Addr
-		size uint64
-	}
-	var spans []span
-	var free, reserved uint64
-	//vbi:allow maporder check-only aggregation; spans are sorted before the overlap scan below
-	for k, st := range b.live {
-		spans = append(spans, span{k.base, OrderBytes(k.order)})
-		if st.free {
-			free += OrderBytes(k.order)
-			if st.owner != 0 {
-				reserved += OrderBytes(k.order)
-			}
+	var free, reserved, total uint64
+	var cntUnres, cntRes [MaxOrder + 1]int
+	prevEnd := uint64(0)
+	for fi := uint64(0); fi < b.nframes; fi++ {
+		m := b.meta[fi]
+		if m&metaLive == 0 {
+			continue
 		}
-		if uint64(k.base)%OrderBytes(k.order) != 0 {
-			return fmt.Errorf("block %v order %d misaligned", k.base, k.order)
+		o := int(m & metaOrder)
+		base := fi << FrameShift
+		size := OrderBytes(o)
+		if base%size != 0 {
+			return fmt.Errorf("block %v order %d misaligned", Addr(base), o)
+		}
+		if base < prevEnd {
+			return fmt.Errorf("blocks overlap at %v", Addr(base))
+		}
+		prevEnd = base + size
+		total += size
+		if m&metaFree != 0 {
+			bi := int(fi >> uint(o))
+			free += size
+			if b.ownerOf[fi] == 0 {
+				cntUnres[o]++
+				if b.freeUnres[o][bi>>6]&(1<<(uint(bi)&63)) == 0 {
+					return fmt.Errorf("free block %v order %d missing from unreserved bitmap", Addr(base), o)
+				}
+			} else {
+				cntRes[o]++
+				reserved += size
+				if b.freeRes[o][bi>>6]&(1<<(uint(bi)&63)) == 0 {
+					return fmt.Errorf("free block %v order %d missing from reserved bitmap", Addr(base), o)
+				}
+			}
 		}
 	}
 	if free != b.freeBytes {
@@ -458,19 +623,14 @@ func (b *Buddy) CheckInvariants() error {
 	if reserved != b.reservedBytes {
 		return fmt.Errorf("reservedBytes %d, blocks sum to %d", b.reservedBytes, reserved)
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
-	var total uint64
-	for i, s := range spans {
-		if i > 0 {
-			prev := spans[i-1]
-			if uint64(prev.base)+prev.size > uint64(s.base) {
-				return fmt.Errorf("blocks overlap at %v", s.base)
-			}
-		}
-		total += s.size
-	}
 	if total != b.capacity {
 		return fmt.Errorf("blocks cover %d bytes, capacity %d", total, b.capacity)
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		if cntUnres[o] != b.cntUnres[o] || cntRes[o] != b.cntRes[o] {
+			return fmt.Errorf("order %d free counts (%d unres, %d res) disagree with blocks (%d, %d)",
+				o, b.cntUnres[o], b.cntRes[o], cntUnres[o], cntRes[o])
+		}
 	}
 	return nil
 }

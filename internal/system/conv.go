@@ -41,6 +41,12 @@ type convRunner struct {
 	pwc      *tlb.PWC // native walks / host dimension of nested walks
 	guestPWC *tlb.PWC // Virtual-2M's 2D page-walk cache
 
+	// latFn is the access callback handed to cpu.Step, bound once at
+	// construction so the per-reference loop never allocates a closure;
+	// stepErr carries the current step's access error out of it.
+	latFn   cpu.LatencyFn
+	stepErr error
+
 	c convCounters
 	s convCounters // snapshot at warmup boundary
 }
@@ -57,6 +63,7 @@ func newConvRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, 
 		coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, shared),
 		kind:    kind,
 	}
+	r.latFn = r.stepLatency
 	p := r.p
 	geo := pagetable.Page4K
 	l1Entries := p.L1TLB4KEntries
@@ -144,17 +151,23 @@ func (r *convRunner) step() error {
 	ref := r.gen.Next()
 	op := ref.Op
 	op.Addr = r.bases[ref.StructIdx] + ref.Offset
-	var stepErr error
-	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
-	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
-		lat, err := r.access(o, at)
-		if err != nil {
-			stepErr = err
-		}
-		return lat
-	})
+	r.stepErr = nil
+	r.cpu.Step(op, r.latFn)
 	r.memRefs++
-	return stepErr
+	return r.stepErr
+}
+
+// stepLatency adapts access to cpu.LatencyFn, parking any access error in
+// stepErr for step to return. It is bound to latFn once at construction:
+// passing a method value per step would allocate a closure per reference.
+//
+//vbi:hotpath
+func (r *convRunner) stepLatency(o cpu.Op, at uint64) uint64 {
+	lat, err := r.access(o, at)
+	if err != nil {
+		r.stepErr = err
+	}
+	return lat
 }
 
 // access computes the latency of one memory operation issued at `at`.

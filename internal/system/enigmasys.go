@@ -17,6 +17,12 @@ type enigmaRunner struct {
 	eng   *enigma.Enigma
 	bases []uint64
 
+	// latFn is the access callback handed to cpu.Step, bound once at
+	// construction so the per-reference loop never allocates a closure;
+	// stepErr carries the current step's access error out of it.
+	latFn   cpu.LatencyFn
+	stepErr error
+
 	c enigmaCounters
 	s enigmaCounters
 }
@@ -28,6 +34,7 @@ type enigmaCounters struct {
 
 func newEnigmaRunner(prof trace.Profile, cfg Config, mem *dram.Memory, llc *cache.Cache, sharedHier *cache.Hierarchy, shared *enigma.Enigma) (*enigmaRunner, error) {
 	r := &enigmaRunner{coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, sharedHier)}
+	r.latFn = r.stepLatency
 	if shared != nil {
 		r.eng = shared
 	} else {
@@ -54,17 +61,23 @@ func (r *enigmaRunner) step() error {
 	ref := r.gen.Next()
 	op := ref.Op
 	op.Addr = r.bases[ref.StructIdx] + ref.Offset
-	var stepErr error
-	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
-	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
-		lat, err := r.access(o, at)
-		if err != nil {
-			stepErr = err
-		}
-		return lat
-	})
+	r.stepErr = nil
+	r.cpu.Step(op, r.latFn)
 	r.memRefs++
-	return stepErr
+	return r.stepErr
+}
+
+// stepLatency adapts access to cpu.LatencyFn, parking any access error in
+// stepErr for step to return. It is bound to latFn once at construction:
+// passing a method value per step would allocate a closure per reference.
+//
+//vbi:hotpath
+func (r *enigmaRunner) stepLatency(o cpu.Op, at uint64) uint64 {
+	lat, err := r.access(o, at)
+	if err != nil {
+		r.stepErr = err
+	}
+	return lat
 }
 
 func (r *enigmaRunner) access(op cpu.Op, at uint64) (uint64, error) {

@@ -169,6 +169,7 @@ func NewHetero(hc HeteroConfig, prof trace.Profile) (*HeteroMachine, error) {
 		vbios:   vbios,
 		chunk:   hc.ChunkSize,
 	}
+	r.latFn = r.stepLatency
 	r.nodeCache = tlb.New("MTLwalk", 1, r.p.PWCEntries)
 	r.vcore = core.NewCore(sys)
 	r.proc = vbios.CreateProcess()

@@ -57,6 +57,12 @@ type vbiRunner struct {
 	// entry read always goes to memory, as in a PWC-accelerated walk.
 	nodeCache *tlb.TLB
 
+	// latFn is the access callback handed to cpu.Step, bound once at
+	// construction so the per-reference loop never allocates a closure;
+	// stepErr carries the current step's access error out of it.
+	latFn   cpu.LatencyFn
+	stepErr error
+
 	c vbiCounters
 	s vbiCounters
 }
@@ -95,6 +101,7 @@ func newVBIRunner(kind Kind, prof trace.Profile, cfg Config, mem *dram.Memory, l
 		coreKit: newCoreKit(prof, cfg.Seed, cfg.Params, mem, llc, sharedHier),
 		kind:    kind,
 	}
+	r.latFn = r.stepLatency
 	r.nodeCache = tlb.New("MTLwalk", 1, r.p.PWCEntries)
 	if share != nil && share.sys != nil {
 		r.sys, r.vbios = share.sys, share.vbios
@@ -158,17 +165,23 @@ func (r *vbiRunner) step() error {
 	} else {
 		op.Addr = packVAddr(r.indices[ref.StructIdx], ref.Offset)
 	}
-	var stepErr error
-	//vbi:allow hotalloc the latency closure only captures r and stepErr, both stack-resident per step; Go hoists the allocation out of Step's inlined body
-	r.cpu.Step(op, func(o cpu.Op, at uint64) uint64 {
-		lat, err := r.access(o, at)
-		if err != nil {
-			stepErr = err
-		}
-		return lat
-	})
+	r.stepErr = nil
+	r.cpu.Step(op, r.latFn)
 	r.memRefs++
-	return stepErr
+	return r.stepErr
+}
+
+// stepLatency adapts access to cpu.LatencyFn, parking any access error in
+// stepErr for step to return. It is bound to latFn once at construction:
+// passing a method value per step would allocate a closure per reference.
+//
+//vbi:hotpath
+func (r *vbiRunner) stepLatency(o cpu.Op, at uint64) uint64 {
+	lat, err := r.access(o, at)
+	if err != nil {
+		r.stepErr = err
+	}
+	return lat
 }
 
 func (r *vbiRunner) access(op cpu.Op, at uint64) (uint64, error) {

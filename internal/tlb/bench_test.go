@@ -28,3 +28,21 @@ func BenchmarkRangeTLBBigEntryHit(b *testing.B) {
 		t.Lookup(1<<30 + uint64(i)%(4<<30))
 	}
 }
+
+func BenchmarkTLBInsertEvict(b *testing.B) {
+	t := New("L1", 16, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 128) // 2x capacity: constant eviction churn
+		t.Insert(k, k+1)
+	}
+}
+
+func BenchmarkRangeTLBInsertEvict(b *testing.B) {
+	t := NewRange("MTL", 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i%128) << pageShift // 2x capacity: constant eviction churn
+		t.Insert(RangeEntry{Base: base, Size: 4096, Phys: base})
+	}
+}

@@ -1,5 +1,7 @@
 package tlb
 
+import "slices"
+
 // RangeEntry is a variable-granularity translation: VBI addresses in
 // [Base, Base+Size) map to physical addresses starting at Phys. A
 // directly-mapped VB needs a single entry covering the whole VB (§5.2,
@@ -22,25 +24,43 @@ func (e RangeEntry) Translate(a uint64) uint64 {
 
 const pageShift = 12
 
+// noSlot terminates the intrusive LRU list.
+const noSlot int32 = -1
+
 type rangeSlot struct {
-	e    RangeEntry
-	used uint64
+	e     RangeEntry
+	prev  int32 // toward LRU head (older)
+	next  int32 // toward MRU tail (newer)
+	valid bool
 }
 
 // RangeTLB is a fully-associative TLB whose entries cover arbitrary
-// power-of-two-aligned ranges. Page-sized entries (the common case) are
-// indexed in a hash map for O(1) lookup; larger entries are kept in a small
-// linear list (their count is bounded by the number of live VBs, which is
-// small — §4.3 observes most programs need a few tens of VBs). Eviction is
-// global LRU across both kinds.
+// power-of-two-aligned ranges. All entries live in a flat, pre-allocated
+// slot array recycled through a free list, so steady-state Insert (and
+// eviction) never allocates. Page-sized entries (the common case) are
+// indexed by page number for O(1) lookup; larger entries are tracked in a
+// small insertion-ordered index list (their count is bounded by the number
+// of live VBs, which is small — §4.3 observes most programs need a few
+// tens of VBs).
+//
+// Recency is an intrusive doubly-linked list threaded through the slots:
+// every hit, refresh or insert moves the slot to the MRU tail, so the LRU
+// victim is always the head — O(1), no scan, no per-entry stamp. This is
+// observably identical to the tick/used stamping it replaced: stamps were
+// unique (the tick advanced before every assignment), so "minimum stamp"
+// and "least recently moved to the tail" name the same entry, and the old
+// page-over-big tie-break was unreachable.
 type RangeTLB struct {
 	Name     string
 	Stats    Stats
 	capacity int
 
-	pages map[uint64]*rangeSlot // page-number -> slot, for Size==4096 entries
-	big   []*rangeSlot          // entries with Size > 4096
-	tick  uint64
+	slots []rangeSlot      // capacity slots, both entry kinds
+	free  []int32          // invalid slot indexes (LIFO)
+	pages map[uint64]int32 // page-number -> slot index, for Size<=4096 entries
+	big   []int32          // slot indexes of Size>4096 entries, insertion order
+	head  int32            // LRU end of the recency list (eviction victim)
+	tail  int32            // MRU end of the recency list
 }
 
 // NewRange builds a RangeTLB holding up to capacity entries.
@@ -48,10 +68,26 @@ func NewRange(name string, capacity int) *RangeTLB {
 	if capacity <= 0 {
 		panic("tlb: bad range capacity")
 	}
-	return &RangeTLB{
+	t := &RangeTLB{
 		Name:     name,
 		capacity: capacity,
-		pages:    make(map[uint64]*rangeSlot, capacity),
+		slots:    make([]rangeSlot, capacity),
+		free:     make([]int32, capacity),
+		pages:    make(map[uint64]int32, capacity),
+		big:      make([]int32, 0, capacity),
+		head:     noSlot,
+		tail:     noSlot,
+	}
+	t.resetFree()
+	return t
+}
+
+// resetFree rebuilds the free list over all slots. Highest index first, so
+// slots are handed out in ascending order (pop from the tail).
+func (t *RangeTLB) resetFree() {
+	t.free = t.free[:cap(t.free)]
+	for i := range t.free {
+		t.free[i] = int32(t.capacity - 1 - i)
 	}
 }
 
@@ -61,20 +97,64 @@ func (t *RangeTLB) Entries() int { return t.capacity }
 // Occupied returns the number of live entries.
 func (t *RangeTLB) Occupied() int { return len(t.pages) + len(t.big) }
 
-// Lookup probes for a translation covering address a.
-func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
-	if s, ok := t.pages[a>>pageShift]; ok {
-		t.tick++
-		s.used = t.tick
-		t.Stats.Hits++
-		return s.e, true
+// touch moves slot i to the MRU tail of the recency list.
+//
+//vbi:hotpath
+func (t *RangeTLB) touch(i int32) {
+	if t.tail == i {
+		return
 	}
-	for _, s := range t.big {
-		if s.e.Contains(a) {
-			t.tick++
-			s.used = t.tick
+	t.unlink(i)
+	t.pushTail(i)
+}
+
+// unlink removes slot i from the recency list.
+//
+//vbi:hotpath
+func (t *RangeTLB) unlink(i int32) {
+	s := &t.slots[i]
+	if s.prev != noSlot {
+		t.slots[s.prev].next = s.next
+	} else {
+		t.head = s.next
+	}
+	if s.next != noSlot {
+		t.slots[s.next].prev = s.prev
+	} else {
+		t.tail = s.prev
+	}
+}
+
+// pushTail appends slot i at the MRU tail of the recency list.
+//
+//vbi:hotpath
+func (t *RangeTLB) pushTail(i int32) {
+	s := &t.slots[i]
+	s.prev = t.tail
+	s.next = noSlot
+	if t.tail != noSlot {
+		t.slots[t.tail].next = i
+	} else {
+		t.head = i
+	}
+	t.tail = i
+}
+
+// Lookup probes for a translation covering address a. Lookup never
+// allocates.
+//
+//vbi:hotpath
+func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
+	if i, ok := t.pages[a>>pageShift]; ok {
+		t.touch(i)
+		t.Stats.Hits++
+		return t.slots[i].e, true
+	}
+	for _, i := range t.big {
+		if t.slots[i].e.Contains(a) {
+			t.touch(i)
 			t.Stats.Hits++
-			return s.e, true
+			return t.slots[i].e, true
 		}
 	}
 	t.Stats.Misses++
@@ -82,94 +162,122 @@ func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
 }
 
 // Insert caches the translation, evicting the global LRU entry when full.
-// Inserting a range that duplicates an existing base refreshes it.
+// Inserting a range that duplicates an existing base refreshes it. Insert
+// recycles slots through the free list and never allocates in steady
+// state.
+//
+//vbi:hotpath
 func (t *RangeTLB) Insert(e RangeEntry) {
-	t.tick++
 	if e.Size <= 1<<pageShift {
 		pn := e.Base >> pageShift
-		if s, ok := t.pages[pn]; ok {
-			s.e = e
-			s.used = t.tick
+		if i, ok := t.pages[pn]; ok {
+			t.slots[i].e = e
+			t.touch(i)
 			return
 		}
 		t.evictIfFull()
-		t.pages[pn] = &rangeSlot{e: e, used: t.tick}
+		i := t.takeSlot(e)
+		t.pages[pn] = i
 		return
 	}
-	for _, s := range t.big {
-		if s.e.Base == e.Base && s.e.Size == e.Size {
-			s.e = e
-			s.used = t.tick
+	for _, i := range t.big {
+		if t.slots[i].e.Base == e.Base && t.slots[i].e.Size == e.Size {
+			t.slots[i].e = e
+			t.touch(i)
 			return
 		}
 	}
 	t.evictIfFull()
-	t.big = append(t.big, &rangeSlot{e: e, used: t.tick})
+	//vbi:allow hotalloc append stays within the capacity pre-sized in NewRange; evictions push indexes back to the free list, never shrink it
+	t.big = append(t.big, t.takeSlot(e))
 }
 
+// takeSlot pops a free slot, fills it with e and makes it the MRU entry.
+//
+//vbi:hotpath
+func (t *RangeTLB) takeSlot(e RangeEntry) int32 {
+	i := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.slots[i] = rangeSlot{e: e, valid: true}
+	t.pushTail(i)
+	return i
+}
+
+// dropSlot invalidates a slot and returns it to the free list.
+func (t *RangeTLB) dropSlot(i int32) {
+	t.unlink(i)
+	t.slots[i] = rangeSlot{}
+	//vbi:allow hotalloc append stays within the capacity allocated in NewRange: the free list never holds more than capacity indexes
+	t.free = append(t.free, i)
+}
+
+// evictIfFull drops the LRU entry — the recency-list head — to make room.
+//
+//vbi:hotpath
 func (t *RangeTLB) evictIfFull() {
 	if t.Occupied() < t.capacity {
 		return
 	}
-	// Global LRU scan. Inserts only happen on misses, so this O(n) scan is
-	// off the common path.
-	var (
-		oldest   uint64 = ^uint64(0)
-		pageKey  uint64
-		fromPage bool
-		bigIdx   = -1
-	)
-	// Ties on the LRU stamp break toward the smaller key: picking the map
-	// iteration's first match would make eviction (and so timing)
-	// nondeterministic across runs.
-	//vbi:allow maporder min-reduction with total order (LRU stamp, then smallest key); visit order cannot change the pick
-	for k, s := range t.pages {
-		if s.used < oldest || (fromPage && s.used == oldest && k < pageKey) {
-			oldest = s.used
-			pageKey = k
-			fromPage = true
-			bigIdx = -1
+	victim := t.head
+	s := &t.slots[victim]
+	if s.e.Size <= 1<<pageShift {
+		delete(t.pages, s.e.Base>>pageShift)
+	} else {
+		for bi, i := range t.big {
+			if i == victim {
+				//vbi:allow hotalloc removal by shifting in place: the result is shorter than t.big, so append never grows it
+				t.big = append(t.big[:bi], t.big[bi+1:]...)
+				break
+			}
 		}
 	}
-	for i, s := range t.big {
-		if s.used < oldest {
-			oldest = s.used
-			fromPage = false
-			bigIdx = i
-		}
-	}
-	if fromPage {
-		delete(t.pages, pageKey)
-	} else if bigIdx >= 0 {
-		t.big = append(t.big[:bigIdx], t.big[bigIdx+1:]...)
-	}
+	t.dropSlot(victim)
 	t.Stats.Evictions++
 }
 
 // InvalidateRange drops every entry overlapping [base, base+size) (used by
-// disable_vb, promote_vb and migration).
+// disable_vb, promote_vb and migration). Cold path: page keys are
+// collected and sorted before removal so the free-list recycle order is a
+// function of TLB contents, not map iteration order.
 func (t *RangeTLB) InvalidateRange(base, size uint64) int {
 	n := 0
-	for pn, s := range t.pages {
+	var doomed []uint64
+	//vbi:allow maporder doomed keys are collected and sorted before any state changes
+	for pn, i := range t.pages {
+		s := &t.slots[i]
 		if s.e.Base+s.e.Size > base && s.e.Base < base+size {
-			delete(t.pages, pn)
-			n++
+			doomed = append(doomed, pn)
 		}
 	}
+	slices.Sort(doomed)
+	for _, pn := range doomed {
+		t.dropSlot(t.pages[pn])
+		delete(t.pages, pn)
+		n++
+	}
 	kept := t.big[:0]
-	for _, s := range t.big {
+	for _, i := range t.big {
+		s := &t.slots[i]
 		if s.e.Base+s.e.Size > base && s.e.Base < base+size {
+			t.dropSlot(i)
 			n++
 			continue
 		}
-		kept = append(kept, s)
+		kept = append(kept, i)
 	}
 	t.big = kept
 	return n
 }
 
-// InvalidateAll empties the TLB.
+// InvalidateAll empties the TLB in place: the slot array, free list, page
+// index and recency list are reset without reallocating, so repeated
+// invalidate/refill cycles are allocation-free.
 func (t *RangeTLB) InvalidateAll() {
-	t.pages = make(map[uint64]*rangeSlot, t.capacity)
-	t.big = nil
+	for i := range t.slots {
+		t.slots[i] = rangeSlot{}
+	}
+	clear(t.pages)
+	t.resetFree()
+	t.big = t.big[:0]
+	t.head, t.tail = noSlot, noSlot
 }

@@ -1,0 +1,43 @@
+package tlb
+
+import "testing"
+
+// Repeated InvalidateAll/refill cycles must not allocate: the slot array,
+// free list, page index and big-entry list are all reset in place.
+func TestRangeTLBInvalidateRefillNoAllocs(t *testing.T) {
+	tl := NewRange("mtl-l1", 64)
+	refill := func() {
+		for i := uint64(0); i < 60; i++ {
+			tl.Insert(RangeEntry{Base: i << pageShift, Size: 4096, Phys: i << pageShift})
+		}
+		tl.Insert(RangeEntry{Base: 1 << 30, Size: 1 << 21, Phys: 1 << 30})
+	}
+	refill()
+	allocs := testing.AllocsPerRun(100, func() {
+		tl.InvalidateAll()
+		refill()
+	})
+	if allocs != 0 {
+		t.Fatalf("invalidate/refill cycle allocates %v times", allocs)
+	}
+}
+
+// Steady-state churn past capacity — hits, misses, insertions, evictions of
+// both entry kinds — must not allocate either.
+func TestRangeTLBChurnNoAllocs(t *testing.T) {
+	tl := NewRange("mtl-l1", 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			a := (i % 48) << pageShift
+			if _, ok := tl.Lookup(a); !ok {
+				tl.Insert(RangeEntry{Base: a, Size: 4096, Phys: a})
+			}
+			if i%8 == 0 {
+				tl.Insert(RangeEntry{Base: 1 << 30, Size: 1 << 21, Phys: 1 << 30})
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %v times", allocs)
+	}
+}

@@ -24,7 +24,9 @@ type entry struct {
 
 // TLB is a set-associative translation buffer over opaque uint64 keys
 // (callers compose the key from ASID and virtual page number). A fully
-// associative TLB is one with sets == 1.
+// associative TLB is one with sets == 1. The probe path is map-free: the
+// set is a direct index into the flattened entries array and the key match
+// is a linear scan over the set's ways. Probes never allocate.
 type TLB struct {
 	Name  string
 	Stats Stats
@@ -32,8 +34,8 @@ type TLB struct {
 	sets, ways int
 	setMask    uint64
 	entries    []entry
-	index      map[uint64]int
 	tick       uint64
+	occupied   int // valid entries, maintained by Insert/invalidation
 }
 
 // New builds a TLB with the given geometry; entries = sets*ways. The set
@@ -48,7 +50,6 @@ func New(name string, sets, ways int) *TLB {
 		ways:    ways,
 		setMask: uint64(sets - 1),
 		entries: make([]entry, sets*ways),
-		index:   make(map[uint64]int, sets*ways),
 	}
 }
 
@@ -56,35 +57,44 @@ func New(name string, sets, ways int) *TLB {
 func (t *TLB) Entries() int { return t.sets * t.ways }
 
 // Lookup probes for key, returning its cached value. Hit/miss statistics
-// and LRU state are updated.
+// and LRU state are updated. Lookup never allocates.
+//
+//vbi:hotpath
 func (t *TLB) Lookup(key uint64) (uint64, bool) {
-	if i, ok := t.index[key]; ok {
-		t.tick++
-		t.entries[i].used = t.tick
-		t.Stats.Hits++
-		return t.entries[i].value, true
+	base := int(key&t.setMask) * t.ways
+	for i := base; i < base+t.ways; i++ {
+		if t.entries[i].valid && t.entries[i].key == key {
+			t.tick++
+			t.entries[i].used = t.tick
+			t.Stats.Hits++
+			return t.entries[i].value, true
+		}
 	}
 	t.Stats.Misses++
 	return 0, false
 }
 
 // Insert caches key -> value, evicting the set's LRU entry if needed.
+// Insert never allocates.
+//
+//vbi:hotpath
 func (t *TLB) Insert(key, value uint64) {
-	if i, ok := t.index[key]; ok {
-		t.tick++
-		t.entries[i].value = value
-		t.entries[i].used = t.tick
-		return
-	}
-	set := int(key & t.setMask)
-	base := set * t.ways
+	base := int(key&t.setMask) * t.ways
 	victim := base
 	var oldest uint64 = ^uint64(0)
 	for i := base; i < base+t.ways; i++ {
+		if t.entries[i].valid && t.entries[i].key == key {
+			t.tick++
+			t.entries[i].value = value
+			t.entries[i].used = t.tick
+			return
+		}
 		if !t.entries[i].valid {
-			victim = i
-			oldest = 0
-			break
+			if oldest != 0 {
+				victim = i
+				oldest = 0
+			}
+			continue
 		}
 		if t.entries[i].used < oldest {
 			oldest = t.entries[i].used
@@ -92,37 +102,49 @@ func (t *TLB) Insert(key, value uint64) {
 		}
 	}
 	if t.entries[victim].valid {
-		delete(t.index, t.entries[victim].key)
+		t.occupied--
 		t.Stats.Evictions++
 	}
 	t.tick++
 	t.entries[victim] = entry{key: key, value: value, valid: true, used: t.tick}
-	t.index[key] = victim
+	t.occupied++
 }
 
-// InvalidateAll empties the TLB (context switch without ASIDs, disable_vb).
+// InvalidateAll empties the TLB (context switch without ASIDs, disable_vb)
+// in place: the flat array is cleared without reallocating, so repeated
+// invalidate/refill cycles are allocation-free. The LRU clock keeps
+// running (monotonic ticks keep eviction order reproducible).
 func (t *TLB) InvalidateAll() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
-	t.index = make(map[uint64]int, t.sets*t.ways)
+	t.occupied = 0
 }
 
 // InvalidateIf drops entries whose key matches pred, returning the count.
-// Keys are visited in sorted order so the drop sequence (and a stateful
-// pred's view) never depends on map iteration order.
+// This is the cold path: live keys are collected and sorted before pred
+// runs, because an array-order walk would visit entries in (set, way)
+// placement order — a function of eviction history — and the drop sequence
+// (and a stateful pred's view) must depend only on TLB contents.
 func (t *TLB) InvalidateIf(pred func(key uint64) bool) int {
-	keys := make([]uint64, 0, len(t.index))
-	for k := range t.index {
-		keys = append(keys, k)
+	keys := make([]uint64, 0, t.occupied)
+	for i := range t.entries {
+		if t.entries[i].valid {
+			keys = append(keys, t.entries[i].key)
+		}
 	}
 	slices.Sort(keys)
 	doomed := 0
 	for _, k := range keys {
 		if pred(k) {
-			i := t.index[k]
-			t.entries[i] = entry{}
-			delete(t.index, k)
+			base := int(k&t.setMask) * t.ways
+			for i := base; i < base+t.ways; i++ {
+				if t.entries[i].valid && t.entries[i].key == k {
+					t.entries[i] = entry{}
+					t.occupied--
+					break
+				}
+			}
 			doomed++
 		}
 	}
@@ -130,4 +152,4 @@ func (t *TLB) InvalidateIf(pred func(key uint64) bool) int {
 }
 
 // Occupied returns the number of valid entries (for tests).
-func (t *TLB) Occupied() int { return len(t.index) }
+func (t *TLB) Occupied() int { return t.occupied }

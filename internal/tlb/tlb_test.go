@@ -204,3 +204,21 @@ func TestPWC(t *testing.T) {
 		t.Fatalf("misses = %d", p.Stats().Misses)
 	}
 }
+
+// Repeated InvalidateAll/refill cycles must not allocate: InvalidateAll
+// clears the flat way array in place and Insert recycles it.
+func TestTLBInvalidateRefillNoAllocs(t *testing.T) {
+	tl := New("dtlb", 16, 4)
+	for i := uint64(0); i < 64; i++ {
+		tl.Insert(i, i+1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tl.InvalidateAll()
+		for i := uint64(0); i < 64; i++ {
+			tl.Insert(i, i+1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("invalidate/refill cycle allocates %v times", allocs)
+	}
+}
