@@ -49,8 +49,11 @@ func VersionLine(tool string) string {
 // spec registry); wire3 adds per-job timing to RunResponse: every
 // JobResult carries an obs.JobTiming beside its results, so the
 // coordinator sees where remote time went without the deterministic
-// result payload changing by a byte.
-const ProtocolVersion = harness.Version + "+wire3"
+// result payload changing by a byte; wire4 adds intra-job sharding to
+// the Job schema (Slice and Shards fields) — a wire3 worker would
+// silently drop the slice window and simulate the whole job, so the
+// bump makes stale fleets fail fast at handshake instead.
+const ProtocolVersion = harness.Version + "+wire4"
 
 // URL paths of the fleet protocol. PathHealthz and PathRun are served by
 // workers; PathRegister and PathLeave are served by the coordinator's

@@ -46,6 +46,12 @@ type Options struct {
 	// Progress. Positional aggregation makes the figures identical either
 	// way.
 	Executor harness.Executor
+	// JobShards, when > 1, decomposes every job into that many intra-job
+	// shards before execution (harness.JobShards over whichever backend is
+	// in use): single-core runs become time slices, bundles run their
+	// cores on concurrent goroutines. Figure bytes are identical either
+	// way — the exact fold is byte-identical to whole-job execution.
+	JobShards int
 	// Context, when non-nil, cancels every figure's job batch (vbibench
 	// wires its signal context here, so Ctrl-C stops a figure at job — or
 	// shard — granularity with completed work cached). Nil means
@@ -80,14 +86,18 @@ func (o Options) logf(format string, args ...any) {
 // exec returns the executor the figure functions share: the configured
 // Executor, or a local harness runner.
 func (o Options) exec() harness.Executor {
-	if o.Executor != nil {
-		return o.Executor
-	}
-	r := &harness.Runner{Workers: o.Workers, Progress: o.Progress}
+	var cache *harness.Cache
 	if o.CacheDir != "" {
-		r.Cache = &harness.Cache{Dir: o.CacheDir}
+		cache = &harness.Cache{Dir: o.CacheDir}
 	}
-	return r
+	e := o.Executor
+	if e == nil {
+		e = &harness.Runner{Workers: o.Workers, Progress: o.Progress, Cache: cache}
+	}
+	if o.JobShards > 1 {
+		e = &harness.JobShards{Inner: e, K: o.JobShards, Cache: cache}
+	}
+	return e
 }
 
 // runKey identifies one single-core run within a figure.

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"vbi/internal/obs"
+	"vbi/internal/system"
+)
+
+// JobShards is an Executor wrapper that decomposes each job into K
+// intra-job shards before handing the batch to Inner, then folds the
+// shard results back into one Result per original job. Two decomposition
+// axes, picked per job:
+//
+//   - single-workload jobs become K time-slice jobs (system.PlanSlices):
+//     each slice regenerates its warm-up deterministically and simulates
+//     only its measured window, and the exact-mode merge is byte-identical
+//     to the undecomposed run;
+//   - multiprogrammed bundles keep one job but carry Shards=K, asking the
+//     executing pool to run the bundle's cores on K goroutines
+//     (system.Multicore.RunSharded), byte-identical by construction.
+//
+// Inner sees one flat batch of ordinary jobs, so the decomposition
+// composes with any backend — the local Runner spreads slices over its
+// worker pool, dist.Coordinator scatters them across the fleet — and
+// slice jobs ride the retry machinery and result cache unchanged.
+type JobShards struct {
+	// Inner executes the expanded batch.
+	Inner Executor
+	// K is the shard count per job (<=1 disables decomposition).
+	K int
+	// Approx selects sampled warm-up for time slices: instead of exactly
+	// replaying the prefix, each slice simulates WarmupRefs references of
+	// warm-up from cold state and the merged result carries a confidence
+	// interval (system.ShardIPCErrKey). Results are estimates, never
+	// cached as the parent job.
+	Approx bool
+	// WarmupRefs is the per-slice approx warm-up length (0 = half the
+	// slice's window).
+	WarmupRefs int
+	// MinRefs is the smallest measured-reference count worth slicing
+	// (smaller single-core jobs pass through whole; 0 = always slice).
+	MinRefs int
+	// Cache, when non-nil, serves whole parent jobs before any expansion
+	// and stores exact merged results under the parent key, so a sliced
+	// run warms the same cache a serial run would hit.
+	Cache *Cache
+}
+
+var _ Executor = (*JobShards)(nil)
+
+// plan records how one original job was expanded into the inner batch.
+type shardPlan struct {
+	// first/count locate the job's inner jobs in the expanded batch.
+	first, count int
+	// merge marks a time-sliced job whose windows need MergeSlices.
+	merge bool
+	// cached carries a parent-cache hit taken before expansion.
+	cached []system.RunResult
+}
+
+// Run expands, executes and folds. Results come back one per original
+// job, in job order, with exact-mode bytes identical to an undecomposed
+// run of the same batch.
+func (s *JobShards) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if s.K <= 1 {
+		return s.Inner.Run(ctx, jobs)
+	}
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("job %d (%s): %w", i, j.Describe(), err)
+		}
+	}
+
+	plans := make([]shardPlan, len(jobs))
+	var inner []Job
+	for i, j := range jobs {
+		if res, ok := s.parentHit(j); ok {
+			plans[i] = shardPlan{cached: res}
+			continue
+		}
+		exp := s.expand(j)
+		plans[i] = shardPlan{first: len(inner), count: len(exp), merge: len(exp) > 1}
+		inner = append(inner, exp...)
+	}
+
+	var results []Result
+	if len(inner) > 0 {
+		var err error
+		results, err = s.Inner.Run(ctx, inner)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Result, len(jobs))
+	for i, j := range jobs {
+		p := plans[i]
+		if p.cached != nil {
+			out[i] = Result{Job: j, Results: p.cached, Cached: true,
+				Timing: &obs.JobTiming{Cached: true, Phases: system.SumPhases(p.cached)}}
+			continue
+		}
+		sub := results[p.first : p.first+p.count]
+		if !p.merge {
+			r := sub[0]
+			r.Job = j // restore the caller's job (expansion may have set Shards)
+			out[i] = r
+			continue
+		}
+		folded, err := s.fold(j, sub)
+		if err != nil {
+			return nil, fmt.Errorf("job %d (%s): %w", i, j.Describe(), err)
+		}
+		out[i] = folded
+	}
+	return out, nil
+}
+
+// parentHit consults the parent-level cache. Approx runs never match: an
+// estimate must not impersonate the exact result, and vice versa the
+// exact cache can safely serve a job that would have been approximated —
+// except callers asked for approx semantics explicitly, so we only probe
+// in exact mode.
+func (s *JobShards) parentHit(j Job) ([]system.RunResult, bool) {
+	if s.Cache == nil || s.Approx {
+		return nil, false
+	}
+	return s.Cache.Get(j)
+}
+
+// expand turns one job into its inner jobs.
+func (s *JobShards) expand(j Job) []Job {
+	if len(j.Workloads) > 1 {
+		// Bundle: one job, cores sharded inside the executing pool.
+		if j.Shards == 0 {
+			j.Shards = s.K
+		}
+		return []Job{j}
+	}
+	if j.Slice != nil {
+		// Already a slice — never slice a slice.
+		return []Job{j}
+	}
+	refs := j.Refs
+	if refs == 0 {
+		refs = 1_000_000
+	}
+	if refs < s.MinRefs {
+		return []Job{j}
+	}
+	if j.HeteroMem != "" && s.Approx {
+		// Migration is feedback-driven; only exact prefix replay is sound.
+		return []Job{j}
+	}
+	slices := system.PlanSlices(refs, s.K)
+	out := make([]Job, len(slices))
+	for i, sl := range slices {
+		if s.Approx {
+			sl.Approx = true
+			sl.WarmupRefs = s.WarmupRefs
+			if sl.WarmupRefs <= 0 {
+				sl.WarmupRefs = (sl.End - sl.Start) / 2
+			}
+			if sl.WarmupRefs <= 0 {
+				sl.WarmupRefs = 1
+			}
+		}
+		jc := j
+		jc.Slice = &sl
+		out[i] = jc
+	}
+	return out
+}
+
+// fold merges a time-sliced job's windows into the parent Result and
+// aggregates the timing record: ShardWallNanos sums the per-slice wall
+// clocks (total work), WallNanos takes the slowest slice's queue+wall
+// span (the decomposition's critical path), and their ratio is the
+// intra-job speedup obs exposes.
+func (s *JobShards) fold(j Job, sub []Result) (Result, error) {
+	windows := make([]system.RunResult, len(sub))
+	for i, r := range sub {
+		if len(r.Results) != 1 {
+			return Result{}, fmt.Errorf("slice %d returned %d results", i, len(r.Results))
+		}
+		windows[i] = r.Results[0]
+	}
+	merged, err := system.MergeSlices(windows, s.Approx)
+	if err != nil {
+		return Result{}, err
+	}
+	res := []system.RunResult{merged}
+	timing := &obs.JobTiming{Shards: len(sub), Cached: true}
+	for _, r := range sub {
+		if r.Timing == nil {
+			timing.Cached = false
+			continue
+		}
+		timing.ShardWallNanos += r.Timing.WallNanos
+		if span := r.Timing.QueueNanos + r.Timing.WallNanos; span > timing.WallNanos {
+			timing.WallNanos = span
+		}
+		timing.Phases = timing.Phases.Add(r.Timing.Phases)
+		timing.Cached = timing.Cached && r.Timing.Cached
+	}
+	if s.Cache != nil && !s.Approx {
+		if err := s.Cache.Put(j, res); err != nil {
+			return Result{}, fmt.Errorf("cache put: %w", err)
+		}
+	}
+	return Result{Job: j, Results: res, Cached: timing.Cached, Timing: timing}, nil
+}

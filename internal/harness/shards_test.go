@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"vbi/internal/system"
+)
+
+func mustResultsJSON(t *testing.T, res []Result) string {
+	t.Helper()
+	out := make([][]system.RunResult, len(res))
+	for i, r := range res {
+		out[i] = r.Results
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestJobShardsExactByteIdentical proves the wrapper's contract over the
+// local Runner: a mixed batch (single-core jobs across runner families, a
+// multiprogrammed bundle, a hetero job) decomposed 3-way folds back to
+// exactly the bytes a plain Runner produces.
+func TestJobShardsExactByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the batch twice plus slices; skipped in -short")
+	}
+	jobs := []Job{
+		{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 6_000},
+		{Spec: system.MustSpec("VBI-Full"), Workloads: []string{"mcf"}, Refs: 6_000},
+		{Spec: system.MustSpec("VBI-2"), Workloads: []string{"namd", "sjeng"}, Refs: 4_000},
+		{Workloads: []string{"mcf"}, Refs: 6_000, HeteroMem: "PCM-DRAM", Policy: "VBI"},
+	}
+	plain := &Runner{Workers: 2}
+	want, err := plain.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := &JobShards{Inner: &Runner{Workers: 2}, K: 3}
+	got, err := sharded.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := mustResultsJSON(t, got), mustResultsJSON(t, want); g != w {
+		t.Errorf("sharded batch diverged from plain runner\n got %s\nwant %s", g, w)
+	}
+	for i, r := range got {
+		if r.Timing == nil {
+			t.Fatalf("job %d missing timing", i)
+		}
+		if len(jobs[i].Workloads) == 1 && r.Timing.Shards != 3 {
+			t.Errorf("job %d: Shards = %d, want 3", i, r.Timing.Shards)
+		}
+	}
+}
+
+// TestJobShardsWarmsParentCache checks that an exact sharded run stores
+// the merged result under the parent job's key, so a later serial run is
+// a cache hit — and that a pre-existing parent entry short-circuits the
+// expansion entirely.
+func TestJobShardsWarmsParentCache(t *testing.T) {
+	cache := &Cache{Dir: t.TempDir()}
+	jobs := []Job{{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 4_000}}
+	sharded := &JobShards{Inner: &Runner{Workers: 2}, K: 2, Cache: cache}
+	first, err := sharded.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Runner{Workers: 1, Cache: cache}
+	second, err := plain.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second[0].Cached {
+		t.Error("serial run after sharded run missed the parent cache")
+	}
+	if g, w := mustResultsJSON(t, second), mustResultsJSON(t, first); g != w {
+		t.Errorf("cached result differs from sharded merge\n got %s\nwant %s", g, w)
+	}
+	again, err := sharded.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustResultsJSON(t, again) != mustResultsJSON(t, first) {
+		t.Error("parent-cache hit on re-shard differs from first run")
+	}
+	if !again[0].Cached || again[0].Timing == nil || !again[0].Timing.Cached {
+		t.Error("re-sharded run should be a parent-cache hit")
+	}
+}
+
+// TestJobShardsApprox checks the sampled mode: the merged result carries
+// the confidence-interval counter, lands near the exact IPC, and never
+// pollutes the parent cache with an estimate.
+func TestJobShardsApprox(t *testing.T) {
+	cache := &Cache{Dir: t.TempDir()}
+	jobs := []Job{{Spec: system.MustSpec("VBI-2"), Workloads: []string{"mcf"}, Refs: 8_000}}
+	plain := &Runner{Workers: 1}
+	exact, err := plain.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := &JobShards{Inner: &Runner{Workers: 2}, K: 4, Approx: true, Cache: cache}
+	got, err := approx.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := got[0].Results[0]
+	if _, ok := merged.Extra[system.ShardIPCErrKey]; !ok {
+		t.Fatalf("approx merge missing %s", system.ShardIPCErrKey)
+	}
+	serial := exact[0].Results[0]
+	if merged.IPC < serial.IPC/2 || merged.IPC > serial.IPC*2 {
+		t.Errorf("approx IPC %.4f wildly off exact %.4f", merged.IPC, serial.IPC)
+	}
+	if _, ok := cache.Get(jobs[0]); ok {
+		t.Error("approx run cached under the parent (exact) key")
+	}
+}
+
+// TestJobShardsMinRefs pins the pass-through path: jobs below MinRefs run
+// whole, and the wrapper's output still matches the plain runner.
+func TestJobShardsMinRefs(t *testing.T) {
+	jobs := []Job{{Spec: system.MustSpec("Native"), Workloads: []string{"namd"}, Refs: 2_000}}
+	sharded := &JobShards{Inner: &Runner{Workers: 1}, K: 4, MinRefs: 100_000}
+	got, err := sharded.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Timing != nil && got[0].Timing.Shards > 1 {
+		t.Errorf("job below MinRefs was decomposed into %d shards", got[0].Timing.Shards)
+	}
+	plain := &Runner{Workers: 1}
+	want, err := plain.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := mustResultsJSON(t, got), mustResultsJSON(t, want); g != w {
+		t.Errorf("pass-through job diverged\n got %s\nwant %s", g, w)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vbi/internal/addr"
+	"vbi/internal/phys"
 )
 
 func benchMTL(b *testing.B, cfg Config) (*MTL, addr.VBUID) {
@@ -69,5 +70,50 @@ func BenchmarkCloneAndCOW(b *testing.B) {
 		m.Store(addr.Make(src, 0), []byte{1})
 		m.Clone(src, dst)
 		m.Store(addr.Make(dst, 0), []byte{2})
+	}
+}
+
+// BenchmarkRegionTabChurn drives the flattened per-VB region table through
+// its steady-state mutation mix — frame probes, unmap/remap cycles and
+// swap-bit flips over a working set it has already grown to cover. Like
+// the cache and TLB microbenchmarks this is a zero-allocation floor (CI
+// fails on allocs/op > 0): once grown, the dense table must never touch
+// the heap again.
+func BenchmarkRegionTabChurn(b *testing.B) {
+	var r regionTab
+	const span = 1 << 14 // 64 MB of 4 KB regions
+	for region := uint64(0); region < span; region++ {
+		r.setFrame(region, phys.Addr(region<<RegionShift))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region := uint64(i) % span
+		if _, ok := r.frame(region); !ok {
+			b.Fatal("prefilled region missing")
+		}
+		r.delFrame(region)
+		r.setSwapped(region)
+		r.clearSwapped(region)
+		r.setFrame(region, phys.Addr(region<<RegionShift))
+	}
+}
+
+// BenchmarkSwapOutSwapIn cycles one region through the backing store and
+// back, covering the region-table transitions the capacity system calls
+// exercise (mapped -> swapped -> mapped) together with the buddy
+// allocator and TLB shootdown they drag along.
+func BenchmarkSwapOutSwapIn(b *testing.B) {
+	m, u := benchMTL(b, Config{DelayedAlloc: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (uint64(i) << RegionShift) % (64 << 20)
+		if _, err := m.SwapOutRegion(u, off>>RegionShift); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.TranslateRead(addr.Make(u, off)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -2,25 +2,10 @@ package mtl
 
 import (
 	"fmt"
-	"slices"
 
 	"vbi/internal/addr"
 	"vbi/internal/phys"
 )
-
-// sortedRegions returns the map's region indices in ascending order.
-// Every multi-region walk that allocates (table nodes, frames) or copies
-// must visit regions in this order: visiting in map order would let
-// physical placement — and so downstream timing — vary between
-// otherwise-identical runs.
-func sortedRegions(m map[uint64]phys.Addr) []uint64 {
-	regions := make([]uint64, 0, len(m))
-	for r := range m {
-		regions = append(regions, r)
-	}
-	slices.Sort(regions)
-	return regions
-}
 
 // This file implements the MTL's functional data path. The timing
 // simulator never carries data, but examples and the test suite exercise
@@ -54,7 +39,7 @@ func (m *MTL) Load(a addr.Addr, buf []byte) error {
 		}
 		chunk := buf[done : done+n]
 		switch {
-		case vb.swapped[region]:
+		case vb.regions.isSwapped(region):
 			m.swap.Read(uint64(u.Base())+cur, chunk)
 		default:
 			if frame, ok := vb.regionFrame(region); ok {
@@ -127,22 +112,25 @@ func (m *MTL) Clone(src, dst addr.VBUID) error {
 	if src.Class() != dst.Class() {
 		return fmt.Errorf("mtl: clone across size classes (%v -> %v)", src, dst)
 	}
-	if len(d.regions) != 0 || d.kind != TransNone {
+	if d.regions.mappedN != 0 || d.kind != TransNone {
 		return fmt.Errorf("mtl: clone destination %v not pristine", dst)
 	}
-	if len(s.regions) > 0 {
+	if s.regions.mappedN > 0 {
 		// Build dst's page-granularity structure (even when src is
 		// direct-mapped: the clone's frames start out scattered through
 		// src's reservation, so dst cannot be direct).
 		if err := m.ensurePageStructure(d); err != nil {
 			return err
 		}
-		for _, region := range sortedRegions(s.regions) {
-			frame := s.regions[region]
+		for region, end := uint64(0), s.regions.limit(); region < end; region++ {
+			frame, ok := s.regions.frame(region)
+			if !ok {
+				continue
+			}
 			if err := m.mapRegion(d, region, frame); err != nil {
 				return err
 			}
-			d.regions[region] = frame
+			d.regions.setFrame(region, frame)
 			if n, ok := m.frameRefs[frame]; ok {
 				m.frameRefs[frame] = n + 1
 			} else {
@@ -150,10 +138,12 @@ func (m *MTL) Clone(src, dst addr.VBUID) error {
 			}
 		}
 	}
-	for region := range s.swapped {
-		d.swapped[region] = true
+	for region, end := uint64(0), s.regions.limit(); region < end; region++ {
+		if s.regions.isSwapped(region) {
+			d.regions.setSwapped(region)
+		}
 	}
-	if len(s.swapped) > 0 {
+	if s.regions.swappedN > 0 {
 		m.swap.CopyRange(uint64(dst.Base()), uint64(src.Base()), src.Size())
 	}
 	if s.isFile {
@@ -215,23 +205,27 @@ func (m *MTL) Promote(small, large addr.VBUID) error {
 	if large.Class() <= small.Class() {
 		return fmt.Errorf("mtl: promote target %v not larger than %v", large, small)
 	}
-	if len(l.regions) != 0 || l.kind != TransNone {
+	if l.regions.mappedN != 0 || l.kind != TransNone {
 		return fmt.Errorf("mtl: promote destination %v not pristine", large)
 	}
-	if len(s.regions) > 0 || len(s.swapped) > 0 {
+	if s.regions.mappedN > 0 || s.regions.swappedN > 0 {
 		if err := m.ensurePageStructure(l); err != nil {
 			return err
 		}
 	}
-	for _, region := range sortedRegions(s.regions) {
-		if err := m.mapRegion(l, region, s.regions[region]); err != nil {
+	for region, end := uint64(0), s.regions.limit(); region < end; region++ {
+		frame, ok := s.regions.frame(region)
+		if !ok {
+			continue
+		}
+		if err := m.mapRegion(l, region, frame); err != nil {
 			return err
 		}
-		l.regions[region] = s.regions[region]
+		l.regions.setFrame(region, frame)
 	}
 	// Ownership transferred: clear the source so its disable does not free
 	// the frames.
-	s.regions = make(map[uint64]phys.Addr)
+	s.regions.clearFrames()
 	if s.table != nil {
 		m.freeTable(s)
 		s.kind = TransNone
@@ -240,9 +234,11 @@ func (m *MTL) Promote(small, large addr.VBUID) error {
 		m.unreserveAll(s)
 		s.kind = TransNone
 	}
-	for region := range s.swapped {
-		l.swapped[region] = true
-		delete(s.swapped, region)
+	for region, end := uint64(0), s.regions.limit(); region < end; region++ {
+		if s.regions.isSwapped(region) {
+			l.regions.setSwapped(region)
+			s.regions.clearSwapped(region)
+		}
 	}
 	m.swap.CopyRange(uint64(large.Base()), uint64(small.Base()), small.Size())
 	m.swap.ZeroRange(uint64(small.Base()), small.Size())
@@ -285,7 +281,7 @@ func (m *MTL) SwapOutRegion(u addr.VBUID, region uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	frame, ok := vb.regions[region]
+	frame, ok := vb.regions.frame(region)
 	if !ok {
 		return false, nil
 	}
@@ -297,7 +293,7 @@ func (m *MTL) SwapOutRegion(u addr.VBUID, region uint64) (bool, error) {
 		copyFromStore(m.swap, m.Data, vbiBase, uint64(frame))
 		m.Data.ZeroRange(uint64(frame), RegionSize)
 	}
-	delete(vb.regions, region)
+	vb.regions.delFrame(region)
 	if vb.table != nil && vb.blockShift == RegionShift {
 		// Chunk-mapped VBs keep the block entry: sibling regions still
 		// live in the chunk, and translate() consults the region map for
@@ -312,7 +308,7 @@ func (m *MTL) SwapOutRegion(u addr.VBUID, region uint64) (bool, error) {
 		vb.kind = TransNone
 		vb.directBase = phys.NoAddr
 	}
-	vb.swapped[region] = true
+	vb.regions.setSwapped(region)
 	m.freeFrame(frame, 0)
 	m.InvalidateTLBRange(addr.Addr(vbiBase), RegionSize)
 	m.Stats.SwapOuts++
@@ -327,7 +323,10 @@ func (m *MTL) SwapOutVB(u addr.VBUID) (int, error) {
 		return 0, err
 	}
 	n := 0
-	for _, r := range vb.sortedRegions() {
+	for r, end := uint64(0), vb.regions.limit(); r < end; r++ {
+		if _, mapped := vb.regions.frame(r); !mapped {
+			continue
+		}
 		ok, err := m.SwapOutRegion(u, r)
 		if err != nil {
 			return n, err
@@ -365,8 +364,10 @@ func (m *MTL) SyncFile(u addr.VBUID, size uint64) ([]byte, error) {
 		return nil, fmt.Errorf("mtl: %v is not file-backed", u)
 	}
 	if m.Data != nil {
-		for _, region := range sortedRegions(vb.regions) {
-			copyFromStore(m.files, m.Data, uint64(u.Base())+region<<RegionShift, uint64(vb.regions[region]))
+		for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+			if frame, ok := vb.regions.frame(region); ok {
+				copyFromStore(m.files, m.Data, uint64(u.Base())+region<<RegionShift, uint64(frame))
+			}
 		}
 	}
 	out := make([]byte, size)

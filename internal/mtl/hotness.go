@@ -33,7 +33,7 @@ func (m *MTL) AccessCounts() []VBCount {
 			VB:       u,
 			Accesses: vb.accessCount,
 			Writes:   vb.writeCount,
-			Bytes:    uint64(len(vb.regions)) * RegionSize,
+			Bytes:    uint64(vb.regions.mappedN) * RegionSize,
 			Zone:     vb.zone,
 		})
 	}
@@ -112,11 +112,10 @@ func (m *MTL) MigrateVB(u addr.VBUID, zone int) (uint64, error) {
 	}
 	vb.zone = zone
 	z := m.zones[zone]
-	regions := vb.sortedRegions()
 	var moved uint64
-	for _, region := range regions {
-		frame := vb.regions[region]
-		if m.ZoneOf(frame) == zone || m.frameRefs[frame] > 1 {
+	for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+		frame, ok := vb.regions.frame(region)
+		if !ok || m.ZoneOf(frame) == zone || m.frameRefs[frame] > 1 {
 			continue
 		}
 		local, ok := z.Buddy.Alloc(u, 0)
@@ -128,7 +127,7 @@ func (m *MTL) MigrateVB(u addr.VBUID, zone int) (uint64, error) {
 			m.Data.CopyRange(uint64(newFrame), uint64(frame), RegionSize)
 			m.Data.ZeroRange(uint64(frame), RegionSize)
 		}
-		vb.regions[region] = newFrame
+		vb.regions.setFrame(region, newFrame)
 		switch vb.kind {
 		case TransDirect:
 			// An unreserved direct VB (4 KB class): move its base.
@@ -163,8 +162,12 @@ func (m *MTL) rebuildTable(vb *vbState) (uint64, error) {
 		return 0, err
 	}
 	vb.table = t
-	for _, region := range vb.sortedRegions() {
-		if err := m.mapRegion(vb, region, vb.regions[region]); err != nil {
+	for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+		frame, ok := vb.regions.frame(region)
+		if !ok {
+			continue
+		}
+		if err := m.mapRegion(vb, region, frame); err != nil {
 			vb.table = old
 			return 0, err
 		}
@@ -185,10 +188,11 @@ func (m *MTL) ZoneBytes(u addr.VBUID) ([]uint64, error) {
 		return nil, err
 	}
 	out := make([]uint64, len(m.zones))
-	//vbi:allow maporder ZoneOf is a pure lookup and += into per-zone cells commutes
-	for _, frame := range vb.regions {
-		if zi := m.ZoneOf(frame); zi >= 0 {
-			out[zi] += RegionSize
+	for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+		if frame, ok := vb.regions.frame(region); ok {
+			if zi := m.ZoneOf(frame); zi >= 0 {
+				out[zi] += RegionSize
+			}
 		}
 	}
 	return out, nil
@@ -200,6 +204,5 @@ func (m *MTL) frameForTest(u addr.VBUID, region uint64) (phys.Addr, bool) {
 	if !ok {
 		return phys.NoAddr, false
 	}
-	f, ok := vb.regions[region]
-	return f, ok
+	return vb.regions.frame(region)
 }

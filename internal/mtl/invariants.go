@@ -22,13 +22,22 @@ import (
 //  5. Table-backed VBs resolve every mapped region through their table to
 //     the same frame the region map records.
 //  6. Swapped regions are never simultaneously mapped.
-//  7. Per-zone buddy invariants hold (delegated to phys.Buddy).
+//  7. The region table's mapped/swapped counts match its entries.
+//  8. Per-zone buddy invariants hold (delegated to phys.Buddy).
 func (m *MTL) CheckInvariants() error {
 	frameUsers := make(map[phys.Addr]int)
 	//vbi:allow maporder check-only: every mapping must pass; which violation is reported first is diagnostic detail
 	for u, vb := range m.vbs {
-		//vbi:allow maporder check-only: every mapping must pass; which violation is reported first is diagnostic detail
-		for region, frame := range vb.regions {
+		mapped, swapped := 0, 0
+		for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+			if vb.regions.isSwapped(region) {
+				swapped++
+			}
+			frame, ok := vb.regions.frame(region)
+			if !ok {
+				continue
+			}
+			mapped++
 			if m.ZoneOf(frame) < 0 {
 				return fmt.Errorf("%v region %d frame %v outside all zones", u, region, frame)
 			}
@@ -36,7 +45,7 @@ func (m *MTL) CheckInvariants() error {
 				return fmt.Errorf("%v region %d frame %v misaligned", u, region, frame)
 			}
 			frameUsers[frame]++
-			if vb.swapped[region] {
+			if vb.regions.isSwapped(region) {
 				return fmt.Errorf("%v region %d both mapped and swapped", u, region)
 			}
 			switch {
@@ -65,6 +74,10 @@ func (m *MTL) CheckInvariants() error {
 			default:
 				return fmt.Errorf("%v region %d mapped but VB has no structure", u, region)
 			}
+		}
+		if mapped != vb.regions.mappedN || swapped != vb.regions.swappedN {
+			return fmt.Errorf("%v region table counts %d mapped / %d swapped, entries say %d / %d",
+				u, vb.regions.mappedN, vb.regions.swappedN, mapped, swapped)
 		}
 	}
 	// Sharing accounting: refs defaults to 1 when absent.

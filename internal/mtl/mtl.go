@@ -22,7 +22,6 @@ package mtl
 
 import (
 	"fmt"
-	"sort"
 
 	"vbi/internal/addr"
 	"vbi/internal/memdata"
@@ -153,11 +152,10 @@ type vbState struct {
 	kind     TransKind
 	zone     int
 
-	// regions maps region index -> global physical frame for every
-	// allocated region, regardless of translation-structure kind.
-	regions map[uint64]phys.Addr
-	// swapped marks regions currently in the backing store.
-	swapped map[uint64]bool
+	// regions records each region's physical frame and swap state in a
+	// dense table keyed by region index, regardless of translation-
+	// structure kind.
+	regions regionTab
 	// isFile marks memory-mapped-file VBs (demand-load instead of
 	// zero-fill).
 	isFile bool
@@ -184,17 +182,111 @@ type vbState struct {
 	writeCount  uint64
 }
 
-// sortedRegions returns the VB's resident region indices in ascending
-// order. Operations that allocate or free frames per region must iterate
-// this instead of the regions map: map order would randomize allocator
-// state, making otherwise-identical runs nondeterministic.
-func (vb *vbState) sortedRegions() []uint64 {
-	out := make([]uint64, 0, len(vb.regions))
-	for r := range vb.regions {
-		out = append(out, r)
+// regionTab is the per-VB region table: a dense slice keyed by region
+// index, replacing the regions and swapped maps the vbState previously
+// carried (the radixTable pattern — flat arrays, sentinel entries). Each
+// entry packs the region's 4 KB-aligned physical frame with two flag bits
+// in the alignment-freed low bits, so the per-reference frame probe in
+// translate() is one bounds check and one load — no hashing, and never a
+// rehash while the working set grows.
+//
+// A zero entry means the region has never been touched, so growth is a
+// plain zero-extending append. The present and swapped bits are
+// independent: allocateRegion installs the frame before fillFreshRegion
+// consults (and clears) the swap state, so a region coming back from the
+// backing store is briefly both.
+//
+// Iteration in ascending region index replaces the old sortedRegions()
+// snapshot: multi-region walks that allocate or free frames must visit
+// regions in this order — map order would randomize allocator state,
+// making otherwise-identical runs nondeterministic. The dense table makes
+// the deterministic order free instead of a sort per walk.
+type regionTab struct {
+	tab      []uint64 // region index -> frame | flag bits; 0 = untouched
+	mappedN  int      // entries with regionPresent set
+	swappedN int      // entries with regionSwapped set
+}
+
+const (
+	// regionPresent marks a mapped region: the entry's frame bits hold
+	// its physical frame (which may legitimately be frame 0).
+	regionPresent = 1 << 0
+	// regionSwapped marks a region whose bytes live in the backing store.
+	regionSwapped = 1 << 1
+	// regionFlagMask covers the flag bits; frames are RegionSize-aligned,
+	// so the low RegionShift bits of the address are free to carry them.
+	regionFlagMask = RegionSize - 1
+)
+
+// grow extends the table to cover region (zero entries = untouched).
+func (r *regionTab) grow(region uint64) {
+	if region >= uint64(len(r.tab)) {
+		r.tab = append(r.tab, make([]uint64, region+1-uint64(len(r.tab)))...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+}
+
+// limit returns the exclusive upper bound of touched region indices;
+// ascending scans to limit() visit every live entry deterministically.
+func (r *regionTab) limit() uint64 { return uint64(len(r.tab)) }
+
+// frame returns the physical frame backing the region, if mapped.
+//
+//vbi:hotpath
+func (r *regionTab) frame(region uint64) (phys.Addr, bool) {
+	if region >= uint64(len(r.tab)) {
+		return 0, false
+	}
+	e := r.tab[region]
+	return phys.Addr(e &^ regionFlagMask), e&regionPresent != 0
+}
+
+// setFrame maps the region to frame, preserving its swap state.
+func (r *regionTab) setFrame(region uint64, frame phys.Addr) {
+	r.grow(region)
+	e := &r.tab[region]
+	if *e&regionPresent == 0 {
+		r.mappedN++
+	}
+	*e = uint64(frame) | regionPresent | *e&regionSwapped
+}
+
+// delFrame unmaps the region, preserving its swap state.
+func (r *regionTab) delFrame(region uint64) {
+	if region < uint64(len(r.tab)) && r.tab[region]&regionPresent != 0 {
+		r.mappedN--
+		r.tab[region] &= regionSwapped
+	}
+}
+
+// isSwapped reports whether the region's bytes live in the backing store.
+func (r *regionTab) isSwapped(region uint64) bool {
+	return region < uint64(len(r.tab)) && r.tab[region]&regionSwapped != 0
+}
+
+// setSwapped marks the region as living in the backing store.
+func (r *regionTab) setSwapped(region uint64) {
+	r.grow(region)
+	if r.tab[region]&regionSwapped == 0 {
+		r.swappedN++
+		r.tab[region] |= regionSwapped
+	}
+}
+
+// clearSwapped removes the region's backing-store mark.
+func (r *regionTab) clearSwapped(region uint64) {
+	if region < uint64(len(r.tab)) && r.tab[region]&regionSwapped != 0 {
+		r.swappedN--
+		r.tab[region] &^= regionSwapped
+	}
+}
+
+// clearFrames unmaps every region in place, keeping swap state (Promote
+// uses it after transferring frame ownership to the larger VB).
+func (r *regionTab) clearFrames() {
+	for i := range r.tab {
+		r.tab[i] &= regionSwapped
+	}
+	r.mappedN = 0
 }
 
 // New builds an MTL over the given zones. Zones must be non-empty; zone
@@ -286,8 +378,6 @@ func (m *MTL) Enable(u addr.VBUID, p prop.Props) error {
 		props:         p,
 		kind:          TransNone,
 		zone:          zone,
-		regions:       make(map[uint64]phys.Addr),
-		swapped:       make(map[uint64]bool),
 		isFile:        p.Has(prop.MappedFile),
 		reservedOrder: -1,
 		blockShift:    RegionShift,
@@ -355,8 +445,10 @@ func (m *MTL) Disable(u addr.VBUID) error {
 	m.tlbL1.InvalidateRange(base, size)
 	m.tlbL2.InvalidateRange(base, size)
 	m.vitCache.InvalidateIf(func(k uint64) bool { return k == uint64(u) })
-	for _, region := range vb.sortedRegions() {
-		m.derefFrame(vb.regions[region])
+	for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+		if frame, ok := vb.regions.frame(region); ok {
+			m.derefFrame(frame)
+		}
 	}
 	if vb.table != nil {
 		m.freeTable(vb)
@@ -407,7 +499,7 @@ func (m *MTL) InvalidateTLBRange(base addr.Addr, size uint64) {
 // AllocatedRegions returns the number of allocated 4 KB regions of the VB.
 func (m *MTL) AllocatedRegions(u addr.VBUID) int {
 	if vb, ok := m.vbs[u]; ok {
-		return len(vb.regions)
+		return vb.regions.mappedN
 	}
 	return 0
 }

@@ -1,0 +1,66 @@
+package mtl
+
+import (
+	"testing"
+
+	"vbi/internal/phys"
+)
+
+// TestRegionTabMatchesMaps drives the dense region table through a
+// deterministic churn of frame maps/unmaps and swap-bit transitions,
+// checking every observable against the pair of maps it replaced
+// (regions map[uint64]phys.Addr + swapped map[uint64]bool) — including
+// the transient mapped-and-swapped state allocateRegion passes through
+// while a region comes back from the backing store.
+func TestRegionTabMatchesMaps(t *testing.T) {
+	var r regionTab
+	frames := map[uint64]phys.Addr{}
+	swapped := map[uint64]bool{}
+	rng := uint64(3)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 16
+	}
+	for step := 0; step < 50_000; step++ {
+		region := next() % 64
+		switch next() % 5 {
+		case 0:
+			f := phys.Addr((next() % 1024) << RegionShift)
+			r.setFrame(region, f)
+			frames[region] = f
+		case 1:
+			r.delFrame(region)
+			delete(frames, region)
+		case 2:
+			r.setSwapped(region)
+			swapped[region] = true
+		case 3:
+			r.clearSwapped(region)
+			delete(swapped, region)
+		case 4:
+		}
+		got, ok := r.frame(region)
+		want, wok := frames[region]
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("step %d: frame(%d) = %v,%v, want %v,%v", step, region, got, ok, want, wok)
+		}
+		if r.isSwapped(region) != swapped[region] {
+			t.Fatalf("step %d: isSwapped(%d) = %v, want %v", step, region, r.isSwapped(region), swapped[region])
+		}
+		if r.mappedN != len(frames) || r.swappedN != len(swapped) {
+			t.Fatalf("step %d: counts %d/%d, want %d/%d", step, r.mappedN, r.swappedN, len(frames), len(swapped))
+		}
+	}
+	r.clearFrames()
+	for region := uint64(0); region < 64; region++ {
+		if _, ok := r.frame(region); ok {
+			t.Fatalf("clearFrames left region %d mapped", region)
+		}
+		if r.isSwapped(region) != swapped[region] {
+			t.Fatalf("clearFrames disturbed swap state of region %d", region)
+		}
+	}
+	if r.mappedN != 0 || r.swappedN != len(swapped) {
+		t.Fatalf("after clearFrames: counts %d/%d, want 0/%d", r.mappedN, r.swappedN, len(swapped))
+	}
+}

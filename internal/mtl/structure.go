@@ -415,7 +415,7 @@ func (m *MTL) allocRegionFrame(vb *vbState) (phys.Addr, error) {
 // page-granularity structure (§5.3: a VB is direct-mapped only while all
 // its memory maps to a single contiguous region).
 func (m *MTL) allocateRegion(vb *vbState, region uint64) (phys.Addr, error) {
-	if frame, ok := vb.regions[region]; ok {
+	if frame, ok := vb.regions.frame(region); ok {
 		return frame, nil
 	}
 	if err := m.ensureStructure(vb); err != nil {
@@ -476,7 +476,7 @@ func (m *MTL) allocateRegion(vb *vbState, region uint64) (phys.Addr, error) {
 	default:
 		return phys.NoAddr, fmt.Errorf("mtl: %v has no structure", vb.id)
 	}
-	vb.regions[region] = frame
+	vb.regions.setFrame(region, frame)
 	m.Stats.RegionAllocs++
 	m.fillFreshRegion(vb, region, frame)
 	return frame, nil
@@ -554,8 +554,12 @@ func (m *MTL) downgradeToPages(vb *vbState) error {
 			vb.kind = TransSingle
 		}
 	}
-	for _, region := range vb.sortedRegions() {
-		if err := m.mapRegion(vb, region, vb.regions[region]); err != nil {
+	for region, end := uint64(0), vb.regions.limit(); region < end; region++ {
+		frame, ok := vb.regions.frame(region)
+		if !ok {
+			continue
+		}
+		if err := m.mapRegion(vb, region, frame); err != nil {
 			return err
 		}
 	}
@@ -573,17 +577,17 @@ func (m *MTL) downgradeToPages(vb *vbState) error {
 // back from the backing store, zeros otherwise.
 func (m *MTL) fillFreshRegion(vb *vbState, region uint64, frame phys.Addr) {
 	if m.Data == nil {
-		if vb.swapped[region] {
-			delete(vb.swapped, region)
+		if vb.regions.isSwapped(region) {
+			vb.regions.clearSwapped(region)
 			m.Stats.OSFaults++
 		}
 		return
 	}
 	vbiBase := uint64(vb.id.Base()) + region<<RegionShift
 	switch {
-	case vb.swapped[region]:
+	case vb.regions.isSwapped(region):
 		copyFromStore(m.Data, m.swap, uint64(frame), vbiBase)
-		delete(vb.swapped, region)
+		vb.regions.clearSwapped(region)
 		m.swap.ZeroRange(vbiBase, RegionSize)
 		m.Stats.OSFaults++
 	case vb.isFile:
@@ -603,7 +607,8 @@ func copyFromStore(dst, src *memdata.Store, dstAddr, srcAddr uint64) {
 
 // regionFrame returns the frame backing the region, consulting the direct
 // mapping or the table, without allocating.
+//
+//vbi:hotpath
 func (vb *vbState) regionFrame(region uint64) (phys.Addr, bool) {
-	frame, ok := vb.regions[region]
-	return frame, ok
+	return vb.regions.frame(region)
 }

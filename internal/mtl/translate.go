@@ -145,7 +145,7 @@ func (m *MTL) translate(a addr.Addr, forWrite bool) (Event, error) {
 			ev.WalkAccesses = m.walkAccesses(vb, region)
 			m.Stats.WalkAccesses += uint64(len(ev.WalkAccesses))
 		}
-	case vb.swapped[region] || vb.isFile:
+	case vb.regions.isSwapped(region) || vb.isFile:
 		// Swapped-out or file-backed region: the MTL allocates memory and
 		// interrupts the OS to load the data (§5.1 case 1).
 		if frame, err = m.allocateRegion(vb, region); err != nil {
@@ -208,7 +208,7 @@ func (m *MTL) walkAccesses(vb *vbState, region uint64) []phys.Addr {
 // the writing VB gets a fresh frame with the shared contents, and the other
 // sharers keep the original (§4.4, clone_vb).
 func (m *MTL) resolveCOW(vb *vbState, region uint64) (phys.Addr, bool, error) {
-	frame, ok := vb.regions[region]
+	frame, ok := vb.regions.frame(region)
 	if !ok {
 		return phys.NoAddr, false, nil
 	}
@@ -226,7 +226,7 @@ func (m *MTL) resolveCOW(vb *vbState, region uint64) (phys.Addr, bool, error) {
 	if m.frameRefs[frame] == 1 {
 		delete(m.frameRefs, frame)
 	}
-	vb.regions[region] = newFrame
+	vb.regions.setFrame(region, newFrame)
 	if vb.kind == TransDirect || vb.blockShift > RegionShift {
 		// Direct- and chunk-mapped VBs cannot point individual region
 		// frames elsewhere; downgrade to page granularity first

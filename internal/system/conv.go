@@ -275,7 +275,9 @@ func (r *convRunner) translate(va uint64, at uint64) (uint64, phys.Addr, error) 
 	}
 	// Walker PTE reads are memory requests (serialized: each level's
 	// address depends on the previous read). The PWC already skipped the
-	// cached upper levels.
+	// cached upper levels. DRAM bank timing is shared: gate (touch above
+	// already holds the turn; Enter is idempotent).
+	r.gate.Enter()
 	r.c.walkAccesses += uint64(len(accesses))
 	for _, a := range accesses {
 		done := r.mem.Access(uint64(a), at+t, false)
@@ -288,7 +290,11 @@ func (r *convRunner) translate(va uint64, at uint64) (uint64, phys.Addr, error) 
 }
 
 // touch performs demand paging, returning the cycle cost of any faults.
+// The OS / hypervisor allocator is shared across a bundle's cores, so a
+// sharded run takes the serial-order turn first (no-op serially; the turn
+// is held to the end of the step, covering the walk that follows).
 func (r *convRunner) touch(va uint64) (uint64, error) {
+	r.gate.Enter()
 	if r.vm != nil {
 		hostBefore := r.vmHost.Stats.HostFaults
 		fault, err := r.vm.Touch(va)

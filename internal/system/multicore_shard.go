@@ -1,0 +1,119 @@
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"vbi/internal/lockstep"
+)
+
+// RunSharded executes the bundle's cores on up to `shards` concurrent
+// goroutines with results byte-identical to Run(). Cores free-run through
+// their private state (L1/L2, TLBs, trace generation) and serialize every
+// shared-structure touch (LLC, DRAM timing, OS/MTL) through a lockstep
+// turnstile that grants the turn in exactly the serial smallest-now()
+// step order, so the shared state observes the identical operation
+// sequence. If the one cross-core private coupling — LLC
+// back-invalidation racing a core that ran ahead — is detected to have
+// diverged, the run aborts and falls back to a fresh serial run; either
+// path returns the same bytes.
+func (m *Multicore) RunSharded(shards int) ([]RunResult, error) {
+	n := len(m.runners)
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 || n < 2 {
+		return m.Run()
+	}
+
+	g := lockstep.NewGroup(n)
+	handles := make([]*lockstep.Handle, n)
+	for i, r := range m.runners {
+		handles[i] = g.Handle(i)
+		r.kit().attachLockstep(handles[i])
+		handles[i].Publish(r.now())
+	}
+
+	target := m.cfg.Warmup + m.cfg.Refs
+	steps := make([]int, n) // steps[i] is touched only by core i's worker
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Whatever the exit path, retire the owned cores so no peer
+			// waits on a stale key (Enter and WaitLead then drain).
+			defer func() {
+				for i := w; i < n; i += shards {
+					handles[i].Finish()
+				}
+			}()
+			for {
+				// Step the owned core with the smallest published key: an
+				// owned core left behind would otherwise block the group
+				// while this goroutine is busy elsewhere.
+				best := -1
+				var bestKey uint64
+				for i := w; i < n; i += shards {
+					if steps[i] >= target {
+						continue
+					}
+					if k := handles[i].Cur(); best == -1 || k < bestKey {
+						best, bestKey = i, k
+					}
+				}
+				if best == -1 {
+					return
+				}
+				h := handles[best]
+				if !h.WaitLead() {
+					return
+				}
+				if err := m.runners[best].step(); err != nil {
+					errs[w] = fmt.Errorf("core %d (%s): %w", best, m.names[best], err)
+					h.Abort()
+					return
+				}
+				steps[best]++
+				if steps[best] == m.cfg.Warmup {
+					// The snapshot reads shared DRAM totals: take the turn
+					// so it sees exactly the serial prefix (all smaller
+					// keys done, no larger key started).
+					h.Enter()
+					m.runners[best].beginMeasurement()
+				}
+				h.EndStep()
+				if steps[best] >= target {
+					h.Finish()
+				} else if !h.Publish(m.runners[best].now()) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if g.Aborted() {
+		// A back-invalidation raced a core that had run ahead: the
+		// parallel state can't be trusted, so rebuild and run serially.
+		// Determinism makes the fresh machine reproduce the serial result
+		// exactly — the parallel attempt cost time, not correctness.
+		fresh, err := NewMulticore(m.cfg, m.profs)
+		if err != nil {
+			return nil, err
+		}
+		return fresh.Run()
+	}
+
+	out := make([]RunResult, n)
+	for i, r := range m.runners {
+		out[i] = r.result()
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package system
+
+import (
+	"fmt"
+	"math"
+)
+
+// Slice describes one time shard of a single-core run: the half-open
+// window [Start, End) of measured references it is responsible for. A
+// sliced job travels over the dist wire and through the result cache, so
+// the json tags pin the field names.
+//
+// Exact mode (default): the shard replays warm-up plus the full measured
+// prefix [0, Start) deterministically — the trace generator is a pure
+// function of (profile, seed), so every shard reconstructs the identical
+// machine state the serial run had at its window boundary — snapshots the
+// counters, simulates its window, and reports the difference. The windows
+// telescope: summed over all shards they reproduce the serial measured
+// counters exactly, byte for byte.
+//
+// Approx mode: instead of simulating the prefix, the shard skips the
+// generator to WarmupRefs references before its window and simulates only
+// that warm-up from cold caches before measuring. This trades exactness
+// for wall-clock (the prefix replay is what makes exact slicing linear in
+// Start) and reports a cross-shard error bound at merge time.
+//
+//vbi:wire
+type Slice struct {
+	// Index / Of identify the shard (0-based) and the total shard count.
+	Index int `json:"index"`
+	Of    int `json:"of"`
+	// Start/End bound the measured-reference window [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Approx selects sampled warm-up instead of exact prefix replay.
+	Approx bool `json:"approx,omitempty"`
+	// WarmupRefs is the simulated warm-up length in approx mode.
+	WarmupRefs int `json:"warmup_refs,omitempty"`
+}
+
+// Validate checks the slice against the run's measured-reference count.
+func (s Slice) Validate(refs int) error {
+	if s.Of < 1 || s.Index < 0 || s.Index >= s.Of {
+		return fmt.Errorf("system: slice %d/%d out of range", s.Index, s.Of)
+	}
+	if s.Start < 0 || s.End > refs || s.Start >= s.End {
+		return fmt.Errorf("system: slice window [%d,%d) invalid for %d refs", s.Start, s.End, refs)
+	}
+	if s.Approx && s.WarmupRefs <= 0 {
+		return fmt.Errorf("system: approx slice needs warmup refs")
+	}
+	return nil
+}
+
+// PlanSlices splits refs measured references into k contiguous windows
+// (boundaries at i*refs/k, so sizes differ by at most one). k is clamped
+// to [1, refs].
+func PlanSlices(refs, k int) []Slice {
+	if k < 1 {
+		k = 1
+	}
+	if k > refs {
+		k = refs
+	}
+	out := make([]Slice, k)
+	for i := 0; i < k; i++ {
+		out[i] = Slice{
+			Index: i,
+			Of:    k,
+			Start: i * refs / k,
+			End:   (i + 1) * refs / k,
+		}
+	}
+	return out
+}
+
+// RunSlice executes one time shard of the machine's run and returns the
+// window's counters (see Slice). The machine must be freshly built; a
+// slice consumes it.
+func (m *Machine) RunSlice(s Slice) (RunResult, error) {
+	if err := s.Validate(m.cfg.Refs); err != nil {
+		return RunResult{}, err
+	}
+	if s.Approx {
+		return m.runApproxSlice(s)
+	}
+	// Exact: replay warm-up + the measured prefix, snapshot, run the
+	// window, subtract. result() is a pure snapshot, so the base costs
+	// nothing but the prefix simulation itself.
+	if err := runSteps(m.runner, m.cfg.Warmup, m.name); err != nil {
+		return RunResult{}, err
+	}
+	m.runner.beginMeasurement()
+	if err := runSteps(m.runner, s.Start, m.name); err != nil {
+		return RunResult{}, err
+	}
+	base := m.runner.result()
+	if err := runSteps(m.runner, s.End-s.Start, m.name); err != nil {
+		return RunResult{}, err
+	}
+	return subtractWindow(m.runner.result(), base), nil
+}
+
+// runApproxSlice skips the generator to WarmupRefs references before the
+// window, simulates that warm-up from cold caches (construction already
+// performed the init/prefill passes), and measures the window directly.
+func (m *Machine) runApproxSlice(s Slice) (RunResult, error) {
+	warm := s.WarmupRefs
+	if prefix := m.cfg.Warmup + s.Start; warm > prefix {
+		warm = prefix
+	}
+	m.runner.skip(m.cfg.Warmup + s.Start - warm)
+	if err := runSteps(m.runner, warm, m.name); err != nil {
+		return RunResult{}, err
+	}
+	m.runner.beginMeasurement()
+	if err := runSteps(m.runner, s.End-s.Start, m.name); err != nil {
+		return RunResult{}, err
+	}
+	return m.runner.result(), nil
+}
+
+// RunSlice executes one exact time shard of a heterogeneous-memory run.
+// Approx mode is not supported: the migration epochs are feedback-driven,
+// so a sampled warm-up would not reconstruct placement state.
+func (h *HeteroMachine) RunSlice(s Slice) (RunResult, error) {
+	if err := s.Validate(h.cfg.Refs); err != nil {
+		return RunResult{}, err
+	}
+	if s.Approx {
+		return RunResult{}, fmt.Errorf("system: approx slicing unsupported for hetero runs")
+	}
+	// The epoch trigger is step-count based (steps % EpochRefs), so the
+	// prefix replay reproduces every migration decision deterministically.
+	steps := 0
+	runTo := func(limit int) error {
+		for steps < limit {
+			if err := h.runner.step(); err != nil {
+				return err
+			}
+			steps++
+			if steps == h.cfg.Warmup {
+				h.runner.beginMeasurement()
+			}
+			if h.cfg.Policy == PolicyVBI && steps%h.cfg.EpochRefs == 0 {
+				h.migrationEpoch()
+			}
+		}
+		return nil
+	}
+	if err := runTo(h.cfg.Warmup + s.Start); err != nil {
+		return RunResult{}, err
+	}
+	base := h.runner.result()
+	if err := runTo(h.cfg.Warmup + s.End); err != nil {
+		return RunResult{}, err
+	}
+	res := subtractWindow(h.runner.result(), base)
+	res.System = fmt.Sprintf("%s %s", h.cfg.Policy, h.cfg.Mem)
+	// migrated.bytes is a cumulative gauge (not a windowed delta): the
+	// last shard replays the full prefix, so its absolute value equals the
+	// serial run's and the zero from every other shard sums to it.
+	if s.End == h.cfg.Refs {
+		res.Extra["migrated.bytes"] = h.m.Stats.MigratedBytes
+	}
+	return res, nil
+}
+
+// runSteps advances a runner n references.
+func runSteps(r coreRunner, n int, name string) error {
+	for i := 0; i < n; i++ {
+		if err := r.step(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// subtractWindow forms the window counters between two telescoping
+// snapshots of the same run.
+func subtractWindow(final, base RunResult) RunResult {
+	w := final
+	w.Cycles -= base.Cycles
+	w.Instrs -= base.Instrs
+	w.MemRefs -= base.MemRefs
+	w.DRAMAccesses -= base.DRAMAccesses
+	w.IPC = 0
+	if w.Cycles > 0 {
+		w.IPC = float64(w.Instrs) / float64(w.Cycles)
+	}
+	w.Extra = make(map[string]uint64, len(final.Extra))
+	for k, v := range final.Extra {
+		w.Extra[k] = v - base.Extra[k]
+	}
+	return w
+}
+
+// ShardIPCErrKey is the Extra key MergeSlices adds in approx mode: the
+// half-width of the 95% confidence interval of the per-shard IPC, as a
+// fraction of the mean in parts per million. Exact merges add nothing.
+const ShardIPCErrKey = "shard.ipc.ci.ppm"
+
+// MergeSlices folds the windows of one sliced run back into the serial
+// result. For exact slices the sum telescopes to the serial counters
+// exactly (IPC is recomputed from the summed integers, so it too is
+// bit-identical). Approx merges additionally report ShardIPCErrKey.
+func MergeSlices(windows []RunResult, approx bool) (RunResult, error) {
+	if len(windows) == 0 {
+		return RunResult{}, fmt.Errorf("system: no slice windows to merge")
+	}
+	out := RunResult{
+		System:   windows[0].System,
+		Workload: windows[0].Workload,
+		Extra:    map[string]uint64{},
+	}
+	var ipcs []float64
+	for _, w := range windows {
+		out.Cycles += w.Cycles
+		out.Instrs += w.Instrs
+		out.MemRefs += w.MemRefs
+		out.DRAMAccesses += w.DRAMAccesses
+		for k, v := range w.Extra {
+			out.Extra[k] += v
+		}
+		ipcs = append(ipcs, w.IPC)
+	}
+	if out.Cycles > 0 {
+		out.IPC = float64(out.Instrs) / float64(out.Cycles)
+	}
+	if approx && len(ipcs) > 1 {
+		mean := 0.0
+		for _, x := range ipcs {
+			mean += x
+		}
+		mean /= float64(len(ipcs))
+		varsum := 0.0
+		for _, x := range ipcs {
+			varsum += (x - mean) * (x - mean)
+		}
+		sd := math.Sqrt(varsum / float64(len(ipcs)-1))
+		if mean > 0 {
+			half := 1.96 * sd / math.Sqrt(float64(len(ipcs)))
+			out.Extra[ShardIPCErrKey] = uint64(math.Round(half / mean * 1e6))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package system
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vbi/internal/trace"
+	"vbi/internal/workloads"
+)
+
+// shardRefs keeps the sharded-vs-serial matrices fast while still driving
+// evictions, writebacks, walker traffic and (hetero) a migration epoch.
+const shardRefs = 8_000
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSliceMergeByteIdentical proves the time-slicing seam exact: for
+// every registered kind, a 3-way sliced run merged with MergeSlices is
+// byte-identical (through JSON, including the recomputed IPC) to the
+// serial run.
+func TestSliceMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 machines per kind; skipped in -short")
+	}
+	prof := workloads.MustGet("mcf")
+	for _, kind := range Kinds() {
+		cfg := Config{Kind: kind, Refs: shardRefs}
+		m, err := New(cfg, prof)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		serial, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		var windows []RunResult
+		for _, sl := range PlanSlices(shardRefs, 3) {
+			sm, err := New(cfg, prof)
+			if err != nil {
+				t.Fatalf("%s slice %d: %v", kind, sl.Index, err)
+			}
+			w, err := sm.RunSlice(sl)
+			if err != nil {
+				t.Fatalf("%s slice %d: %v", kind, sl.Index, err)
+			}
+			windows = append(windows, w)
+		}
+		merged, err := MergeSlices(windows, false)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got, want := mustJSON(t, merged), mustJSON(t, serial); got != want {
+			t.Errorf("%s: sliced merge diverged from serial\n got %s\nwant %s", kind, got, want)
+		}
+	}
+}
+
+// TestSliceMergeHetero extends the exactness proof to the feedback-driven
+// hetero machine: the epoch trigger is step-count based, so prefix replay
+// reproduces every migration decision and the merge matches serial.
+func TestSliceMergeHetero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 hetero machines; skipped in -short")
+	}
+	hc := HeteroConfig{Mem: HeteroPCMDRAM, Policy: PolicyVBI, Refs: shardRefs}
+	prof := workloads.MustGet("mcf")
+	h, err := NewHetero(hc, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []RunResult
+	for _, sl := range PlanSlices(shardRefs, 3) {
+		sh, err := NewHetero(hc, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := sh.RunSlice(sl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, w)
+	}
+	merged, err := MergeSlices(windows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, merged), mustJSON(t, serial); got != want {
+		t.Errorf("hetero sliced merge diverged from serial\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestApproxSliceBounded checks the sampled variant's contract: it runs,
+// reports a confidence interval under ShardIPCErrKey, and lands within a
+// loose factor of the exact IPC (it is an estimate, not a replay).
+func TestApproxSliceBounded(t *testing.T) {
+	prof := workloads.MustGet("mcf")
+	cfg := Config{Kind: VBI2, Refs: shardRefs}
+	m, err := New(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []RunResult
+	for _, sl := range PlanSlices(shardRefs, 4) {
+		sl.Approx = true
+		sl.WarmupRefs = 2_000
+		sm, err := New(cfg, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := sm.RunSlice(sl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, w)
+	}
+	merged, err := MergeSlices(windows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := merged.Extra[ShardIPCErrKey]; !ok {
+		t.Fatalf("approx merge missing %s", ShardIPCErrKey)
+	}
+	if merged.IPC < serial.IPC/2 || merged.IPC > serial.IPC*2 {
+		t.Errorf("approx IPC %.4f wildly off serial %.4f", merged.IPC, serial.IPC)
+	}
+}
+
+// TestRunShardedByteIdentical proves the per-core decomposition exact: a
+// Table 2 bundle run with RunSharded(4) produces per-core results
+// byte-identical to the serial smallest-now() interleave, across the
+// three runner families (conventional, VBI, Enigma) plus the
+// virtual-cache kind whose duplicate-base lines actually collide in the
+// shared LLC (exercising the back-invalidation conflict machinery and,
+// when it fires, the serial-fallback path — which must also match).
+func TestRunShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 quad-core machines per kind; skipped in -short")
+	}
+	profs := bundleProfiles(t, "wl3")
+	for _, kind := range []Kind{Native, Virtual2M, VIVT, EnigmaHW2M, VBIFull} {
+		cfg := Config{Kind: kind, Refs: shardRefs}
+		serialM, err := NewMulticore(cfg, profs)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		serial, err := serialM.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		shardM, err := NewMulticore(cfg, profs)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		sharded, err := shardM.RunSharded(4)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", kind, err)
+		}
+		if got, want := mustJSON(t, sharded), mustJSON(t, serial); got != want {
+			t.Errorf("%s: sharded bundle diverged from serial\n got %s\nwant %s", kind, got, want)
+		}
+	}
+}
+
+// TestRunShardedCollidingLines runs four copies of the same workload
+// under VIVT: every core tags the same virtual lines, so LLC
+// back-invalidations constantly hit peer caches where the line IS present
+// — the hostile case for the free-running decomposition. Whether the
+// conflict detector aborts into the serial fallback or the interleaving
+// survives, the result must equal serial byte-for-byte.
+func TestRunShardedCollidingLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 quad-core machines; skipped in -short")
+	}
+	prof := workloads.MustGet("mcf")
+	profs := []trace.Profile{prof, prof, prof, prof}
+	cfg := Config{Kind: VIVT, Refs: shardRefs}
+	serialM, err := NewMulticore(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardM, err := NewMulticore(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shardM.RunSharded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, sharded), mustJSON(t, serial); got != want {
+		t.Errorf("colliding-line sharded bundle diverged from serial\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRunShardedFewerWorkers pins the worker-count independence of the
+// decomposition: 2 goroutines over 4 cores (each goroutine interleaving
+// its owned cores by key) must equal the serial run too.
+func TestRunShardedFewerWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 quad-core machines; skipped in -short")
+	}
+	profs := bundleProfiles(t, "wl5")
+	cfg := Config{Kind: VBI2, Refs: shardRefs}
+	serialM, err := NewMulticore(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardM, err := NewMulticore(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shardM.RunSharded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, sharded), mustJSON(t, serial); got != want {
+		t.Errorf("2-worker sharded bundle diverged from serial\n got %s\nwant %s", got, want)
+	}
+}
+
+func bundleProfiles(t *testing.T, name string) []trace.Profile {
+	t.Helper()
+	var profs []trace.Profile
+	for _, app := range workloads.Bundles[name] {
+		profs = append(profs, workloads.MustGet(app))
+	}
+	return profs
+}

@@ -24,8 +24,123 @@ func (e RangeEntry) Translate(a uint64) uint64 {
 
 const pageShift = 12
 
-// noSlot terminates the intrusive LRU list.
+// noSlot terminates the intrusive LRU list and marks empty pageIndex
+// positions.
 const noSlot int32 = -1
+
+// pageIndex maps page numbers to slot indexes through open addressing:
+// a power-of-two table at most half full (sized to 2× the TLB capacity),
+// linear probing, and backward-shift deletion instead of tombstones. It
+// replaces the map the RangeTLB previously kept — same contract, but the
+// probe loop touches one cache line per step, never allocates, and never
+// rehashes, which is what the per-reference hot loop wants.
+type pageIndex struct {
+	keys  []uint64
+	slots []int32 // noSlot = empty position
+	mask  uint64
+	shift uint
+	n     int
+}
+
+func newPageIndex(capacity int) pageIndex {
+	size := 8
+	for size < 2*capacity {
+		size <<= 1
+	}
+	p := pageIndex{
+		keys:  make([]uint64, size),
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
+		shift: uint(64 - bitsLen(size-1)),
+	}
+	p.reset()
+	return p
+}
+
+// bitsLen is bits.Len for the one constructor-time call (kept local so
+// the hot path imports nothing).
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+func (p *pageIndex) reset() {
+	for i := range p.slots {
+		p.slots[i] = noSlot
+	}
+	p.n = 0
+}
+
+// home is Fibonacci hashing: the multiply spreads strided page numbers,
+// the high bits index the table. Sequential page numbers (the common
+// trace pattern) stay collision-free.
+//
+//vbi:hotpath
+func (p *pageIndex) home(pn uint64) uint64 {
+	return (pn * 0x9E3779B97F4A7C15) >> p.shift
+}
+
+//vbi:hotpath
+func (p *pageIndex) get(pn uint64) (int32, bool) {
+	for i := p.home(pn); ; i = (i + 1) & p.mask {
+		s := p.slots[i]
+		if s == noSlot {
+			return noSlot, false
+		}
+		if p.keys[i] == pn {
+			return s, true
+		}
+	}
+}
+
+// put inserts or overwrites. The table is at most half full (occupancy is
+// bounded by the TLB capacity), so the probe always finds a position.
+//
+//vbi:hotpath
+func (p *pageIndex) put(pn uint64, slot int32) {
+	for i := p.home(pn); ; i = (i + 1) & p.mask {
+		if p.slots[i] == noSlot {
+			p.keys[i], p.slots[i] = pn, slot
+			p.n++
+			return
+		}
+		if p.keys[i] == pn {
+			p.slots[i] = slot
+			return
+		}
+	}
+}
+
+// del removes pn, backward-shifting the rest of its probe cluster so no
+// chain is ever broken: a follower moves into the hole unless its home
+// position sits strictly after the hole (cyclically), in which case the
+// hole cannot be on its probe path.
+//
+//vbi:hotpath
+func (p *pageIndex) del(pn uint64) {
+	i := p.home(pn)
+	for ; ; i = (i + 1) & p.mask {
+		if p.slots[i] == noSlot {
+			return
+		}
+		if p.keys[i] == pn {
+			break
+		}
+	}
+	p.n--
+	hole := i
+	for j := (i + 1) & p.mask; p.slots[j] != noSlot; j = (j + 1) & p.mask {
+		if ((j - p.home(p.keys[j])) & p.mask) >= ((j - hole) & p.mask) {
+			p.keys[hole], p.slots[hole] = p.keys[j], p.slots[j]
+			hole = j
+		}
+	}
+	p.slots[hole] = noSlot
+}
 
 type rangeSlot struct {
 	e     RangeEntry
@@ -55,12 +170,12 @@ type RangeTLB struct {
 	Stats    Stats
 	capacity int
 
-	slots []rangeSlot      // capacity slots, both entry kinds
-	free  []int32          // invalid slot indexes (LIFO)
-	pages map[uint64]int32 // page-number -> slot index, for Size<=4096 entries
-	big   []int32          // slot indexes of Size>4096 entries, insertion order
-	head  int32            // LRU end of the recency list (eviction victim)
-	tail  int32            // MRU end of the recency list
+	slots []rangeSlot // capacity slots, both entry kinds
+	free  []int32     // invalid slot indexes (LIFO)
+	pages pageIndex   // page-number -> slot index, for Size<=4096 entries
+	big   []int32     // slot indexes of Size>4096 entries, insertion order
+	head  int32       // LRU end of the recency list (eviction victim)
+	tail  int32       // MRU end of the recency list
 }
 
 // NewRange builds a RangeTLB holding up to capacity entries.
@@ -73,7 +188,7 @@ func NewRange(name string, capacity int) *RangeTLB {
 		capacity: capacity,
 		slots:    make([]rangeSlot, capacity),
 		free:     make([]int32, capacity),
-		pages:    make(map[uint64]int32, capacity),
+		pages:    newPageIndex(capacity),
 		big:      make([]int32, 0, capacity),
 		head:     noSlot,
 		tail:     noSlot,
@@ -95,7 +210,7 @@ func (t *RangeTLB) resetFree() {
 func (t *RangeTLB) Entries() int { return t.capacity }
 
 // Occupied returns the number of live entries.
-func (t *RangeTLB) Occupied() int { return len(t.pages) + len(t.big) }
+func (t *RangeTLB) Occupied() int { return t.pages.n + len(t.big) }
 
 // touch moves slot i to the MRU tail of the recency list.
 //
@@ -145,7 +260,7 @@ func (t *RangeTLB) pushTail(i int32) {
 //
 //vbi:hotpath
 func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
-	if i, ok := t.pages[a>>pageShift]; ok {
+	if i, ok := t.pages.get(a >> pageShift); ok {
 		t.touch(i)
 		t.Stats.Hits++
 		return t.slots[i].e, true
@@ -170,14 +285,13 @@ func (t *RangeTLB) Lookup(a uint64) (RangeEntry, bool) {
 func (t *RangeTLB) Insert(e RangeEntry) {
 	if e.Size <= 1<<pageShift {
 		pn := e.Base >> pageShift
-		if i, ok := t.pages[pn]; ok {
+		if i, ok := t.pages.get(pn); ok {
 			t.slots[i].e = e
 			t.touch(i)
 			return
 		}
 		t.evictIfFull()
-		i := t.takeSlot(e)
-		t.pages[pn] = i
+		t.pages.put(pn, t.takeSlot(e))
 		return
 	}
 	for _, i := range t.big {
@@ -221,7 +335,7 @@ func (t *RangeTLB) evictIfFull() {
 	victim := t.head
 	s := &t.slots[victim]
 	if s.e.Size <= 1<<pageShift {
-		delete(t.pages, s.e.Base>>pageShift)
+		t.pages.del(s.e.Base >> pageShift)
 	} else {
 		for bi, i := range t.big {
 			if i == victim {
@@ -238,21 +352,24 @@ func (t *RangeTLB) evictIfFull() {
 // InvalidateRange drops every entry overlapping [base, base+size) (used by
 // disable_vb, promote_vb and migration). Cold path: page keys are
 // collected and sorted before removal so the free-list recycle order is a
-// function of TLB contents, not map iteration order.
+// function of TLB contents, not of the index's probe layout.
 func (t *RangeTLB) InvalidateRange(base, size uint64) int {
 	n := 0
 	var doomed []uint64
-	//vbi:allow maporder doomed keys are collected and sorted before any state changes
-	for pn, i := range t.pages {
-		s := &t.slots[i]
+	for j, slot := range t.pages.slots {
+		if slot == noSlot {
+			continue
+		}
+		s := &t.slots[slot]
 		if s.e.Base+s.e.Size > base && s.e.Base < base+size {
-			doomed = append(doomed, pn)
+			doomed = append(doomed, t.pages.keys[j])
 		}
 	}
 	slices.Sort(doomed)
 	for _, pn := range doomed {
-		t.dropSlot(t.pages[pn])
-		delete(t.pages, pn)
+		i, _ := t.pages.get(pn)
+		t.dropSlot(i)
+		t.pages.del(pn)
 		n++
 	}
 	kept := t.big[:0]
@@ -276,7 +393,7 @@ func (t *RangeTLB) InvalidateAll() {
 	for i := range t.slots {
 		t.slots[i] = rangeSlot{}
 	}
-	clear(t.pages)
+	t.pages.reset()
 	t.resetFree()
 	t.big = t.big[:0]
 	t.head, t.tail = noSlot, noSlot
